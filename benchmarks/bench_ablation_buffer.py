@@ -1,0 +1,12 @@
+"""Bench: Section III-C ablation — shuffle buffer depth and initial-fill
+policy vs. decorrelation strength and bias."""
+
+from repro.analysis import ablation_buffer_depth
+
+
+def test_ablation_buffer_depth(benchmark, record_result):
+    result = benchmark.pedantic(
+        ablation_buffer_depth, kwargs={"step": 2, "depths": (2, 4, 8, 16, 32)},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

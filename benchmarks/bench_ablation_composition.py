@@ -1,0 +1,12 @@
+"""Bench: Section III-B ablation — series composition of D=1
+synchronizers (diminishing returns toward SCC=+1, compounding bias)."""
+
+from repro.analysis import ablation_composition
+
+
+def test_ablation_composition(benchmark, record_result):
+    result = benchmark.pedantic(
+        ablation_composition, kwargs={"step": 2, "stages": (1, 2, 3, 4, 6, 8)},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,12 @@
+"""Bench: Section III-B ablation — FSM save depth D vs. induced SCC,
+bias, and hardware cost."""
+
+from repro.analysis import ablation_save_depth
+
+
+def test_ablation_save_depth(benchmark, record_result):
+    result = benchmark.pedantic(
+        ablation_save_depth, kwargs={"step": 2, "depths": (1, 2, 4, 8, 16)},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

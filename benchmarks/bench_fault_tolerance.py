@@ -1,0 +1,17 @@
+"""Bench: the paper's intro claim — SC's "improved error tolerance".
+
+Injects equal per-bit fault rates into stochastic streams and binary
+words; SC value error must stay below binary value error at every rate,
+degrading linearly rather than catastrophically.
+"""
+
+from repro.analysis import fault_tolerance
+
+
+def test_fault_tolerance_sweep(benchmark, record_result):
+    result = benchmark.pedantic(
+        fault_tolerance,
+        kwargs={"rates": (0.0, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2), "trials": 512},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,8 @@
+"""Bench: paper Fig. 1 — the worked multiply and scaled-add examples."""
+
+from repro.analysis import fig1
+
+
+def test_fig1_worked_examples(benchmark, record_result):
+    result = benchmark(fig1)
+    record_result(result)

@@ -1,0 +1,9 @@
+"""Bench: paper Fig. 2 — each SC operator under required vs. wrong
+correlation, exhaustive N=256 level sweep."""
+
+from repro.analysis import fig2
+
+
+def test_fig2_operator_accuracy(benchmark, record_result):
+    result = benchmark.pedantic(fig2, kwargs={"step": 1}, rounds=1, iterations=1)
+    record_result(result)

@@ -1,0 +1,9 @@
+"""Bench: the Section IV-B per-block power breakdown of the accelerator
+variants (converters / kernels / RNGs / correlation manipulation)."""
+
+from repro.analysis import power_breakdown
+
+
+def test_power_breakdown(benchmark, record_result):
+    result = benchmark(power_breakdown)
+    record_result(result)

@@ -1,0 +1,13 @@
+"""Bench: correlation propagation through SC operators — quantifying the
+open question the paper raises in Section II-B ("the quantitative impact
+of how each SC arithmetic operation changes the SN correlation ... is not
+well-understood")."""
+
+from repro.analysis import propagation
+
+
+def test_correlation_propagation(benchmark, record_result):
+    result = benchmark.pedantic(
+        propagation, kwargs={"step": 1}, rounds=1, iterations=1
+    )
+    record_result(result)

@@ -1,0 +1,13 @@
+"""Bench: paper Table I — functions of a single AND gate vs. correlation.
+
+Regenerates the literal example rows (exact bitstreams from the paper) and
+times the experiment. The measured column must equal the paper's stated
+function values bit for bit.
+"""
+
+from repro.analysis import table1
+
+
+def test_table1_and_gate_functions(benchmark, record_result):
+    result = benchmark(table1)
+    record_result(result)

@@ -1,0 +1,12 @@
+"""Bench: paper Table II — average SCC before/after each correlation
+manipulating circuit over the exhaustive 256x256 level-pair sweep
+(65,536 pairs x 256 cycles per configuration, 15 configurations)."""
+
+from repro.analysis import table2
+
+
+def test_table2_scc_before_after(benchmark, record_result):
+    result = benchmark.pedantic(
+        table2, kwargs={"n": 256, "step": 1}, rounds=1, iterations=1
+    )
+    record_result(result)

@@ -1,0 +1,11 @@
+"""Bench: paper Table III — accuracy, bias, area, power, energy of the
+five max/min designs over the exhaustive VDC x Halton-3 input sweep."""
+
+from repro.analysis import table3
+
+
+def test_table3_maxmin_designs(benchmark, record_result):
+    result = benchmark.pedantic(
+        table3, kwargs={"n": 256, "step": 1}, rounds=1, iterations=1
+    )
+    record_result(result)

@@ -1,0 +1,13 @@
+"""Bench: paper Table IV — the Gaussian-blur -> Roberts-cross accelerator
+(floating point, no manipulation, regeneration, synchronizer) on the
+synthetic image set at N=256 with 10x10 tiles."""
+
+from repro.analysis import table4
+
+
+def test_table4_image_pipeline(benchmark, record_result):
+    result = benchmark.pedantic(
+        table4, kwargs={"image_size": 32, "stream_length": 256},
+        rounds=1, iterations=1,
+    )
+    record_result(result)

@@ -1,0 +1,64 @@
+"""Bench: library throughput microbenchmarks.
+
+Not a paper table — these track the simulator's own performance (the
+"runtime in SC is proportional to bitstream length" reality): SCC over
+large batches, FSM stepping rate, decorrelator stepping rate, D/S
+conversion, and one full accelerator tile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import generate_level_batch, pair_levels
+from repro.bitstream.metrics import scc_batch
+from repro.core import Decorrelator, Desynchronizer, Synchronizer
+from repro.pipeline import AcceleratorConfig, SCAccelerator
+from repro.rng import LFSR, Halton, VanDerCorput
+
+
+@pytest.fixture(scope="module")
+def big_pair():
+    xs, ys = pair_levels(256, 2)
+    x = generate_level_batch(xs, VanDerCorput(8), 256)
+    y = generate_level_batch(ys, Halton(3, 8), 256)
+    return x, y
+
+
+def test_scc_batch_throughput(benchmark, big_pair):
+    x, y = big_pair
+    out = benchmark(scc_batch, x, y)
+    assert out.shape[0] == x.shape[0]
+
+
+def test_synchronizer_throughput(benchmark, big_pair):
+    x, y = big_pair
+    sync = Synchronizer(1)
+    ox, oy = benchmark(sync._process_bits, x, y)
+    assert ox.shape == x.shape
+
+
+def test_desynchronizer_throughput(benchmark, big_pair):
+    x, y = big_pair
+    desync = Desynchronizer(1)
+    ox, _ = benchmark(desync._process_bits, x, y)
+    assert ox.shape == x.shape
+
+
+def test_decorrelator_throughput(benchmark, big_pair):
+    x, y = big_pair
+    deco = Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=4)
+    ox, _ = benchmark(deco._process_bits, x, y)
+    assert ox.shape == x.shape
+
+
+def test_d2s_conversion_throughput(benchmark):
+    levels = np.arange(256, dtype=np.int64)
+    out = benchmark(generate_level_batch, levels, VanDerCorput(8), 256)
+    assert out.shape == (256, 256)
+
+
+def test_accelerator_tile_throughput(benchmark):
+    acc = SCAccelerator(AcceleratorConfig(variant="synchronizer"))
+    tile = np.linspace(0.1, 0.9, 100).reshape(10, 10)
+    out = benchmark(acc.process_tile, tile)
+    assert out.shape == (7, 7)

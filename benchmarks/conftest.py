@@ -1,0 +1,31 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures (full
+resolution — the paper's exhaustive sweeps) inside the timed region, then
+archives the rendered comparison table under ``benchmarks/results/`` and
+echoes it to stdout (run with ``-s`` to see tables inline).
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Persist and echo an ExperimentResult produced inside a benchmark."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.to_text()
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text + "\n")
+        print("\n" + text)
+        assert result.all_checks_pass, (
+            f"{result.experiment_id}: shape checks failed: "
+            f"{[k for k, v in result.checks.items() if not v]}"
+        )
+        return result
+
+    return _record

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Interactive-style explorer for correlation manipulating circuits.
+
+Sweeps every manipulating circuit against every RNG pairing and prints a
+Table II-style matrix, then shows the two scaling knobs the paper
+discusses: FSM save depth and series composition.
+
+Run:  python examples/correlation_explorer.py [level_step]
+"""
+
+import sys
+
+from repro.analysis import measure_pair_transform, render_table
+from repro.core import (
+    Decorrelator,
+    Desynchronizer,
+    IsolatorPair,
+    SeriesPair,
+    Synchronizer,
+    TFMPair,
+)
+from repro.rng import LFSR
+
+
+def build(design: str):
+    if design == "synchronizer":
+        return Synchronizer(1)
+    if design == "desynchronizer":
+        return Desynchronizer(1)
+    if design == "decorrelator":
+        return Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=4)
+    if design == "isolator":
+        return IsolatorPair(1)
+    return TFMPair(LFSR(8, seed=77))
+
+
+def sweep_matrix(step: int) -> None:
+    configs = [
+        ("vdc", "halton3"),    # uncorrelated low-discrepancy
+        ("lfsr", "vdc"),       # mediocre + good RNG
+        ("vdc", "vdc"),        # maximally correlated
+        ("halton3", "halton3"),
+        ("sobol1", "sobol2"),  # uncorrelated Sobol dimensions
+    ]
+    designs = ["synchronizer", "desynchronizer", "decorrelator", "isolator", "tfm"]
+    rows = []
+    for design in designs:
+        for rng_x, rng_y in configs:
+            r = measure_pair_transform(build(design), rng_x, rng_y, step=step)
+            rows.append(r.as_row())
+    print(render_table(
+        ["design", "X RNG", "Y RNG", "in SCC", "out SCC", "X' bias", "Y' bias"],
+        rows,
+        title=f"All circuits x all RNG pairings (N=256, level step={step})",
+    ))
+
+
+def depth_and_composition(step: int) -> None:
+    rows = []
+    for depth in (1, 2, 4, 8):
+        r = measure_pair_transform(Synchronizer(depth), "lfsr", "vdc", step=step)
+        rows.append([f"single, D={depth}", round(r.output_scc, 3), round(r.bias_x, 4)])
+    for stages in (2, 3, 4):
+        series = SeriesPair([Synchronizer(1) for _ in range(stages)])
+        r = measure_pair_transform(series, "lfsr", "vdc", step=step,
+                                   design_name=f"{stages} stages")
+        rows.append([f"series x{stages}, D=1", round(r.output_scc, 3), round(r.bias_x, 4)])
+    print()
+    print(render_table(
+        ["synchronizer variant", "out SCC", "X' bias"],
+        rows,
+        title="Two ways to buy more correlation: deeper FSM vs composition",
+    ))
+    print("Both converge toward SCC=+1 with diminishing returns; composition")
+    print("compounds bias slightly faster (paper Section III-B).")
+
+
+if __name__ == "__main__":
+    step = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    sweep_matrix(step)
+    depth_and_composition(step)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Hardware design-space explorer for the correlation circuits.
+
+Prints the area / power / energy landscape of every circuit in the
+library's cost model, then walks the accuracy-vs-cost Pareto front for
+the synchronizer-based max (save depth sweep) — the trade-off the paper
+calls out in Section III ("more accurate SC functional units are larger
+and consume more power").
+
+Run:  python examples/design_tradeoffs.py
+"""
+
+import numpy as np
+
+from repro.analysis import generate_level_batch, pair_levels, render_table
+from repro.core import SyncMax
+from repro.hardware import components, report
+from repro.rng import Halton, VanDerCorput
+
+
+def component_landscape() -> None:
+    builders = [
+        ("AND gate (multiply)", components.and_gate()),
+        ("OR gate (sat-add/max)", components.or_gate()),
+        ("XOR gate (subtract)", components.xor_gate()),
+        ("MUX adder", components.mux_adder()),
+        ("CA adder", components.ca_adder()),
+        ("CA max (8-bit)", components.ca_max()),
+        ("isolator", components.isolator()),
+        ("synchronizer D=1", components.synchronizer(1)),
+        ("desynchronizer D=1", components.desynchronizer(1)),
+        ("sync max", components.sync_max()),
+        ("sync min", components.sync_min()),
+        ("desync sat-adder", components.desync_saturating_adder()),
+        ("shuffle buffer D=4", components.shuffle_buffer(4)),
+        ("decorrelator D=4", components.decorrelator(4)),
+        ("TFM (8-bit)", components.tfm()),
+        ("LFSR RNG (8-bit)", components.lfsr_rng()),
+        ("D/S converter", components.d2s_converter()),
+        ("S/D converter", components.s2d_converter()),
+        ("regeneration unit", components.regenerator()),
+    ]
+    rows = []
+    for name, netlist in builders:
+        r = report(netlist)
+        rows.append([name, r.area_um2, r.power_uw, r.energy_pj(256)])
+    print(render_table(
+        ["component", "area um2", "power uW", "energy pJ (N=256)"],
+        rows, title="Component cost landscape (TSMC-65nm-calibrated model)",
+    ))
+
+
+def sync_max_pareto() -> None:
+    xs, ys = pair_levels(256, 4)
+    x_ld = generate_level_batch(xs, VanDerCorput(8), 256)
+    y_ld = generate_level_batch(ys, Halton(3, 8), 256)
+    rng = np.random.default_rng(0)
+    x_rand = (rng.random((xs.size, 256)) < xs[:, None] / 256).astype(np.uint8)
+    y_rand = (rng.random((ys.size, 256)) < ys[:, None] / 256).astype(np.uint8)
+    expected = np.maximum(xs, ys) / 256
+    rows = []
+    for depth in (1, 2, 4, 8):
+        op = SyncMax(depth=depth)
+        err_ld = float(np.abs(op.compute(x_ld, y_ld).mean(axis=1) - expected).mean())
+        err_rand = float(np.abs(op.compute(x_rand, y_rand).mean(axis=1) - expected).mean())
+        cost = report(components.sync_max(depth))
+        rows.append([depth, err_ld, err_rand, cost.area_um2, cost.power_uw,
+                     cost.energy_pj(256)])
+    print()
+    print(render_table(
+        ["save depth D", "err (LD inputs)", "err (random inputs)",
+         "area um2", "power uW", "energy pJ"],
+        rows, title="SyncMax accuracy-vs-cost (save depth sweep)",
+    ))
+    print("With low-discrepancy (LD) inputs D=1 is already near-exact and")
+    print("deeper FSMs only add stuck-bit bias; with clumpy random streams a")
+    print("little extra depth (D=2) helps before bias wins again. Cost grows")
+    print("linearly with depth either way — the paper's D=1 is the sweet spot.")
+
+
+if __name__ == "__main__":
+    component_landscape()
+    sync_max_pareto()

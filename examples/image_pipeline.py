@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The paper's Section IV case study: Gaussian blur -> Roberts cross.
+
+Runs the tiled SC accelerator in all three variants (no manipulation,
+regeneration, synchronizer) over a synthetic image, prints the Table IV
+style comparison, and renders the edge maps as ASCII art so the quality
+difference is visible without a display.
+
+Run:  python examples/image_pipeline.py [image_size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.pipeline import (
+    AcceleratorConfig,
+    SCAccelerator,
+    blob_image,
+    pipeline_reference,
+)
+
+ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_render(image: np.ndarray, width: int = 48) -> str:
+    """Downsample an image to ASCII art (dark = strong edge)."""
+    h, w = image.shape
+    step = max(1, w // width)
+    rows = []
+    for r in range(0, h, step * 2):  # terminal cells are ~2x taller
+        row = ""
+        for c in range(0, w, step):
+            patch = image[r : r + 2 * step, c : c + step]
+            level = int(round(float(patch.mean()) * (len(ASCII_RAMP) - 1)))
+            row += ASCII_RAMP[level]
+        rows.append(row)
+    return "\n".join(rows)
+
+
+def main(size: int = 48) -> None:
+    image = blob_image(size, blobs=4, seed=21)
+    reference = pipeline_reference(image)
+    print(f"input: {size}x{size} synthetic blob image; "
+          f"reference edge map {reference.shape[0]}x{reference.shape[1]}")
+    print("\nfloating-point reference edges:")
+    print(ascii_render(reference / max(reference.max(), 1e-9)))
+
+    print(f"\n{'variant':16s} {'MAE':>8s} {'area um2':>10s} {'E/frame nJ':>11s} "
+          f"{'E/image nJ':>11s}")
+    peak = max(reference.max(), 1e-9)
+    for variant in ("none", "regeneration", "synchronizer"):
+        acc = SCAccelerator(AcceleratorConfig(variant=variant))
+        result = acc.process(image)
+        print(f"{variant:16s} {result.mean_abs_error:8.4f} "
+              f"{result.area_um2:10.0f} {result.energy_per_frame_nj:11.1f} "
+              f"{result.energy_per_image_nj:11.0f}")
+        if variant in ("none", "synchronizer"):
+            print(f"\n'{variant}' SC edges:")
+            print(ascii_render(np.clip(result.output / peak, 0, 1)))
+            print()
+    print("The no-manipulation variant hallucinates edge energy everywhere")
+    print("(XOR overestimates |a-b| on weakly correlated streams); the")
+    print("synchronizer variant matches regeneration at ~24% less energy.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 48)

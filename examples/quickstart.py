@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Quickstart: stochastic numbers, correlation, and how to manipulate it.
+
+Walks through the paper's core story in five short acts:
+
+1. encode values as bitstreams and do gate-level arithmetic;
+2. see the same AND gate compute three different functions depending on
+   operand correlation (paper Table I);
+3. repair correlation in-stream with the synchronizer / desynchronizer /
+   decorrelator;
+4. use the improved max/min/saturating-add operators (paper Fig. 5);
+5. check what this costs in hardware.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AbsSubtractor,
+    Bitstream,
+    Decorrelator,
+    Desynchronizer,
+    DigitalToStochastic,
+    Multiplier,
+    Synchronizer,
+    SyncMax,
+    scc,
+)
+from repro.hardware import components, report
+from repro.rng import LFSR, Halton, VanDerCorput
+
+
+def act1_encoding():
+    print("=" * 70)
+    print("Act 1 — stochastic numbers")
+    x = Bitstream("01000100")
+    print(f"  {x.to01()} encodes {x.value} (two 1s / eight bits)")
+    d2s = DigitalToStochastic(VanDerCorput(width=8))
+    y = d2s.convert_value(0.75)
+    print(f"  D/S(0.75) through a Van der Corput RNG -> value {y.value}")
+
+
+def act2_correlation_is_function():
+    print("=" * 70)
+    print("Act 2 — one AND gate, three functions (paper Table I)")
+    x = Bitstream("10101010")
+    for label, y in [
+        ("SCC=+1", Bitstream("10111011")),
+        ("SCC=-1", Bitstream("11011101")),
+        ("SCC= 0", Bitstream("11111100")),
+    ]:
+        z = x & y
+        print(
+            f"  {label}: X&Y = {z.to01()}  value={z.value:5.3f}  "
+            f"(px=0.5, py=0.75 in every row; SCC={scc(x.bits, y.bits):+.0f})"
+        )
+    print("  -> min / max(0,x+y-1) / product, chosen purely by correlation")
+
+
+def act3_manipulating_correlation():
+    print("=" * 70)
+    print("Act 3 — manipulating correlation in-stream (paper Fig. 3/4)")
+    x = DigitalToStochastic(VanDerCorput(width=8)).convert_value(0.5)
+    y = DigitalToStochastic(Halton(base=3, width=8)).convert_value(0.75)
+    print(f"  fresh streams:        SCC = {scc(x.bits, y.bits):+.3f}")
+
+    sx, sy = Synchronizer(depth=1).process_pair(x, y)
+    print(f"  after synchronizer:   SCC = {scc(sx.bits, sy.bits):+.3f} "
+          f"(values {sx.value:.3f}, {sy.value:.3f})")
+
+    dx, dy = Desynchronizer(depth=1).process_pair(x, y)
+    print(f"  after desynchronizer: SCC = {scc(dx.bits, dy.bits):+.3f}")
+
+    shared = DigitalToStochastic(VanDerCorput(width=8))
+    cx = shared.convert_value(0.5)
+    cy = DigitalToStochastic(VanDerCorput(width=8)).convert_value(0.75)
+    print(f"  same-RNG streams:     SCC = {scc(cx.bits, cy.bits):+.3f}")
+    deco = Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=4)
+    ux, uy = deco.process_pair(cx, cy)
+    print(f"  after decorrelator:   SCC = {scc(ux.bits, uy.bits):+.3f}")
+
+
+def act4_improved_operators():
+    print("=" * 70)
+    print("Act 4 — improved operators (paper Fig. 5)")
+    x = DigitalToStochastic(VanDerCorput(width=8)).convert_value(0.3)
+    y = DigitalToStochastic(Halton(base=3, width=8)).convert_value(0.8)
+    bare_or = (x | y).value
+    improved = SyncMax().compute(x, y).value
+    print(f"  true max(0.3, 0.8) = 0.8")
+    print(f"  bare OR gate       = {bare_or:.3f}  (overshoots: x+y-xy)")
+    print(f"  synchronizer max   = {improved:.3f}")
+
+    # The subtractor needs SCC=+1; fix it on the fly.
+    sx, sy = Synchronizer().process_pair(x, y)
+    diff = AbsSubtractor().compute(sx, sy)
+    print(f"  |0.3 - 0.8| via synchronized XOR = {diff.value:.3f}")
+
+    product = Multiplier().compute(x, y)
+    print(f"  0.3 * 0.8 via AND (already uncorrelated) = {product.value:.3f}")
+
+
+def act5_hardware_cost():
+    print("=" * 70)
+    print("Act 5 — what does it cost? (65nm-calibrated model)")
+    for name, netlist in [
+        ("OR gate (baseline max)", components.or_gate()),
+        ("synchronizer max", components.sync_max()),
+        ("correlation-agnostic max", components.ca_max()),
+        ("regeneration unit", components.regenerator()),
+    ]:
+        r = report(netlist)
+        print(f"  {name:26s} {r.area_um2:7.2f} um2  {r.power_uw:6.2f} uW  "
+              f"{r.energy_pj(256):8.0f} pJ per 256-cycle op")
+    print("  -> the paper's pitch: sync max is ~5x smaller and ~11x more")
+    print("     energy-efficient than the CA max, at matching accuracy.")
+
+
+if __name__ == "__main__":
+    act1_encoding()
+    act2_correlation_is_function()
+    act3_manipulating_correlation()
+    act4_improved_operators()
+    act5_hardware_cost()

@@ -1,0 +1,159 @@
+"""repro — a reproduction of *Correlation Manipulating Circuits for
+Stochastic Computing* (V. T. Lee, A. Alaghi, L. Ceze — DATE 2018).
+
+The library implements the full stochastic-computing (SC) stack the paper
+builds on and contributes to:
+
+* :mod:`repro.bitstream` — stochastic numbers, batches, encodings, and the
+  SCC correlation metric;
+* :mod:`repro.rng` — LFSR / Van der Corput / Halton / Sobol / counter
+  sequence generators;
+* :mod:`repro.convert` — D/S and S/D converters, APC, regeneration;
+* :mod:`repro.arith` — the Fig. 2 arithmetic circuits and the
+  correlation-agnostic baselines;
+* :mod:`repro.core` — **the paper's contribution**: synchronizer,
+  desynchronizer, decorrelator (+ isolator/TFM baselines) and the improved
+  max / min / saturating-add operators;
+* :mod:`repro.hardware` — a 65nm-calibrated gate-level area/power/energy
+  model standing in for the paper's Synopsys flow;
+* :mod:`repro.pipeline` — the Gaussian-blur -> Roberts-cross image
+  processing case study (Table IV);
+* :mod:`repro.analysis` — experiment harness regenerating every table and
+  figure;
+* :mod:`repro.rtl` — cycle-accurate scalar reference models, trace-
+  equivalence-tested against the vectorised circuits;
+* :mod:`repro.graph` — dataflow graphs with correlation audit and
+  automatic manipulation-circuit insertion;
+* :mod:`repro.apps` — rank-order networks (median filters, bitonic
+  sorters) built from the improved operators;
+* :mod:`repro.faults` — bit-flip injection (SC vs binary error
+  tolerance);
+* :mod:`repro.cli` — ``python -m repro {list,run,all,costs}``.
+
+Quickstart::
+
+    from repro import Bitstream, Synchronizer, scc
+
+    x = Bitstream("10101010")          # 0.5
+    y = Bitstream("11110000")          # 0.5, poorly aligned
+    sx, sy = Synchronizer().process_pair(x, y)
+    print(scc(x.bits, y.bits), "->", scc(sx.bits, sy.bits))
+"""
+
+from .arith import (
+    AbsSubtractor,
+    AndMin,
+    CAAdder,
+    CAMax,
+    CorDiv,
+    Multiplier,
+    OrMax,
+    SaturatingAdder,
+    ScaledAdder,
+)
+from .bitstream import (
+    Bitstream,
+    BitstreamBatch,
+    Encoding,
+    bernoulli_stream,
+    bias,
+    correlated_pair,
+    exact_stream,
+    mean_absolute_error,
+    scc,
+    scc_batch,
+)
+from .convert import (
+    AccumulativeParallelCounter,
+    DigitalToStochastic,
+    Regenerator,
+    StochasticToDigital,
+)
+from .core import (
+    Decorrelator,
+    Desynchronizer,
+    DesyncSaturatingAdder,
+    Isolator,
+    IsolatorPair,
+    PairTransform,
+    SeriesPair,
+    SeriesStream,
+    ShuffleBuffer,
+    StreamTransform,
+    Synchronizer,
+    SyncMax,
+    SyncMin,
+    TFMPair,
+    TrackingForecastMemory,
+)
+from .exceptions import ReproError
+from .faults import fault_sweep, flip_binary_words, flip_bits
+from .graph import AutofixReport, SCGraph, autofix
+from .rng import LFSR, CounterRNG, Halton, Sobol, StreamRNG, SystemRNG, VanDerCorput, make_rng
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # bitstream
+    "Bitstream",
+    "BitstreamBatch",
+    "Encoding",
+    "scc",
+    "scc_batch",
+    "bias",
+    "mean_absolute_error",
+    "exact_stream",
+    "bernoulli_stream",
+    "correlated_pair",
+    # rng
+    "StreamRNG",
+    "LFSR",
+    "VanDerCorput",
+    "Halton",
+    "Sobol",
+    "CounterRNG",
+    "SystemRNG",
+    "make_rng",
+    # convert
+    "DigitalToStochastic",
+    "StochasticToDigital",
+    "AccumulativeParallelCounter",
+    "Regenerator",
+    # arith
+    "Multiplier",
+    "ScaledAdder",
+    "SaturatingAdder",
+    "AbsSubtractor",
+    "CorDiv",
+    "OrMax",
+    "AndMin",
+    "CAAdder",
+    "CAMax",
+    # core (the paper's contribution)
+    "PairTransform",
+    "StreamTransform",
+    "Synchronizer",
+    "Desynchronizer",
+    "ShuffleBuffer",
+    "Decorrelator",
+    "Isolator",
+    "IsolatorPair",
+    "TrackingForecastMemory",
+    "TFMPair",
+    "SeriesPair",
+    "SeriesStream",
+    "SyncMax",
+    "SyncMin",
+    "DesyncSaturatingAdder",
+    # graph layer
+    "SCGraph",
+    "autofix",
+    "AutofixReport",
+    # fault injection
+    "flip_bits",
+    "flip_binary_words",
+    "fault_sweep",
+    # errors
+    "ReproError",
+]

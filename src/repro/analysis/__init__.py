@@ -1,0 +1,60 @@
+"""Experiment harness: sweeps, table rendering, and the per-table/figure
+experiment registry that regenerates the paper's evaluation."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    ablation_buffer_depth,
+    ablation_composition,
+    ablation_save_depth,
+    claims,
+    fault_tolerance,
+    fig1,
+    fig2,
+    power_breakdown,
+    propagation,
+    run_experiment,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from .propagation_study import PropagationEntry, correlation_propagation
+from .sweeps import (
+    PairSweepResult,
+    exhaustive_levels,
+    generate_level_batch,
+    generate_pair_batch,
+    measure_pair_transform,
+    pair_levels,
+)
+from .tables import format_number, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+    "table1",
+    "fig1",
+    "fig2",
+    "table2",
+    "table3",
+    "table4",
+    "claims",
+    "ablation_save_depth",
+    "ablation_composition",
+    "ablation_buffer_depth",
+    "fault_tolerance",
+    "propagation",
+    "power_breakdown",
+    "PropagationEntry",
+    "correlation_propagation",
+    "PairSweepResult",
+    "exhaustive_levels",
+    "pair_levels",
+    "generate_level_batch",
+    "generate_pair_batch",
+    "measure_pair_transform",
+    "render_table",
+    "format_number",
+]

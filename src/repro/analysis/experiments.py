@@ -1,0 +1,695 @@
+"""Experiment registry: one function per table/figure in the paper.
+
+Every function returns an :class:`ExperimentResult` whose rows interleave
+*measured* values with the *paper's published* values, so the benchmark
+harness and EXPERIMENTS.md can show them side by side. Keyword arguments
+(`step`, `image_size`) trade sweep resolution for runtime; the defaults
+reproduce the paper's exhaustive settings, tests use coarser grids.
+
+Index (see DESIGN.md section 4):
+
+=============  ========================================================
+``table1``     AND-gate functions vs. input correlation
+``fig1``       worked multiply / scaled-add examples
+``fig2``       per-operator accuracy under required vs. wrong correlation
+``table2``     SCC before/after the correlation manipulating circuits
+``table3``     max/min designs: error, bias, area, power, energy
+``table4``     image pipeline: error, area, energy per variant
+``claims``     the prose claims (5.6x/10.7x, 5.2x/11.6x, 3.0x, 24%, 2x)
+``ablation_*`` save depth / composition / buffer depth studies
+=============  ========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..arith import AndMin, CAMax, CorDiv, Multiplier, OrMax, ScaledAdder
+from ..bitstream import Bitstream, scc
+from ..core import (
+    Decorrelator,
+    Desynchronizer,
+    IsolatorPair,
+    SeriesPair,
+    Synchronizer,
+    SyncMax,
+    SyncMin,
+    TFMPair,
+)
+from ..hardware import components, report
+from ..pipeline import AcceleratorConfig, SCAccelerator, standard_test_images
+from ..rng import LFSR, make_rng
+from .sweeps import generate_level_batch, measure_pair_transform, pair_levels
+from .tables import render_table
+
+__all__ = [
+    "ExperimentResult",
+    "table1",
+    "fig1",
+    "fig2",
+    "table2",
+    "table3",
+    "table4",
+    "claims",
+    "ablation_save_depth",
+    "ablation_composition",
+    "ablation_buffer_depth",
+    "fault_tolerance",
+    "propagation",
+    "power_breakdown",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure with measured and published values."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[list]
+    notes: str = ""
+    checks: Dict[str, bool] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        text = render_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + self.notes
+        if self.checks:
+            status = ", ".join(f"{k}={'PASS' if v else 'FAIL'}" for k, v in self.checks.items())
+            text += f"\nshape checks: {status}"
+        return text
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+
+# ---------------------------------------------------------------------- #
+# Table I — AND-gate functions vs. correlation
+# ---------------------------------------------------------------------- #
+
+def table1() -> ExperimentResult:
+    """The paper's literal Table I plus an exhaustive verification sweep."""
+    x = Bitstream("10101010")
+    cases = [
+        ("positive", Bitstream("10111011"), "min(px,py)", 0.5),
+        ("negative", Bitstream("11011101"), "max(0,px+py-1)", 0.25),
+        ("uncorrelated", Bitstream("11111100"), "px*py", 0.375),
+    ]
+    rows = []
+    ok = True
+    for label, y, function, expected in cases:
+        z = x & y
+        rows.append(
+            [label, x.to01(), y.to01(), z.to01(), function, expected, z.value,
+             round(scc(x.bits, y.bits), 3)]
+        )
+        ok = ok and z.value == expected
+    notes = (
+        "AND output realises three different functions depending only on the\n"
+        "input correlation (values identical in all rows: px=0.5, py=0.75)."
+    )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Table I — functions implemented by a two-input AND gate",
+        headers=["correlation", "X", "Y", "X&Y", "function", "paper", "measured", "SCC"],
+        rows=rows,
+        notes=notes,
+        checks={"literal_examples_exact": ok},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 1 — worked multiply / scaled-add examples
+# ---------------------------------------------------------------------- #
+
+def fig1() -> ExperimentResult:
+    """The paper's Fig. 1 worked examples, reproduced bit for bit."""
+    mul_x = Bitstream("01010101")
+    mul_y = Bitstream("00111111")
+    product = Multiplier().compute(mul_x, mul_y)
+
+    add_x = Bitstream("01110111")
+    add_y = Bitstream("11000000")
+    add_r = Bitstream("10100110")
+    total = ScaledAdder().compute(add_x, add_y, select=add_r)
+
+    rows = [
+        ["multiply (a)", mul_x.value, mul_y.value, product.value, 0.375],
+        ["scaled add (b)", add_x.value, add_y.value, total.value, 0.5],
+    ]
+    checks = {
+        "multiply_exact": product.value == 0.375,
+        "add_exact": total.value == 0.5,
+    }
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Fig. 1 — example SC multiplication and addition",
+        headers=["operation", "px", "py", "measured pz", "paper pz"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 2 — operator accuracy under required vs. wrong correlation
+# ---------------------------------------------------------------------- #
+
+def fig2(n: int = 256, step: int = 4) -> ExperimentResult:
+    """Every Fig. 2 operator, right-correlation MAE vs. wrong-correlation.
+
+    "Right" and "wrong" operand correlations are produced the hardware way:
+    shared RNG sequence (SCC=+1), complemented comparator (SCC=-1), or
+    independent low-discrepancy RNGs (SCC~0).
+    """
+    xs, ys = pair_levels(n, step)
+    px, py = xs / n, ys / n
+    vdc = lambda: make_rng("vdc")  # noqa: E731
+    hal = lambda: make_rng("halton3")  # noqa: E731
+
+    x_u = generate_level_batch(xs, vdc(), n)
+    y_u = generate_level_batch(ys, hal(), n)           # uncorrelated with x_u
+    y_p = generate_level_batch(ys, vdc(), n)           # shared sequence: SCC=+1
+    seq = vdc().sequence(n)
+    y_n = (ys[:, None] > (n - 1 - seq[None, :])).astype(np.uint8)  # complemented: SCC=-1
+
+    def mae(bits, expected):
+        return float(np.abs(bits.mean(axis=1) - expected).mean())
+
+    rows = []
+    # (a) scaled add: select must be uncorrelated with data.
+    sel_good = generate_level_batch(np.full(1, n // 2), make_rng("halton5"), n)
+    sel_bad = generate_level_batch(np.full(1, n // 2), vdc(), n)  # = X's RNG
+    expected = 0.5 * (px + py)
+    rows.append(["(a) add (MUX)", "select uncorr",
+                 mae(np.where(sel_good == 1, y_u, x_u), expected),
+                 mae(np.where(sel_bad == 1, y_u, x_u), expected)])
+    # (b) saturating add: needs SCC=-1.
+    expected = np.minimum(1.0, px + py)
+    rows.append(["(b) saturating add (OR)", "SCC=-1",
+                 mae(x_u | y_n, expected), mae(x_u | y_p, expected)])
+    # (c) subtract: needs SCC=+1.
+    expected = np.abs(px - py)
+    rows.append(["(c) subtract (XOR)", "SCC=+1",
+                 mae(x_u ^ y_p, expected), mae(x_u ^ y_u, expected)])
+    # (d) multiply: needs SCC=0.
+    expected = px * py
+    rows.append(["(d) multiply (AND)", "SCC=0",
+                 mae(x_u & y_u, expected), mae(x_u & y_p, expected)])
+    # (e) divide: needs SCC=+1 (evaluated where px <= py, py > 0).
+    div = CorDiv()
+    mask = (xs <= ys) & (ys > 0)
+    expected = np.where(ys > 0, xs / np.maximum(ys, 1), 0.0)[mask]
+    good = div.compute(x_u[mask], y_p[mask]).mean(axis=1)
+    bad = div.compute(x_u[mask], y_u[mask]).mean(axis=1)
+    rows.append(["(e) divide (CORDIV)", "SCC=+1",
+                 float(np.abs(good - expected).mean()),
+                 float(np.abs(bad - expected).mean())])
+
+    checks = {f"row{i}_right_better": row[2] < row[3] for i, row in enumerate(rows)}
+    notes = (
+        "Each operator is accurate under its required operand correlation and\n"
+        "degrades under the wrong one — the premise of the paper (Fig. 2 row\n"
+        "'Operand Correlation')."
+    )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Fig. 2 — correlation-sensitive SC operators (mean absolute error)",
+        headers=["operator", "requirement", "MAE (required corr.)", "MAE (wrong corr.)"],
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Table II — SCC before/after the correlation manipulating circuits
+# ---------------------------------------------------------------------- #
+
+_TABLE2_PAPER = {
+    ("synchronizer", "vdc", "halton3"): (-0.048, 0.996, -0.001, -0.002),
+    ("synchronizer", "lfsr", "vdc"): (-0.062, 0.903, -0.002, -0.001),
+    ("synchronizer", "halton3", "halton3"): (0.984, 0.992, -0.002, -0.002),
+    ("desynchronizer", "vdc", "halton3"): (-0.048, -0.981, -0.002, 0.0),
+    ("desynchronizer", "lfsr", "vdc"): (-0.062, -0.788, -0.002, 0.0),
+    ("desynchronizer", "halton3", "halton3"): (0.984, -0.930, -0.003, 0.0),
+    ("decorrelator", "lfsr", "lfsr"): (0.992, 0.249, 0.000, -0.004),
+    ("decorrelator", "vdc", "vdc"): (0.992, 0.168, 0.001, 0.003),
+    ("decorrelator", "halton3", "halton3"): (0.984, 0.067, 0.001, 0.002),
+    ("isolator", "lfsr", "lfsr"): (0.992, 0.600, -0.002, 0.000),
+    ("isolator", "vdc", "vdc"): (0.992, -0.637, -0.004, 0.000),
+    ("isolator", "halton3", "halton3"): (0.984, -0.353, 0.002, 0.000),
+    ("tfm", "lfsr", "lfsr"): (0.992, 0.654, -0.014, -0.051),
+    ("tfm", "vdc", "vdc"): (0.992, 0.779, 0.246, 0.363),
+    ("tfm", "halton3", "halton3"): (0.984, 0.353, -0.005, -0.007),
+}
+
+
+def _table2_transform(design: str):
+    """Fresh transform instance per measurement (FSMs hold no state across
+    calls, but aux-RNG-bearing designs must be rebuilt to replay)."""
+    if design == "synchronizer":
+        return Synchronizer(depth=1)
+    if design == "desynchronizer":
+        return Desynchronizer(depth=1)
+    if design == "decorrelator":
+        return Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=4)
+    if design == "isolator":
+        return IsolatorPair(delay=1)
+    if design == "tfm":
+        return TFMPair(LFSR(8, seed=77))  # shared aux RNG (see TFMPair docs)
+    raise ValueError(f"unknown Table II design {design!r}")
+
+
+def table2(n: int = 256, step: int = 1) -> ExperimentResult:
+    """SCC before/after each circuit for the paper's RNG configurations."""
+    rows = []
+    checks: Dict[str, bool] = {}
+    decorrelator_scc: Dict[str, float] = {}
+    for (design, rng_x, rng_y), paper in _TABLE2_PAPER.items():
+        result = measure_pair_transform(
+            _table2_transform(design), rng_x, rng_y, n=n, step=step, design_name=design
+        )
+        rows.append(
+            [design, rng_x, rng_y,
+             round(result.input_scc, 3), round(result.output_scc, 3),
+             round(result.bias_x, 3), round(result.bias_y, 3),
+             paper[0], paper[1]]
+        )
+        key = f"{design}/{rng_x}+{rng_y}"
+        if design == "synchronizer":
+            # Config-aware threshold: within 0.12 of the published value
+            # (the LFSR configuration is genuinely weaker, as in the paper).
+            checks[key] = result.output_scc > paper[1] - 0.12
+        elif design == "desynchronizer":
+            checks[key] = result.output_scc < paper[1] + 0.12
+        elif design == "decorrelator":
+            decorrelator_scc[rng_x] = result.output_scc
+            checks[key] = abs(result.output_scc) < 0.45 and abs(result.bias_x) < 0.01
+        elif design == "isolator":
+            checks[key] = abs(result.output_scc) < abs(result.input_scc)
+        else:
+            # The paper's comparative claim: the TFM is a *worse*
+            # decorrelator than the shuffle-buffer design — it leaves the
+            # pair substantially more correlated.
+            checks[key] = result.output_scc > decorrelator_scc.get(rng_x, 0.0) + 0.1
+    notes = (
+        "Shape targets: synchronizer -> SCC ~ +1, desynchronizer -> SCC ~ -1,\n"
+        "decorrelator -> SCC ~ 0 with tiny bias; isolator erratic; TFM weaker\n"
+        "than the decorrelator. Paper columns are the published values."
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title=f"Table II — average SCC before/after (N={n}, level step={step})",
+        headers=["design", "X RNG", "Y RNG", "in SCC", "out SCC",
+                 "X' bias", "Y' bias", "paper in", "paper out"],
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Table III — max/min designs
+# ---------------------------------------------------------------------- #
+
+_TABLE3_PAPER = {
+    "OR max": (0.087, 0.087, 2.16, 0.26, 165),
+    "CA max": (0.006, 0.001, 252.36, 56.7, 36288),
+    "Sync max": (0.003, 0.003, 48.6, 4.89, 3130),
+    "AND min": (0.082, -0.082, 2.16, 0.25, 158),
+    "Sync min": (0.005, 0.005, 45.0, 8.38, 5363),
+}
+
+
+def table3(n: int = 256, step: int = 1) -> ExperimentResult:
+    """Accuracy + hardware cost of the max/min designs (VDC x Halton-3
+    exhaustive inputs, the paper's Table III protocol)."""
+    xs, ys = pair_levels(n, step)
+    x = generate_level_batch(xs, make_rng("vdc"), n)
+    y = generate_level_batch(ys, make_rng("halton3"), n)
+    exp_max = np.maximum(xs, ys) / n
+    exp_min = np.minimum(xs, ys) / n
+
+    designs = [
+        ("OR max", OrMax(), exp_max, components.or_gate()),
+        ("CA max", CAMax(counter_bits=6), exp_max, components.ca_max()),
+        ("Sync max", SyncMax(depth=1), exp_max, components.sync_max()),
+        ("AND min", AndMin(), exp_min, components.and_gate()),
+        ("Sync min", SyncMin(depth=1), exp_min, components.sync_min()),
+    ]
+    rows = []
+    measured: Dict[str, tuple] = {}
+    for name, op, expected, netlist in designs:
+        values = op.compute(x, y).mean(axis=1)
+        abs_err = float(np.abs(values - expected).mean())
+        avg_bias = float((values - expected).mean())
+        cost = report(netlist)
+        energy = cost.energy_pj(n)
+        paper = _TABLE3_PAPER[name]
+        rows.append([name, abs_err, avg_bias, cost.area_um2, cost.power_uw, energy,
+                     paper[0], paper[2], paper[4]])
+        measured[name] = (abs_err, cost.area_um2, energy)
+
+    checks = {
+        "sync_max_beats_or": measured["Sync max"][0] < measured["OR max"][0] / 5,
+        "sync_min_beats_and": measured["Sync min"][0] < measured["AND min"][0] / 5,
+        "sync_max_smaller_than_ca": measured["Sync max"][1] * 3 < measured["CA max"][1],
+        "sync_max_lower_energy_than_ca": measured["Sync max"][2] * 5 < measured["CA max"][2],
+    }
+    notes = (
+        "Headline shape: the synchronizer-based designs are ~an order of\n"
+        "magnitude more accurate than bare gates, and several times smaller\n"
+        "and more energy efficient than the correlation-agnostic max."
+    )
+    return ExperimentResult(
+        experiment_id="table3",
+        title=f"Table III — SC maximum/minimum designs (N={n}, level step={step})",
+        headers=["design", "abs err", "avg bias", "area um2", "power uW",
+                 "energy pJ", "paper err", "paper area", "paper E"],
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Table IV — image pipeline
+# ---------------------------------------------------------------------- #
+
+_TABLE4_PAPER = {
+    "none": (0.076, 24313, 1383),
+    "regeneration": (0.019, 34802, 1971),
+    "synchronizer": (0.020, 36202, 1505),
+}
+
+
+def table4(image_size: int = 32, stream_length: int = 256) -> ExperimentResult:
+    """The GB -> ED accelerator: quality, area, energy per variant,
+    averaged over the standard synthetic image set."""
+    images = standard_test_images(image_size)
+    rows = [["floating point", 0.0, None, None, 0.0, None, None]]
+    results = {}
+    for variant in ("none", "regeneration", "synchronizer"):
+        acc = SCAccelerator(
+            AcceleratorConfig(variant=variant, stream_length=stream_length)
+        )
+        maes = []
+        last = None
+        for image in images.values():
+            last = acc.process(image)
+            maes.append(last.mean_abs_error)
+        mean_mae = float(np.mean(maes))
+        results[variant] = (mean_mae, last.area_um2, last.energy_per_frame_nj)
+        paper = _TABLE4_PAPER[variant]
+        rows.append([f"SC {variant}", mean_mae, last.area_um2,
+                     last.energy_per_frame_nj, paper[0], paper[1], paper[2]])
+
+    checks = {
+        "manipulation_improves_quality": results["synchronizer"][0] < results["none"][0] / 2
+        and results["regeneration"][0] < results["none"][0] / 2,
+        "sync_cheaper_energy_than_regen": results["synchronizer"][2] < results["regeneration"][2],
+        "regen_and_sync_comparable_quality": results["synchronizer"][0] < 3 * results["regeneration"][0],
+    }
+    saving = 1 - results["synchronizer"][2] / results["regeneration"][2]
+    notes = (
+        f"Energy saving of the synchronizer design vs regeneration: "
+        f"{saving:.1%} (paper: 24%).\n"
+        "'Frame' = one tile-engine pass of N cycles (the granularity at which\n"
+        "the paper's nJ/frame values are self-consistent); image energy scales\n"
+        "with the tile count. MAE averaged over 4 synthetic test images."
+    )
+    return ExperimentResult(
+        experiment_id="table4",
+        title=f"Table IV — GB->ED accelerator ({image_size}x{image_size} images, N={stream_length})",
+        headers=["design", "abs err", "area um2", "E/frame nJ",
+                 "paper err", "paper area", "paper E"],
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Prose claims
+# ---------------------------------------------------------------------- #
+
+def claims() -> ExperimentResult:
+    """The paper's headline prose claims, recomputed from our models."""
+    ca_add = report(components.ca_adder())
+    mux_add = report(components.mux_adder())
+    ca_max_cost = report(components.ca_max())
+    sync_max_cost = report(components.sync_max())
+
+    regen_acc = SCAccelerator(AcceleratorConfig(variant="regeneration"))
+    sync_acc = SCAccelerator(AcceleratorConfig(variant="synchronizer"))
+    manip_ratio = regen_acc.manipulation_power_uw() / sync_acc.manipulation_power_uw()
+    regen_power = sum(v[1] for v in regen_acc.cost_breakdown().values())
+    sync_power = sum(v[1] for v in sync_acc.cost_breakdown().values())
+    saving = 1 - sync_power / regen_power
+    n_sync = 2 * regen_acc.config.output_tile**2
+    n_regen_converters = 2 * regen_acc.config.blur_tile**2  # S/D + D/S each
+
+    rows = [
+        ["CA adder area vs MUX adder", ca_add.area_um2 / mux_add.area_um2, 5.6],
+        ["CA adder power vs MUX adder", ca_add.power_uw / mux_add.power_uw, 10.7],
+        ["CA max area vs Sync max", ca_max_cost.area_um2 / sync_max_cost.area_um2, 5.2],
+        ["CA max energy vs Sync max", ca_max_cost.energy_pj(256) / sync_max_cost.energy_pj(256), 11.6],
+        ["manipulation energy: regen vs sync", manip_ratio, 3.0],
+        ["total accelerator energy saving (sync vs regen)", saving, 0.24],
+        ["sync instances / regen converter instances", n_sync / n_regen_converters, 2.0],
+    ]
+    checks = {
+        "ca_adder_much_larger": rows[0][1] > 3,
+        "ca_adder_much_hungrier": rows[1][1] > 5,
+        "ca_max_larger_than_sync": rows[2][1] > 3,
+        "ca_max_energy_vs_sync": rows[3][1] > 5,
+        "manip_ratio_near_3x": 2.0 < rows[4][1] < 4.5,
+        "saving_near_24pct": 0.15 < rows[5][1] < 0.35,
+    }
+    return ExperimentResult(
+        experiment_id="claims",
+        title="Prose claims — measured vs paper",
+        headers=["claim", "measured", "paper"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Ablations (paper Sections III-B / III-C)
+# ---------------------------------------------------------------------- #
+
+def ablation_save_depth(n: int = 256, step: int = 4, depths=(1, 2, 4, 8)) -> ExperimentResult:
+    """Deeper FSMs: stronger correlation but more hardware (III-B)."""
+    rows = []
+    for depth in depths:
+        sync = measure_pair_transform(Synchronizer(depth=depth), "lfsr", "vdc", n=n, step=step)
+        desync = measure_pair_transform(Desynchronizer(depth=depth), "lfsr", "vdc", n=n, step=step)
+        sync_cost = report(components.synchronizer(depth))
+        rows.append([depth, round(sync.output_scc, 3), round(sync.bias_x, 4),
+                     round(desync.output_scc, 3), round(desync.bias_x, 4),
+                     sync_cost.area_um2, sync_cost.power_uw])
+    sccs = [row[1] for row in rows]
+    areas = [row[5] for row in rows]
+    checks = {
+        "deeper_is_more_correlated": all(b >= a - 0.005 for a, b in zip(sccs, sccs[1:])),
+        "deeper_is_bigger": all(b > a for a, b in zip(areas, areas[1:])),
+    }
+    return ExperimentResult(
+        experiment_id="ablation_save_depth",
+        title=f"Ablation — FSM save depth D (LFSR+VDC inputs, N={n})",
+        headers=["D", "sync out SCC", "sync bias", "desync out SCC",
+                 "desync bias", "sync area um2", "sync power uW"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def ablation_composition(n: int = 256, step: int = 4, stages=(1, 2, 3, 4)) -> ExperimentResult:
+    """Series composition of D=1 FSMs (III-B): diminishing returns toward
+    maximal correlation, with compounding bias."""
+    rows = []
+    for k in stages:
+        sync = SeriesPair([Synchronizer(depth=1) for _ in range(k)])
+        result = measure_pair_transform(sync, "lfsr", "vdc", n=n, step=step,
+                                        design_name=f"sync x{k}")
+        rows.append([k, round(result.input_scc, 3), round(result.output_scc, 3),
+                     round(result.bias_x, 4), round(result.bias_y, 4)])
+    sccs = [row[2] for row in rows]
+    checks = {
+        "composition_improves_scc": sccs[-1] > sccs[0],
+        "monotone_within_tolerance": all(b >= a - 0.01 for a, b in zip(sccs, sccs[1:])),
+    }
+    return ExperimentResult(
+        experiment_id="ablation_composition",
+        title=f"Ablation — series composition of D=1 synchronizers (N={n})",
+        headers=["stages", "in SCC", "out SCC", "bias X", "bias Y"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def ablation_buffer_depth(n: int = 256, step: int = 4, depths=(2, 4, 8, 16)) -> ExperimentResult:
+    """Decorrelator shuffle-buffer depth and init policy (III-C)."""
+    rows = []
+    for depth in depths:
+        for init in ("half_ones", "zeros"):
+            deco = Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=depth, init=init)
+            result = measure_pair_transform(deco, "lfsr", "lfsr", n=n, step=step,
+                                            design_name=f"decorr D={depth} {init}")
+            rows.append([depth, init, round(result.input_scc, 3),
+                         round(result.output_scc, 3), round(result.bias_x, 4),
+                         round(result.bias_y, 4)])
+    half_rows = [r for r in rows if r[1] == "half_ones"]
+    zero_rows = [r for r in rows if r[1] == "zeros"]
+    checks = {
+        "deeper_decorrelates_more": abs(half_rows[-1][3]) < abs(half_rows[0][3]),
+        "half_ones_less_biased": np.mean([abs(r[4]) + abs(r[5]) for r in half_rows])
+        <= np.mean([abs(r[4]) + abs(r[5]) for r in zero_rows]) + 1e-9,
+    }
+    return ExperimentResult(
+        experiment_id="ablation_buffer_depth",
+        title=f"Ablation — shuffle buffer depth / init (LFSR+LFSR inputs, N={n})",
+        headers=["D", "init", "in SCC", "out SCC", "bias X", "bias Y"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def fault_tolerance(
+    rates=(0.0, 0.001, 0.005, 0.01, 0.05, 0.1), trials: int = 256
+) -> ExperimentResult:
+    """SC vs binary error tolerance under bit flips (the paper's intro
+    claim: "improved error tolerance")."""
+    from ..faults import fault_sweep
+
+    points = fault_sweep(rates=rates, trials=trials, seed=7)
+    rows = [p.as_row() for p in points]
+    nonzero = [p for p in points if p.rate > 0]
+    checks = {
+        "sc_beats_binary_at_every_rate": all(
+            p.sc_value_error < p.be_value_error for p in nonzero
+        ),
+        "graceful_degradation": all(
+            b.sc_value_error >= a.sc_value_error - 1e-9
+            for a, b in zip(points, points[1:])
+        ),
+    }
+    notes = (
+        "Equal per-bit fault rates hit both representations; SC loses at most\n"
+        "1/N of value per flip while a binary MSB flip is worth half scale."
+    )
+    return ExperimentResult(
+        experiment_id="fault_tolerance",
+        title="Error tolerance — SC stream vs binary word under bit flips",
+        headers=["fault rate", "SC value err", "BE value err", "SC multiply err"],
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )
+
+
+def propagation(n: int = 256, step: int = 4) -> ExperimentResult:
+    """Correlation propagation through each gate — the open question the
+    paper raises in Section II-B, measured."""
+    from .propagation_study import correlation_propagation
+
+    entries = correlation_propagation(n=n, step=step)
+    rows = [e.as_row() for e in entries]
+    by_gate = {e.gate.split()[0]: e for e in entries}
+    checks = {
+        # XOR against a correlated operand decorrelates the output most;
+        # AND/OR retain a substantial share; MUX retains about half (it
+        # passes A's bits half the time).
+        "xor_decorrelates_most": abs(by_gate["XOR"].retention)
+        < min(abs(by_gate["AND"].retention), abs(by_gate["OR"].retention)),
+        "and_or_retain_correlation": by_gate["AND"].retention > 0.3
+        and by_gate["OR"].retention > 0.3,
+        "mux_retains_about_half": 0.25 < by_gate["MUX"].retention < 0.8,
+    }
+    notes = (
+        "Setup: SCC(A, C) ~ +1 (shared RNG), B independent; rows report how\n"
+        "much of A's correlation with the rest of the computation survives\n"
+        "out = gate(A, B) — the data needed to place manipulation circuits."
+    )
+    return ExperimentResult(
+        experiment_id="propagation",
+        title=f"Correlation propagation through SC operators (N={n})",
+        headers=["gate", "SCC(A,C)", "SCC(B,C)", "SCC(out,C)", "retention"],
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )
+
+
+def power_breakdown() -> ExperimentResult:
+    """Section IV-B's per-block power break down for the accelerator
+    variants (converters / kernels / RNGs / manipulation)."""
+    rows = []
+    variants = {}
+    for variant in ("none", "regeneration", "synchronizer"):
+        acc = SCAccelerator(AcceleratorConfig(variant=variant))
+        blocks = acc.cost_breakdown()
+        total = sum(v[1] for v in blocks.values())
+        manip = acc.manipulation_power_uw()
+        variants[variant] = (total, manip)
+        for block, (area, power) in blocks.items():
+            rows.append([variant, block, round(area, 1), round(power, 1),
+                         f"{power / total:.1%}"])
+        rows.append([variant, "TOTAL", round(acc.netlist().area_um2, 1),
+                     round(total, 1), "100%"])
+    checks = {
+        "regen_manipulation_dominates": variants["regeneration"][1]
+        > 0.25 * variants["regeneration"][0],
+        "sync_manipulation_is_light": variants["synchronizer"][1]
+        < 0.25 * variants["synchronizer"][0],
+        "manip_ratio_about_3x": 2.0
+        < variants["regeneration"][1] / variants["synchronizer"][1] < 4.5,
+    }
+    notes = (
+        "The paper aggregates 'the costs associated only with correlation\n"
+        "manipulation' from this breakdown; regeneration's share is ~3x the\n"
+        "synchronizers' (Section IV-B)."
+    )
+    return ExperimentResult(
+        experiment_id="power_breakdown",
+        title="Accelerator power breakdown by block (Section IV-B)",
+        headers=["variant", "block", "area um2", "power uW", "share"],
+        rows=rows,
+        notes=notes,
+        checks=checks,
+    )
+
+
+ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1,
+    "fig1": fig1,
+    "fig2": fig2,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "claims": claims,
+    "ablation_save_depth": ablation_save_depth,
+    "ablation_composition": ablation_composition,
+    "ablation_buffer_depth": ablation_buffer_depth,
+    "fault_tolerance": fault_tolerance,
+    "propagation": propagation,
+    "power_breakdown": power_breakdown,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    if experiment_id not in ALL_EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {', '.join(ALL_EXPERIMENTS)}"
+        )
+    return ALL_EXPERIMENTS[experiment_id](**kwargs)

@@ -1,0 +1,94 @@
+"""Correlation propagation through SC operators.
+
+The paper motivates its circuits with an open problem (Section II-B):
+"the quantitative impact of how each SC arithmetic operation changes the
+SN correlation with respect to other SNs is not well-understood. As a
+result, it is sometimes difficult or impractical to completely guarantee
+correlated or uncorrelated input SNs across many operations."
+
+This module measures that impact empirically: for each gate ``op`` and a
+reference stream C with a controlled relationship to the operands, it
+sweeps exhaustive operand values and reports ``SCC(op(A, B), C)`` as a
+function of ``SCC(A, C)``. The resulting table quantifies how much of A's
+correlation to the rest of the computation survives each operator — the
+data a designer needs to decide *where* manipulation circuits must go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..bitstream.metrics import scc_batch
+from ..rng import make_rng
+from .sweeps import generate_level_batch, pair_levels
+
+__all__ = ["PropagationEntry", "correlation_propagation"]
+
+_GATES: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "AND (multiply)": lambda a, b: a & b,
+    "OR (sat add)": lambda a, b: a | b,
+    "XOR (subtract)": lambda a, b: a ^ b,
+    "MUX (scaled add)": None,  # handled specially (needs a select stream)
+}
+
+
+@dataclass(frozen=True)
+class PropagationEntry:
+    """Input-vs-output correlation of one gate against a reference stream."""
+
+    gate: str
+    scc_a_c: float       # operand A's correlation with the reference C
+    scc_b_c: float       # operand B's correlation with the reference C
+    scc_out_c: float     # output's correlation with the reference C
+    retention: float     # scc_out_c / scc_a_c (how much of A's SCC survives)
+
+    def as_row(self) -> list:
+        return [
+            self.gate,
+            round(self.scc_a_c, 3),
+            round(self.scc_b_c, 3),
+            round(self.scc_out_c, 3),
+            round(self.retention, 3),
+        ]
+
+
+def correlation_propagation(n: int = 256, step: int = 4) -> List[PropagationEntry]:
+    """Measure SCC propagation through each gate.
+
+    Setup: A and C share an RNG (SCC(A, C) ~ +1), B is independent of
+    both. The question each row answers: after ``out = gate(A, B)``, how
+    correlated is ``out`` with C still?
+    """
+    xs, ys = pair_levels(n, step)
+    a = generate_level_batch(xs, make_rng("vdc"), n)
+    b = generate_level_batch(ys, make_rng("halton3"), n)
+    # Reference stream: mid-value stream from A's RNG -> SCC(A, C) ~ +1.
+    c_row = generate_level_batch(np.array([n // 2]), make_rng("vdc"), n)
+    c = np.broadcast_to(c_row, a.shape)
+
+    select_rng = make_rng("halton5")
+    select = (select_rng.sequence(n) < select_rng.modulus // 2).astype(np.uint8)
+
+    entries: List[PropagationEntry] = []
+    scc_ac = float(scc_batch(a, c).mean())
+    scc_bc = float(scc_batch(b, c).mean())
+    for gate, fn in _GATES.items():
+        if fn is None:
+            out = np.where(select[None, :] == 1, b, a).astype(np.uint8)
+        else:
+            out = fn(a, b)
+        scc_oc = float(scc_batch(out, c).mean())
+        retention = scc_oc / scc_ac if scc_ac else 0.0
+        entries.append(
+            PropagationEntry(
+                gate=gate,
+                scc_a_c=scc_ac,
+                scc_b_c=scc_bc,
+                scc_out_c=scc_oc,
+                retention=retention,
+            )
+        )
+    return entries

@@ -1,0 +1,57 @@
+"""ASCII table rendering for experiment results.
+
+The benchmark harness prints tables shaped like the paper's so measured
+and published numbers can be eyeballed side by side; EXPERIMENTS.md is
+generated from the same renderer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table", "format_number"]
+
+
+def format_number(value, *, digits: int = 3) -> str:
+    """Compact numeric formatting: ints stay ints, floats get ``digits``."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000:
+            return f"{value:,.0f}"
+        return f"{value:.{digits}g}" if abs(value) < 0.001 else f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: Optional[str] = None,
+    digits: int = 3,
+) -> str:
+    """Render a fixed-width ASCII table with a header rule."""
+    text_rows: List[List[str]] = [
+        [format_number(cell, digits=digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Application layer: rank-order networks built on the paper's operators.
+
+Sorting and median filtering lift onto SC via compare-exchange networks in
+which every stage is one synchronizer-based {min, max} pair (Fig. 5)."""
+
+from .networks import (
+    CompareExchangeNetwork,
+    bitonic_network,
+    median5_network,
+    median9_network,
+)
+
+__all__ = [
+    "CompareExchangeNetwork",
+    "median9_network",
+    "median5_network",
+    "bitonic_network",
+]

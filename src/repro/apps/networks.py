@@ -1,0 +1,193 @@
+"""Compare-exchange networks over stochastic numbers.
+
+Sorting and rank-order filtering are the showcase applications for
+accurate SC min/max (the paper's Fig. 5 operators): a compare-exchange
+(CE) is exactly one ``{min, max}`` pair, so any sorting network lifts
+directly to the SC domain. This module provides:
+
+* :class:`CompareExchangeNetwork` — run any CE schedule with pluggable
+  min/max ops (gate-only baselines or the synchronizer-based designs);
+* :func:`median9_network` / :func:`median5_network` — the classic
+  fixed-depth median networks;
+* :func:`bitonic_network` — a full bitonic sorter for power-of-two widths;
+* hardware costing of a network instance.
+
+The float-reference path (:meth:`CompareExchangeNetwork.apply_values`)
+runs the same schedule on plain numbers, so tests can verify that a
+schedule really sorts / selects the median before trusting it on streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..arith.maxmin import AndMin, OrMax
+from ..core.improved_ops import SyncMax, SyncMin
+from ..exceptions import CircuitConfigurationError
+from ..hardware import Netlist, components
+
+__all__ = [
+    "CompareExchangeNetwork",
+    "median9_network",
+    "median5_network",
+    "bitonic_network",
+]
+
+Schedule = List[Tuple[int, int]]
+
+# The classic fixed 19-CE median-of-9 schedule (median lands at slot 4).
+_MEDIAN9: Schedule = [
+    (0, 1), (3, 4), (6, 7),
+    (1, 2), (4, 5), (7, 8),
+    (0, 1), (3, 4), (6, 7),
+    (0, 3), (5, 8), (4, 7),
+    (3, 6), (1, 4), (2, 5),
+    (4, 7), (4, 2), (6, 4),
+    (4, 2),
+]
+
+# 7-CE median-of-5 (median lands at slot 2).
+_MEDIAN5: Schedule = [
+    (0, 1), (3, 4), (0, 3), (1, 4), (1, 2), (2, 3), (1, 2),
+]
+
+
+class CompareExchangeNetwork:
+    """A fixed schedule of compare-exchange stages.
+
+    Each schedule entry ``(a, b)`` replaces slot ``a`` with
+    ``min(a, b)`` and slot ``b`` with ``max(a, b)``.
+
+    Args:
+        width: number of input lanes.
+        schedule: CE pairs, applied in order.
+        output_slots: which lanes carry the result (e.g. ``(4,)`` for the
+            median-of-9 network, ``range(width)`` for a full sorter).
+        use_synchronizers: pick the paper's SyncMin/SyncMax (default) or
+            the bare AND/OR gates (the inaccurate baseline).
+        sync_depth: synchronizer save depth when enabled.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        schedule: Schedule,
+        output_slots: Sequence[int],
+        *,
+        use_synchronizers: bool = True,
+        sync_depth: int = 1,
+    ) -> None:
+        self.width = check_positive_int(width, name="width")
+        for a, b in schedule:
+            if not (0 <= a < width and 0 <= b < width) or a == b:
+                raise CircuitConfigurationError(
+                    f"invalid compare-exchange pair ({a}, {b}) for width {width}"
+                )
+        self.schedule = list(schedule)
+        self.output_slots = tuple(output_slots)
+        for slot in self.output_slots:
+            if not 0 <= slot < width:
+                raise CircuitConfigurationError(f"output slot {slot} out of range")
+        self.use_synchronizers = bool(use_synchronizers)
+        self._sync_depth = check_positive_int(sync_depth, name="sync_depth")
+        if use_synchronizers:
+            self._min_op = SyncMin(depth=sync_depth)
+            self._max_op = SyncMax(depth=sync_depth)
+        else:
+            self._min_op = AndMin()
+            self._max_op = OrMax()
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def apply_values(self, values: np.ndarray) -> np.ndarray:
+        """Float reference: run the schedule on plain numbers.
+
+        Args:
+            values: ``(..., width)`` array.
+
+        Returns:
+            ``(..., len(output_slots))`` selected outputs.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[-1] != self.width:
+            raise CircuitConfigurationError(
+                f"expected trailing dim {self.width}, got {values.shape[-1]}"
+            )
+        lanes = [values[..., i].copy() for i in range(self.width)]
+        for a, b in self.schedule:
+            lo = np.minimum(lanes[a], lanes[b])
+            hi = np.maximum(lanes[a], lanes[b])
+            lanes[a], lanes[b] = lo, hi
+        return np.stack([lanes[s] for s in self.output_slots], axis=-1)
+
+    def apply_streams(self, streams: np.ndarray) -> np.ndarray:
+        """Run the schedule on SC streams.
+
+        Args:
+            streams: ``(batch, width, N)`` uint8 stream lanes.
+
+        Returns:
+            ``(batch, len(output_slots), N)`` output streams.
+        """
+        streams = np.asarray(streams, dtype=np.uint8)
+        if streams.ndim != 3 or streams.shape[1] != self.width:
+            raise CircuitConfigurationError(
+                f"expected (batch, {self.width}, N) streams, got {streams.shape}"
+            )
+        lanes = [streams[:, i, :] for i in range(self.width)]
+        for a, b in self.schedule:
+            lo = self._min_op.compute(lanes[a], lanes[b])
+            hi = self._max_op.compute(lanes[a], lanes[b])
+            lanes[a], lanes[b] = lo, hi
+        return np.stack([lanes[s] for s in self.output_slots], axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Hardware
+    # ------------------------------------------------------------------ #
+
+    def netlist(self) -> Netlist:
+        """Hardware cost of one network instance (one CE = min + max)."""
+        if self.use_synchronizers:
+            ce = components.sync_min(self._sync_depth) + components.sync_max(self._sync_depth)
+        else:
+            ce = components.and_gate() + components.or_gate()
+        return (ce * len(self.schedule)).renamed(
+            f"ce_network[{len(self.schedule)} stages]"
+        )
+
+
+def median9_network(**kwargs) -> CompareExchangeNetwork:
+    """The fixed 19-stage median-of-9 network (3x3 median filter core)."""
+    return CompareExchangeNetwork(9, _MEDIAN9, output_slots=(4,), **kwargs)
+
+
+def median5_network(**kwargs) -> CompareExchangeNetwork:
+    """The fixed 7-stage median-of-5 network."""
+    return CompareExchangeNetwork(5, _MEDIAN5, output_slots=(2,), **kwargs)
+
+
+def bitonic_network(width: int, **kwargs) -> CompareExchangeNetwork:
+    """A full bitonic sorter for power-of-two ``width`` (ascending)."""
+    check_positive_int(width, name="width")
+    if width & (width - 1):
+        raise CircuitConfigurationError(f"bitonic width must be a power of two, got {width}")
+    schedule: Schedule = []
+    k = 2
+    while k <= width:
+        j = k // 2
+        while j >= 1:
+            for i in range(width):
+                partner = i ^ j
+                if partner > i:
+                    if i & k:
+                        schedule.append((partner, i))  # descending region
+                    else:
+                        schedule.append((i, partner))
+            j //= 2
+        k *= 2
+    return CompareExchangeNetwork(width, schedule, output_slots=range(width), **kwargs)

@@ -1,0 +1,43 @@
+"""SC arithmetic circuits (paper Fig. 2) and correlation-agnostic baselines.
+
+Each circuit documents its *required operand correlation*; feeding it
+anything else silently computes a different function (paper Table I). The
+``REQUIRED_SCC`` class attribute records the requirement programmatically
+(+1, -1, 0, or ``None`` for agnostic).
+
+| Circuit | Gate | Function | Required SCC |
+|---------|------|----------|--------------|
+| :class:`Multiplier` | AND / XNOR | ``px * py`` | 0 |
+| :class:`ScaledAdder` | MUX | ``0.5 (px + py)`` | select vs. data: 0 |
+| :class:`SaturatingAdder` | OR | ``min(1, px + py)`` | -1 |
+| :class:`AbsSubtractor` | XOR | ``|px - py|`` | +1 |
+| :class:`CorDiv` | DFF + mux | ``px / py`` | +1 |
+| :class:`OrMax` / :class:`AndMin` | OR / AND | ``max`` / ``min`` | +1 |
+| :class:`CAAdder` / :class:`CAMax` | counters | exact add / max | any |
+"""
+
+from .agnostic import CAAdder, CAMax
+from .divide import CorDiv
+from .gates import and_bits, mux_bits, not_bits, or_bits, xor_bits
+from .maxmin import AndMin, OrMax
+from .multiply import Multiplier
+from .saturating_add import SaturatingAdder
+from .scaled_add import ScaledAdder
+from .subtract import AbsSubtractor
+
+__all__ = [
+    "and_bits",
+    "or_bits",
+    "xor_bits",
+    "not_bits",
+    "mux_bits",
+    "Multiplier",
+    "ScaledAdder",
+    "SaturatingAdder",
+    "AbsSubtractor",
+    "CorDiv",
+    "OrMax",
+    "AndMin",
+    "CAAdder",
+    "CAMax",
+]

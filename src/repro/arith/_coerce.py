@@ -1,0 +1,55 @@
+"""Internal input/output coercion shared by all arithmetic circuits.
+
+Every circuit computes on raw ``(batch, N)`` uint8 matrices; the public
+``compute`` methods accept :class:`~repro.bitstream.Bitstream`,
+:class:`~repro.bitstream.BitstreamBatch`, or plain arrays, and return the
+same kind they were given. These helpers implement that contract once.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from .._validation import as_bit_matrix
+from ..bitstream import Bitstream, BitstreamBatch, Encoding
+
+StreamLike = Union[Bitstream, BitstreamBatch, np.ndarray]
+
+
+def unwrap(operand: StreamLike, *, name: str = "operand") -> Tuple[np.ndarray, str, Encoding]:
+    """Return ``(bits_2d, kind, encoding)`` for any stream-like input.
+
+    ``kind`` is one of ``"stream"``, ``"batch"``, ``"array1d"``,
+    ``"array2d"`` and drives :func:`rewrap`.
+    """
+    if isinstance(operand, Bitstream):
+        return operand.bits.reshape(1, -1), "stream", operand.encoding
+    if isinstance(operand, BitstreamBatch):
+        return operand.bits, "batch", operand.encoding
+    arr = as_bit_matrix(operand, name=name)
+    kind = "array1d" if np.asarray(operand).ndim == 1 else "array2d"
+    return arr, kind, Encoding.UNIPOLAR
+
+
+def rewrap(bits: np.ndarray, kind: str, encoding: Encoding) -> StreamLike:
+    """Wrap a raw result back into the caller's input kind."""
+    if kind == "stream":
+        return Bitstream(bits[0], encoding)
+    if kind == "batch":
+        return BitstreamBatch(bits, encoding)
+    if kind == "array1d":
+        return bits[0]
+    return bits
+
+
+def broadcast_pair(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Broadcast two (B, N) matrices to a common batch size."""
+    if x.shape[0] == y.shape[0]:
+        return x, y
+    if x.shape[0] == 1:
+        return np.broadcast_to(x, y.shape).copy(), y
+    if y.shape[0] == 1:
+        return x, np.broadcast_to(y, x.shape).copy()
+    raise ValueError(f"incompatible batch sizes {x.shape[0]} vs {y.shape[0]}")

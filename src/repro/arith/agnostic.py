@@ -1,0 +1,103 @@
+"""Correlation-agnostic (CA) arithmetic baselines.
+
+Some SC operations have variants that compute correctly for *any* input
+correlation, at a large hardware premium (paper Section II-B: "The known
+set of correlation agnostic circuits are also larger and consume more power
+than their equivalent correlation sensitive counterparts").
+
+* :class:`CAAdder` — the exact scaled adder the paper compares against its
+  MUX adder (reference [9]: 5.6x larger, 10.7x more power). A 2-bit
+  accumulator absorbs ``x_t + y_t`` each cycle and emits the carry: the
+  output 1-count is exactly ``floor((ones(X)+ones(Y))/2)`` regardless of
+  alignment.
+* :class:`CAMax` — the FSM maximum used in SC-DCNN (reference [12]): a
+  saturating up/down counter tracks which operand has emitted more 1s so
+  far and steers a mux to pass the bit of the current leader. Accurate for
+  any input correlation (Table III row "CA Max."), but it needs a wide
+  counter, comparator, and mux.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import EncodingError
+from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+
+__all__ = ["CAAdder", "CAMax"]
+
+
+class CAAdder:
+    """Exact accumulator-based scaled adder: ``pZ = 0.5 (pX + pY)``.
+
+    The running accumulator ``A`` holds 0 or 1 carry units; each cycle
+    ``A += x_t + y_t`` and the circuit emits 1 (subtracting 2) whenever
+    ``A >= 2``. Correlation-agnostic and select-free, with at most one
+    half-LSB truncation error over the whole stream.
+    """
+
+    REQUIRED_SCC = None  # agnostic
+
+    def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError("adder operands must share an encoding")
+        xb, yb = broadcast_pair(xb, yb)
+        batch, length = xb.shape
+        acc = np.zeros(batch, dtype=np.int64)
+        out = np.empty_like(xb)
+        for t in range(length):
+            acc = acc + xb[:, t] + yb[:, t]
+            emit = acc >= 2
+            out[:, t] = emit.astype(np.uint8)
+            acc = acc - 2 * emit
+        return rewrap(out, kind, enc_x)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        return 0.5 * (np.asarray(px, dtype=np.float64) + np.asarray(py, dtype=np.float64))
+
+
+class CAMax:
+    """Counter-steered correlation-agnostic maximum (SC-DCNN style).
+
+    Args:
+        counter_bits: width of the saturating up/down counter. The counter
+            starts at mid-scale; it counts up on ``x_t > y_t`` cycles and
+            down on ``x_t < y_t`` cycles. The output mux passes ``x_t``
+            while the counter is at or above mid-scale (X currently leads)
+            and ``y_t`` otherwise.
+    """
+
+    REQUIRED_SCC = None  # agnostic
+
+    def __init__(self, counter_bits: int = 6) -> None:
+        self._bits = check_positive_int(counter_bits, name="counter_bits")
+        self._limit = (1 << self._bits) - 1
+        self._mid = 1 << (self._bits - 1)
+
+    @property
+    def counter_bits(self) -> int:
+        return self._bits
+
+    def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError("max operands must share an encoding")
+        xb, yb = broadcast_pair(xb, yb)
+        batch, length = xb.shape
+        counter = np.full(batch, self._mid, dtype=np.int64)
+        out = np.empty_like(xb)
+        for t in range(length):
+            xt = xb[:, t].astype(np.int64)
+            yt = yb[:, t].astype(np.int64)
+            out[:, t] = np.where(counter >= self._mid, xt, yt).astype(np.uint8)
+            counter = np.clip(counter + xt - yt, 0, self._limit)
+        return rewrap(out, kind, enc_x)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        return np.maximum(np.asarray(px, dtype=np.float64), np.asarray(py, dtype=np.float64))

@@ -1,0 +1,63 @@
+"""SC division — the correlated divider (CORDIV) of Chen & Hayes
+(ISVLSI 2016, paper reference [6]; paper Fig. 2e).
+
+CORDIV computes ``pZ = pX / pY`` for ``pX <= pY`` using *positively*
+correlated operands: when SCC(X, Y) = +1 and pX <= pY, every 1 of X
+coincides with a 1 of Y, so among the cycles where Y = 1 the fraction with
+X = 1 is exactly ``pX / pY``. The circuit emits X's bit whenever Y = 1 and
+replays the last such quotient bit (held in a D flip-flop) whenever Y = 0,
+extrapolating the in-divisor ratio across the whole stream.
+
+Sequential, so implemented as a time loop vectorised over the batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EncodingError
+from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+
+__all__ = ["CorDiv"]
+
+
+class CorDiv:
+    """Correlated SC divider: ``pZ ~ pX / pY`` (requires SCC = +1, pX <= pY).
+
+    Args:
+        initial: the D flip-flop's power-on quotient guess (0 or 1).
+    """
+
+    REQUIRED_SCC = 1.0
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial not in (0, 1):
+            raise EncodingError(f"initial quotient bit must be 0 or 1, got {initial}")
+        self._initial = initial
+
+    def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        """Divide X by Y. Output is clipped to [0, 1] by construction."""
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError("divider operands must share an encoding")
+        xb, yb = broadcast_pair(xb, yb)
+        batch, length = xb.shape
+        held = np.full(batch, self._initial, dtype=np.uint8)
+        out = np.empty_like(xb)
+        for t in range(length):
+            xt = xb[:, t]
+            yt = yb[:, t]
+            zt = np.where(yt == 1, xt, held)
+            held = np.where(yt == 1, xt, held)
+            out[:, t] = zt
+        return rewrap(out, kind, enc_x)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """The nominal function: ``min(1, px / py)`` (0/0 treated as 0)."""
+        px = np.asarray(px, dtype=np.float64)
+        py = np.asarray(py, dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(py > 0, px / np.where(py == 0, 1.0, py), 0.0)
+        return np.minimum(1.0, ratio)

@@ -1,0 +1,58 @@
+"""Raw combinational gate operations on bit matrices.
+
+These are the four primitives every SC arithmetic circuit is built from.
+They carry no correlation semantics by themselves — Table I of the paper is
+exactly the observation that *the same AND gate* computes ``min``,
+``max(0, x+y-1)``, or ``x*y`` depending on input correlation. The classes
+in the sibling modules attach those semantics (and their correlation
+requirements) to the gates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_same_length
+
+__all__ = ["and_bits", "or_bits", "xor_bits", "not_bits", "mux_bits"]
+
+
+def _pairwise(x: np.ndarray, y: np.ndarray, op) -> np.ndarray:
+    x = np.asarray(x, dtype=np.uint8)
+    y = np.asarray(y, dtype=np.uint8)
+    check_same_length(x, y, context="gate operation")
+    return op(x, y)
+
+
+def and_bits(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Bitwise AND: multiply (uncorrelated) / min (SCC=+1) / max(0,x+y-1) (SCC=-1)."""
+    return _pairwise(x, y, np.bitwise_and)
+
+
+def or_bits(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Bitwise OR: saturating add (SCC=-1) / max (SCC=+1) / x+y-xy (uncorrelated)."""
+    return _pairwise(x, y, np.bitwise_or)
+
+
+def xor_bits(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Bitwise XOR: absolute difference |x-y| when inputs are maximally correlated."""
+    return _pairwise(x, y, np.bitwise_xor)
+
+
+def not_bits(x: np.ndarray) -> np.ndarray:
+    """Bitwise NOT: the complement stream encodes ``1 - p`` (unipolar)."""
+    return (1 - np.asarray(x, dtype=np.uint8)).astype(np.uint8)
+
+
+def mux_bits(select: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """2:1 multiplexer: emits ``y`` where select=1, else ``x``.
+
+    With an input-independent select of value ``s`` this computes the
+    weighted sum ``(1-s)*px + s*py`` — the scaled adder for ``s = 0.5``.
+    """
+    select = np.asarray(select, dtype=np.uint8)
+    x = np.asarray(x, dtype=np.uint8)
+    y = np.asarray(y, dtype=np.uint8)
+    check_same_length(x, y, context="mux data inputs")
+    check_same_length(x, select, context="mux select input")
+    return np.where(select == 1, y, x).astype(np.uint8)

@@ -1,0 +1,65 @@
+"""Naive single-gate SC maximum and minimum (the paper's baselines).
+
+With maximally positively correlated inputs, OR computes
+``max(pX, pY)`` exactly (the larger SN's 1s mask the smaller's) and AND
+computes ``min(pX, pY)``. Fed uncorrelated inputs — the realistic case the
+paper's Table III evaluates — a bare OR overshoots
+(``px + py - px*py >= max``) and a bare AND undershoots
+(``px*py <= min``), producing the ~0.087 / ~0.082 average absolute errors
+in the table's first and fourth rows.
+
+The paper's fix is to *make* the inputs correlated on the fly:
+:class:`repro.core.improved_ops.SyncMax` / ``SyncMin``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EncodingError
+from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from .gates import and_bits, or_bits
+
+__all__ = ["OrMax", "AndMin"]
+
+
+class OrMax:
+    """Single OR gate used as a maximum.
+
+    Exact only for SCC = +1 inputs; biased high otherwise.
+    """
+
+    REQUIRED_SCC = 1.0
+
+    def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError("max operands must share an encoding")
+        xb, yb = broadcast_pair(xb, yb)
+        return rewrap(or_bits(xb, yb), kind, enc_x)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        return np.maximum(np.asarray(px, dtype=np.float64), np.asarray(py, dtype=np.float64))
+
+
+class AndMin:
+    """Single AND gate used as a minimum.
+
+    Exact only for SCC = +1 inputs; biased low otherwise.
+    """
+
+    REQUIRED_SCC = 1.0
+
+    def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError("min operands must share an encoding")
+        xb, yb = broadcast_pair(xb, yb)
+        return rewrap(and_bits(xb, yb), kind, enc_x)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        return np.minimum(np.asarray(px, dtype=np.float64), np.asarray(py, dtype=np.float64))

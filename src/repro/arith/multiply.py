@@ -1,0 +1,49 @@
+"""SC multiplication — a single AND gate (paper Fig. 2d).
+
+``pZ = pX * pY`` holds exactly in expectation when the operands are
+*uncorrelated* (SCC = 0). Positively correlated operands push the result
+toward ``min(pX, pY)``; negatively correlated operands toward
+``max(0, pX + pY - 1)`` (paper Table I). The circuit itself cannot tell —
+use :func:`repro.bitstream.scc` to check operands, or a
+:class:`~repro.core.decorrelator.Decorrelator` to fix them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bitstream import Encoding
+from ..exceptions import EncodingError
+from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from .gates import and_bits, xor_bits
+
+__all__ = ["Multiplier"]
+
+
+class Multiplier:
+    """AND-gate multiplier (unipolar) / XNOR multiplier (bipolar).
+
+    Required operand correlation: **uncorrelated** (SCC = 0).
+    """
+
+    REQUIRED_SCC = 0.0
+
+    def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        """Multiply two SNs. Encodings must match; bipolar uses XNOR."""
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError(
+                f"multiplier operands must share an encoding ({enc_x.value} vs {enc_y.value})"
+            )
+        xb, yb = broadcast_pair(xb, yb)
+        if enc_x is Encoding.BIPOLAR:
+            bits = (1 - xor_bits(xb, yb)).astype(np.uint8)
+        else:
+            bits = and_bits(xb, yb)
+        return rewrap(bits, kind, enc_x)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """The nominal function: element-wise product of unipolar values."""
+        return np.asarray(px, dtype=np.float64) * np.asarray(py, dtype=np.float64)

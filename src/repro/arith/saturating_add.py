@@ -1,0 +1,45 @@
+"""SC saturating addition — a single OR gate (paper Fig. 2b).
+
+``pZ = min(1, pX + pY)`` holds when the operands are maximally *negatively*
+correlated (SCC = -1): then their 1s overlap as little as mathematically
+possible and the OR collects all of them (clipping at 1 when they must
+overlap). For uncorrelated inputs the OR computes
+``pX + pY - pX*pY`` instead, and for positively correlated inputs it
+degrades all the way to ``max(pX, pY)``.
+
+The paper's improved saturating adder
+(:class:`repro.core.improved_ops.DesyncSaturatingAdder`) prepends a
+desynchronizer so arbitrary inputs meet the SCC = -1 requirement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EncodingError
+from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from .gates import or_bits
+
+__all__ = ["SaturatingAdder"]
+
+
+class SaturatingAdder:
+    """OR-gate saturating adder.
+
+    Required operand correlation: **negative** (SCC = -1).
+    """
+
+    REQUIRED_SCC = -1.0
+
+    def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError("saturating adder operands must share an encoding")
+        xb, yb = broadcast_pair(xb, yb)
+        return rewrap(or_bits(xb, yb), kind, enc_x)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """The nominal function: ``min(1, px + py)``."""
+        return np.minimum(1.0, np.asarray(px, dtype=np.float64) + np.asarray(py, dtype=np.float64))

@@ -1,0 +1,72 @@
+"""SC scaled addition — a 2:1 multiplexer (paper Fig. 2a).
+
+A MUX with data inputs X, Y and an auxiliary select SN R of value 0.5
+samples each input with equal probability: ``pZ = 0.5 (pX + pY)``. The
+*data* inputs may be arbitrarily correlated with each other; what matters
+is that the **select** stream is uncorrelated with both (paper Fig. 2's
+"uncorrelated with r" requirement). The 0.5 scale factor is the classic SC
+precision loss — the output LSB of the true sum is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..bitstream import Encoding
+from ..exceptions import CircuitConfigurationError, EncodingError
+from ..rng import StreamRNG
+from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from .gates import mux_bits
+
+__all__ = ["ScaledAdder"]
+
+
+class ScaledAdder:
+    """MUX-based scaled adder: ``pZ = 0.5 (pX + pY)``.
+
+    Args:
+        select_rng: RNG used to synthesise the select stream when none is
+            passed to :meth:`compute`. The select threshold is half the RNG
+            modulus, giving a 0.5-valued select SN.
+
+    Required correlation: select uncorrelated with both data inputs; data
+    inputs may be correlated with each other.
+    """
+
+    def __init__(self, select_rng: Optional[StreamRNG] = None) -> None:
+        self._select_rng = select_rng
+
+    def _select_bits(self, length: int, batch: int) -> np.ndarray:
+        if self._select_rng is None:
+            raise CircuitConfigurationError(
+                "ScaledAdder needs either a select stream or a select_rng"
+            )
+        seq = self._select_rng.sequence(length)
+        half = self._select_rng.modulus // 2
+        row = (seq < half).astype(np.uint8).reshape(1, -1)
+        return np.broadcast_to(row, (batch, length))
+
+    def compute(
+        self, x: StreamLike, y: StreamLike, select: Optional[StreamLike] = None
+    ) -> StreamLike:
+        """Add two SNs with output scale 0.5."""
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError("adder operands must share an encoding")
+        xb, yb = broadcast_pair(xb, yb)
+        if select is None:
+            sb = self._select_bits(xb.shape[1], xb.shape[0])
+        else:
+            sb, _, _ = unwrap(select, name="select")
+            if sb.shape[0] == 1 and xb.shape[0] > 1:
+                sb = np.broadcast_to(sb, xb.shape)
+        bits = mux_bits(sb, xb, yb)
+        return rewrap(bits, kind, enc_x)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """The nominal function: half the sum of the values."""
+        return 0.5 * (np.asarray(px, dtype=np.float64) + np.asarray(py, dtype=np.float64))

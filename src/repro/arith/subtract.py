@@ -1,0 +1,44 @@
+"""SC absolute-difference subtraction — a single XOR gate (paper Fig. 2c).
+
+``pZ = |pX - pY|`` holds when the operands are maximally *positively*
+correlated (SCC = +1): then the smaller SN's 1s are a subset of the larger
+SN's 1s, and XOR exposes exactly the surplus. For uncorrelated operands the
+XOR computes ``pX + pY - 2 pX pY`` instead.
+
+This is the workhorse of the paper's Roberts-cross edge detector, and the
+reason the image pipeline needs positive correlation *between* kernel
+outputs — delivered either by regeneration (expensive) or by the paper's
+synchronizer (cheap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EncodingError
+from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from .gates import xor_bits
+
+__all__ = ["AbsSubtractor"]
+
+
+class AbsSubtractor:
+    """XOR-gate absolute-difference circuit.
+
+    Required operand correlation: **positive** (SCC = +1).
+    """
+
+    REQUIRED_SCC = 1.0
+
+    def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError("subtractor operands must share an encoding")
+        xb, yb = broadcast_pair(xb, yb)
+        return rewrap(xor_bits(xb, yb), kind, enc_x)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """The nominal function: ``|px - py|``."""
+        return np.abs(np.asarray(px, dtype=np.float64) - np.asarray(py, dtype=np.float64))

@@ -1,0 +1,46 @@
+"""Stochastic-number substrate: streams, batches, encodings, metrics.
+
+This subpackage is the foundation of the library: everything else consumes
+and produces the types defined here.
+
+* :class:`~repro.bitstream.bitstream.Bitstream` — one stochastic number.
+* :class:`~repro.bitstream.batch.BitstreamBatch` — a vectorised batch.
+* :class:`~repro.bitstream.encoding.Encoding` — unipolar / bipolar value maps.
+* :mod:`~repro.bitstream.metrics` — SCC (the paper's correlation metric),
+  bias, and error measures.
+* :mod:`~repro.bitstream.generation` — exact/reference stream constructors.
+"""
+
+from .batch import BitstreamBatch
+from .bitstream import Bitstream
+from .encoding import Encoding, ones_to_value, probability_of, value_to_ones
+from .generation import bernoulli_stream, correlated_pair, exact_stream, rotations
+from .metrics import (
+    autocorrelation,
+    bias,
+    mean_absolute_error,
+    overlap_counts,
+    scc,
+    scc_batch,
+    value_of_bits,
+)
+
+__all__ = [
+    "Bitstream",
+    "BitstreamBatch",
+    "Encoding",
+    "ones_to_value",
+    "value_to_ones",
+    "probability_of",
+    "exact_stream",
+    "bernoulli_stream",
+    "correlated_pair",
+    "rotations",
+    "scc",
+    "scc_batch",
+    "overlap_counts",
+    "bias",
+    "mean_absolute_error",
+    "value_of_bits",
+    "autocorrelation",
+]

@@ -1,0 +1,138 @@
+"""Batched stochastic numbers.
+
+The paper's experiments sweep *all* input value pairs at ``N = 256``
+(65,000+ pairs). Simulating those one stream at a time in Python would be
+hopeless, so every circuit in this library operates on
+``(batch, N)`` uint8 matrices where the batch axis is vectorised with numpy
+and only the time axis (when a circuit is sequential) is a Python loop.
+
+:class:`BitstreamBatch` is a light wrapper over such a matrix providing
+values, SCC against another batch, and the same gate operators as
+:class:`~repro.bitstream.bitstream.Bitstream`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from .._validation import as_bit_matrix, check_same_length
+from ..exceptions import EncodingError
+from .bitstream import Bitstream
+from .encoding import Encoding, ones_to_value
+from .metrics import scc_batch
+
+__all__ = ["BitstreamBatch"]
+
+
+class BitstreamBatch:
+    """A batch of equally long stochastic numbers sharing one encoding."""
+
+    __slots__ = ("_bits", "_encoding")
+
+    def __init__(
+        self,
+        bits: Union[np.ndarray, Iterable],
+        encoding: Union[Encoding, str] = Encoding.UNIPOLAR,
+    ) -> None:
+        arr = as_bit_matrix(bits)
+        if arr.size == 0:
+            raise EncodingError("BitstreamBatch cannot be empty")
+        self._bits = arr
+        self._encoding = Encoding.coerce(encoding)
+
+    @classmethod
+    def from_streams(cls, streams: Iterable[Bitstream]) -> "BitstreamBatch":
+        """Stack individual :class:`Bitstream` objects into a batch."""
+        streams = list(streams)
+        if not streams:
+            raise EncodingError("cannot build a batch from zero streams")
+        encoding = streams[0].encoding
+        length = streams[0].length
+        for s in streams[1:]:
+            if s.encoding is not encoding:
+                raise EncodingError("all streams in a batch must share an encoding")
+            if s.length != length:
+                raise EncodingError("all streams in a batch must share a length")
+        return cls(np.stack([s.bits for s in streams]), encoding)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The underlying ``(batch, N)`` uint8 matrix."""
+        return self._bits
+
+    @property
+    def encoding(self) -> Encoding:
+        return self._encoding
+
+    @property
+    def batch_size(self) -> int:
+        return int(self._bits.shape[0])
+
+    @property
+    def length(self) -> int:
+        return int(self._bits.shape[1])
+
+    @property
+    def ones(self) -> np.ndarray:
+        """Per-stream 1-counts."""
+        return self._bits.sum(axis=1, dtype=np.int64)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Per-stream encoded values as a ``float64`` vector."""
+        return ones_to_value(self.ones, self.length, self._encoding)
+
+    def stream(self, index: int) -> Bitstream:
+        """Extract one row as a :class:`Bitstream`."""
+        return Bitstream(self._bits[index], self._encoding)
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __iter__(self):
+        for i in range(self.batch_size):
+            yield self.stream(i)
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+
+    def scc(self, other: "BitstreamBatch") -> np.ndarray:
+        """Row-wise SCC against another batch of the same shape."""
+        return scc_batch(self._bits, other._bits)
+
+    # ------------------------------------------------------------------ #
+    # Gate operators
+    # ------------------------------------------------------------------ #
+
+    def _binary_op(self, other: "BitstreamBatch", op) -> "BitstreamBatch":
+        if not isinstance(other, BitstreamBatch):
+            return NotImplemented
+        check_same_length(self._bits, other._bits, context="batch bitwise operation")
+        if self._encoding is not other._encoding:
+            raise EncodingError("batch bitwise operations require matching encodings")
+        return BitstreamBatch(op(self._bits, other._bits), self._encoding)
+
+    def __and__(self, other: "BitstreamBatch") -> "BitstreamBatch":
+        return self._binary_op(other, np.bitwise_and)
+
+    def __or__(self, other: "BitstreamBatch") -> "BitstreamBatch":
+        return self._binary_op(other, np.bitwise_or)
+
+    def __xor__(self, other: "BitstreamBatch") -> "BitstreamBatch":
+        return self._binary_op(other, np.bitwise_xor)
+
+    def __invert__(self) -> "BitstreamBatch":
+        return BitstreamBatch(1 - self._bits, self._encoding)
+
+    def __repr__(self) -> str:
+        return (
+            f"BitstreamBatch(batch={self.batch_size}, n={self.length}, "
+            f"encoding={self._encoding.value})"
+        )

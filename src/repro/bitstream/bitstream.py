@@ -1,0 +1,177 @@
+"""The :class:`Bitstream` value type — a single stochastic number.
+
+A :class:`Bitstream` wraps an immutable numpy ``uint8`` array of 0s and 1s
+together with an :class:`~repro.bitstream.encoding.Encoding`. It provides
+value inspection, the paper's literal-string constructor (so the worked
+examples from Fig. 1 and Table I can be written down directly), and the
+gate-level operators used throughout SC (``&``, ``|``, ``^``, ``~``).
+
+Gate operators return plain bit-level results; they do *not* interpret
+correlation. Interpreting an AND as a multiply (or a min, or a saturating
+subtract) is the job of the circuits in :mod:`repro.arith`, which document
+their correlation requirements.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from .._validation import as_bit_array, check_same_length
+from ..exceptions import EncodingError, LengthMismatchError
+from .encoding import Encoding, ones_to_value
+
+__all__ = ["Bitstream"]
+
+
+class Bitstream:
+    """An immutable stochastic number.
+
+    Args:
+        bits: the bit content — a numpy array, an iterable of 0/1 ints, or a
+            string like ``"01010101"``.
+        encoding: ``Encoding.UNIPOLAR`` (default) or ``Encoding.BIPOLAR``
+            (or their string names).
+
+    Examples:
+        >>> x = Bitstream("01010101")
+        >>> x.value
+        0.5
+        >>> y = Bitstream("11111100")
+        >>> (x & y).value          # uncorrelated AND = multiply (Fig. 1a)
+        0.375
+    """
+
+    __slots__ = ("_bits", "_encoding")
+
+    def __init__(
+        self,
+        bits: Union[np.ndarray, Iterable[int], str],
+        encoding: Union[Encoding, str] = Encoding.UNIPOLAR,
+    ) -> None:
+        arr = as_bit_array(bits)
+        if arr.ndim != 1:
+            raise EncodingError(f"Bitstream expects 1-D bits, got ndim={arr.ndim}")
+        if arr.size == 0:
+            raise EncodingError("Bitstream cannot be empty")
+        arr.setflags(write=False)
+        self._bits = arr
+        self._encoding = Encoding.coerce(encoding)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bits(self) -> np.ndarray:
+        """The underlying read-only ``uint8`` bit array."""
+        return self._bits
+
+    @property
+    def encoding(self) -> Encoding:
+        """The SN encoding used to interpret the bits as a value."""
+        return self._encoding
+
+    @property
+    def length(self) -> int:
+        """Number of bits ``N`` (determines precision, roughly log2(N))."""
+        return int(self._bits.size)
+
+    @property
+    def ones(self) -> int:
+        """Number of 1 bits."""
+        return int(self._bits.sum())
+
+    @property
+    def value(self) -> float:
+        """The encoded value (unipolar: ones/N; bipolar: (2*ones - N)/N)."""
+        return float(ones_to_value(self.ones, self.length, self._encoding))
+
+    @property
+    def probability(self) -> float:
+        """Probability of a 1 (the unipolar value, whatever the encoding)."""
+        return self.ones / self.length
+
+    def with_encoding(self, encoding: Union[Encoding, str]) -> "Bitstream":
+        """Reinterpret the same bits under a different encoding."""
+        return Bitstream(self._bits, encoding)
+
+    def to01(self) -> str:
+        """Render the stream as a compact 0/1 string (paper notation)."""
+        return "".join("1" if b else "0" for b in self._bits)
+
+    # ------------------------------------------------------------------ #
+    # Gate-level operators
+    # ------------------------------------------------------------------ #
+
+    def _binary_op(self, other: "Bitstream", op) -> "Bitstream":
+        if not isinstance(other, Bitstream):
+            return NotImplemented
+        check_same_length(self._bits, other._bits, context="bitwise operation")
+        if self._encoding is not other._encoding:
+            raise EncodingError(
+                "bitwise operations require matching encodings "
+                f"({self._encoding.value} vs {other._encoding.value})"
+            )
+        return Bitstream(op(self._bits, other._bits), self._encoding)
+
+    def __and__(self, other: "Bitstream") -> "Bitstream":
+        return self._binary_op(other, np.bitwise_and)
+
+    def __or__(self, other: "Bitstream") -> "Bitstream":
+        return self._binary_op(other, np.bitwise_or)
+
+    def __xor__(self, other: "Bitstream") -> "Bitstream":
+        return self._binary_op(other, np.bitwise_xor)
+
+    def __invert__(self) -> "Bitstream":
+        return Bitstream(1 - self._bits, self._encoding)
+
+    def delayed(self, cycles: int = 1, fill: int = 0) -> "Bitstream":
+        """Shift the stream right by ``cycles`` positions (D flip-flops).
+
+        This is the *isolator* primitive of Ting & Hayes: the first
+        ``cycles`` output bits take the value ``fill`` and the final
+        ``cycles`` input bits are dropped.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
+        if cycles == 0:
+            return self
+        if fill not in (0, 1):
+            raise ValueError(f"fill must be 0 or 1, got {fill}")
+        cycles = min(cycles, self.length)
+        shifted = np.concatenate(
+            [np.full(cycles, fill, dtype=np.uint8), self._bits[: self.length - cycles]]
+        )
+        return Bitstream(shifted, self._encoding)
+
+    # ------------------------------------------------------------------ #
+    # Equality / representation
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitstream):
+            return NotImplemented
+        return (
+            self._encoding is other._encoding
+            and self.length == other.length
+            and bool(np.array_equal(self._bits, other._bits))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._encoding, self._bits.tobytes()))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self):
+        return iter(int(b) for b in self._bits)
+
+    def __repr__(self) -> str:
+        shown = self.to01() if self.length <= 32 else self.to01()[:32] + "..."
+        return (
+            f"Bitstream({shown!r}, value={self.value:.4g}, "
+            f"n={self.length}, encoding={self._encoding.value})"
+        )

@@ -1,0 +1,101 @@
+"""Stochastic-number encodings.
+
+A stochastic number (SN) is a bitstream whose *value* is determined by the
+fraction of 1s it contains. Two encodings are standard (paper Section II-A):
+
+* **Unipolar** — 1s weigh +1, 0s weigh 0. A stream with ``k`` ones out of
+  ``n`` bits encodes ``k / n`` in ``[0, 1]``.
+* **Bipolar** — 1s weigh +1, 0s weigh -1. The same stream encodes
+  ``(2k - n) / n`` in ``[-1, +1]``.
+
+This module centralises the value maps so that every circuit in the library
+agrees on them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import EncodingError
+
+
+class Encoding(enum.Enum):
+    """The two standard SN encodings."""
+
+    UNIPOLAR = "unipolar"
+    BIPOLAR = "bipolar"
+
+    @classmethod
+    def coerce(cls, value: Union["Encoding", str]) -> "Encoding":
+        """Accept either an :class:`Encoding` member or its string name."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            names = ", ".join(m.value for m in cls)
+            raise EncodingError(f"unknown encoding {value!r}; expected one of: {names}") from exc
+
+    @property
+    def value_range(self) -> tuple:
+        """The closed interval of representable values."""
+        if self is Encoding.UNIPOLAR:
+            return (0.0, 1.0)
+        return (-1.0, 1.0)
+
+
+def ones_to_value(ones: np.ndarray, length: int, encoding: Encoding) -> np.ndarray:
+    """Map 1-counts to encoded values.
+
+    Args:
+        ones: array (or scalar) of 1-counts.
+        length: bitstream length ``n``.
+        encoding: which SN encoding to use.
+
+    Returns:
+        The encoded value(s) as ``float64``.
+    """
+    ones = np.asarray(ones, dtype=np.float64)
+    if length <= 0:
+        raise EncodingError(f"bitstream length must be positive, got {length}")
+    fraction = ones / float(length)
+    if encoding is Encoding.UNIPOLAR:
+        return fraction
+    return 2.0 * fraction - 1.0
+
+
+def value_to_ones(value: np.ndarray, length: int, encoding: Encoding) -> np.ndarray:
+    """Map encoded values to the nearest representable 1-count.
+
+    Rounds half away from the nearest even toward the closest representable
+    probability; the inverse of :func:`ones_to_value` up to quantization.
+
+    Raises:
+        EncodingError: if any value is outside the encoding's range.
+    """
+    value = np.asarray(value, dtype=np.float64)
+    lo, hi = encoding.value_range
+    if np.any(value < lo) or np.any(value > hi):
+        raise EncodingError(
+            f"value out of range for {encoding.value}: expected [{lo}, {hi}]"
+        )
+    if encoding is Encoding.UNIPOLAR:
+        fraction = value
+    else:
+        fraction = (value + 1.0) / 2.0
+    return np.rint(fraction * length).astype(np.int64)
+
+
+def probability_of(value: float, encoding: Encoding) -> float:
+    """Return the probability of a 1 for an SN with the given encoded value."""
+    lo, hi = encoding.value_range
+    if not lo <= value <= hi:
+        raise EncodingError(
+            f"value {value} out of range for {encoding.value}: expected [{lo}, {hi}]"
+        )
+    if encoding is Encoding.UNIPOLAR:
+        return float(value)
+    return (float(value) + 1.0) / 2.0

@@ -1,0 +1,159 @@
+"""Deterministic and reference stream generators.
+
+These builders create streams with *known, exact* structure. They are used
+by tests and by the exhaustive experiment sweeps; streams generated from
+hardware RNG models live in :mod:`repro.convert` (the D/S converter).
+
+Three canonical shapes:
+
+* :func:`exact_stream` — exactly ``k`` ones placed either evenly
+  (low-discrepancy, the shape a VDC-driven D/S converter produces) or as a
+  leading burst (the worst case for FSM-based circuits).
+* :func:`bernoulli_stream` — i.i.d. random bits from a seeded numpy
+  generator (a software "true random" SN source).
+* :func:`correlated_pair` — a pair of streams with an exact target SCC of
+  +1, -1, or 0 and exact values, used to drive Table I and the Fig. 2
+  accuracy sweeps without relying on RNG quality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_positive_int, check_probability
+from ..exceptions import EncodingError
+from .bitstream import Bitstream
+from .encoding import Encoding
+
+__all__ = [
+    "exact_stream",
+    "bernoulli_stream",
+    "correlated_pair",
+    "rotations",
+]
+
+
+def exact_stream(
+    value: float,
+    length: int,
+    *,
+    style: str = "even",
+    encoding: Union[Encoding, str] = Encoding.UNIPOLAR,
+) -> Bitstream:
+    """Create a stream with an exact 1-count.
+
+    Args:
+        value: target value under ``encoding`` (quantised to ``length``).
+        length: stream length N.
+        style: ``"even"`` spreads 1s uniformly (the pattern produced by a
+            D/S converter driven by a perfectly uniform ramp); ``"burst"``
+            front-loads all 1s; ``"tail"`` back-loads them.
+        encoding: SN encoding of the result.
+
+    Returns:
+        A :class:`Bitstream` whose value is exactly the quantised target.
+    """
+    length = check_positive_int(length, name="length")
+    encoding = Encoding.coerce(encoding)
+    lo, hi = encoding.value_range
+    if not lo <= value <= hi:
+        raise EncodingError(f"value {value} outside [{lo}, {hi}] for {encoding.value}")
+    if encoding is Encoding.BIPOLAR:
+        probability = (value + 1.0) / 2.0
+    else:
+        probability = value
+    k = int(round(probability * length))
+    bits = np.zeros(length, dtype=np.uint8)
+    if style == "even":
+        if k:
+            # Evenly spaced: bit t is 1 iff floor((t+1)*k/N) > floor(t*k/N).
+            t = np.arange(length + 1, dtype=np.int64)
+            marks = (t * k) // length
+            bits = (marks[1:] > marks[:-1]).astype(np.uint8)
+    elif style == "burst":
+        bits[:k] = 1
+    elif style == "tail":
+        bits[length - k :] = 1
+    else:
+        raise ValueError(f"unknown style {style!r}; expected even/burst/tail")
+    return Bitstream(bits, encoding)
+
+
+def bernoulli_stream(
+    probability: float,
+    length: int,
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Bitstream:
+    """An i.i.d. Bernoulli stream (software random SN source)."""
+    probability = check_probability(probability)
+    length = check_positive_int(length, name="length")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    bits = (rng.random(length) < probability).astype(np.uint8)
+    return Bitstream(bits)
+
+
+def correlated_pair(
+    px: float,
+    py: float,
+    length: int,
+    *,
+    scc: int,
+    seed: Optional[int] = None,
+) -> Tuple[Bitstream, Bitstream]:
+    """Build a pair of unipolar streams with an exact target correlation.
+
+    Args:
+        px, py: target values (quantised to ``length``).
+        length: stream length N.
+        scc: +1 (maximal overlap of 1s), -1 (minimal overlap), or 0
+            (the 1s of ``y`` are spread independently of ``x`` by an evenly
+            interleaved construction).
+        seed: used only for ``scc=0`` to pick a random relative placement.
+
+    Returns:
+        ``(x, y)`` with exactly ``round(px*N)`` / ``round(py*N)`` ones.
+
+    The +1 construction nests the smaller 1-set inside the larger; the -1
+    construction makes the 1-sets as disjoint as possible; both achieve the
+    mathematical extreme of the SCC metric for the given values.
+    """
+    length = check_positive_int(length, name="length")
+    kx = int(round(check_probability(px, name="px") * length))
+    ky = int(round(check_probability(py, name="py") * length))
+    x = np.zeros(length, dtype=np.uint8)
+    y = np.zeros(length, dtype=np.uint8)
+    if scc == 1:
+        x[:kx] = 1
+        y[:ky] = 1
+    elif scc == -1:
+        x[:kx] = 1
+        overlap_free = min(ky, length - kx)
+        y[length - overlap_free :] = 1
+        if ky > overlap_free:  # forced overlap when px + py > 1
+            y[: ky - overlap_free] = 1
+    elif scc == 0:
+        # Spread x evenly; place y's ones by sampling positions with a
+        # stratified permutation so that overlap ~ kx*ky/N in expectation.
+        x = exact_stream(kx / length, length).bits.copy()
+        rng = np.random.default_rng(seed)
+        positions = rng.permutation(length)[:ky]
+        y[positions] = 1
+    else:
+        raise ValueError(f"scc must be one of -1, 0, +1; got {scc}")
+    return Bitstream(x), Bitstream(y)
+
+
+def rotations(stream: Bitstream, count: int) -> Tuple[Bitstream, ...]:
+    """Return ``count`` circular rotations of a stream (classic cheap way to
+    reuse one RNG output for several "less correlated" SNs)."""
+    count = check_positive_int(count, name="count")
+    n = stream.length
+    return tuple(
+        Bitstream(np.roll(stream.bits, (i * n) // count), stream.encoding)
+        for i in range(count)
+    )

@@ -1,0 +1,156 @@
+"""Correlation and error metrics for stochastic numbers.
+
+The central quantity is the *stochastic computing correlation* (SCC) of
+Alaghi & Hayes (ICCD 2013), which the paper uses throughout. For two
+bitstreams ``X``, ``Y`` of length ``N`` define the overlap counts
+
+* ``a`` — positions where both are 1,
+* ``b`` — positions where X=1, Y=0,
+* ``c`` — positions where X=0, Y=1,
+* ``d`` — positions where both are 0,
+
+then::
+
+              ad - bc
+    SCC = ---------------------------------------   if ad > bc
+          N * min(a+b, a+c) - (a+b)(a+c)
+
+              ad - bc
+        = ---------------------------------------   otherwise
+          (a+b)(a+c) - N * max((a+b)+(a+c)-N, 0)
+
+(the paper writes the second clamp as ``max(a-d, 0)``; since
+``a - d = (a+b) + (a+c) - N`` the two forms are identical). SCC is +1 for
+maximally positively correlated streams, -1 for maximally negatively
+correlated streams, and 0 for uncorrelated streams. Degenerate cases where
+the denominator is 0 (a constant stream) are defined as SCC = 0, matching
+the convention in the SC literature.
+
+All functions accept either 1-D streams or 2-D ``(batch, N)`` matrices and
+are fully vectorised over the batch dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from .._validation import as_bit_array, as_bit_matrix, check_same_length
+
+__all__ = [
+    "overlap_counts",
+    "scc",
+    "scc_batch",
+    "bias",
+    "mean_absolute_error",
+    "value_of_bits",
+    "autocorrelation",
+]
+
+
+def value_of_bits(bits: np.ndarray) -> Union[float, np.ndarray]:
+    """Unipolar value (fraction of 1s) of a stream or batch of streams."""
+    arr = as_bit_array(bits)
+    if arr.ndim == 1:
+        return float(arr.mean()) if arr.size else 0.0
+    return arr.mean(axis=-1)
+
+
+def overlap_counts(x, y) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Return the SCC overlap counts ``(a, b, c, d)``.
+
+    Works on 1-D streams (returns python ints wrapped in 0-d arrays) or 2-D
+    batches (returns per-row count vectors).
+    """
+    xm = as_bit_matrix(x, name="x")
+    ym = as_bit_matrix(y, name="y")
+    check_same_length(xm, ym, context="overlap_counts")
+    if xm.shape[0] != ym.shape[0]:
+        if xm.shape[0] == 1:
+            xm = np.broadcast_to(xm, ym.shape)
+        elif ym.shape[0] == 1:
+            ym = np.broadcast_to(ym, xm.shape)
+        else:
+            raise ValueError("batch sizes differ and neither is 1")
+    xi = xm.astype(np.int64)
+    yi = ym.astype(np.int64)
+    a = (xi & yi).sum(axis=-1)
+    b = (xi & (1 - yi)).sum(axis=-1)
+    c = ((1 - xi) & yi).sum(axis=-1)
+    d = ((1 - xi) & (1 - yi)).sum(axis=-1)
+    return a, b, c, d
+
+
+def _scc_from_counts(a, b, c, d) -> np.ndarray:
+    """Vectorised SCC from overlap-count arrays."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    d = np.asarray(d, dtype=np.float64)
+    n = a + b + c + d
+    ones_x = a + b
+    ones_y = a + c
+    numerator = a * d - b * c
+    pos_denom = n * np.minimum(ones_x, ones_y) - ones_x * ones_y
+    neg_denom = ones_x * ones_y - n * np.maximum(ones_x + ones_y - n, 0.0)
+    denom = np.where(numerator > 0, pos_denom, neg_denom)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.where(denom != 0, numerator / np.where(denom == 0, 1.0, denom), 0.0)
+    return result
+
+
+def scc(x, y) -> float:
+    """SCC of two 1-D bitstreams (scalar convenience wrapper)."""
+    a, b, c, d = overlap_counts(x, y)
+    return float(_scc_from_counts(a, b, c, d)[0])
+
+
+def scc_batch(x, y) -> np.ndarray:
+    """Per-row SCC of two ``(batch, N)`` bit matrices."""
+    a, b, c, d = overlap_counts(x, y)
+    return _scc_from_counts(a, b, c, d)
+
+
+def bias(output_bits, input_bits) -> Union[float, np.ndarray]:
+    """Value deviation introduced by a transform: ``value(out) - value(in)``.
+
+    The paper calls this *bias* (Section III-A): ideally a correlation
+    manipulating circuit alters only the correlation, not the value, so the
+    bias should be zero.
+    """
+    out_v = value_of_bits(output_bits)
+    in_v = value_of_bits(input_bits)
+    return out_v - in_v
+
+
+def mean_absolute_error(measured, expected) -> float:
+    """Mean absolute error between two value arrays (paper's accuracy metric)."""
+    measured = np.asarray(measured, dtype=np.float64)
+    expected = np.asarray(expected, dtype=np.float64)
+    if measured.shape != expected.shape:
+        raise ValueError(
+            f"shape mismatch in mean_absolute_error: {measured.shape} vs {expected.shape}"
+        )
+    if measured.size == 0:
+        return 0.0
+    return float(np.abs(measured - expected).mean())
+
+
+def autocorrelation(bits, lag: int = 1) -> float:
+    """Normalised autocorrelation of a single stream at the given lag.
+
+    Used in diagnostics for RNG quality; returns 0 for constant streams.
+    """
+    arr = as_bit_array(bits).astype(np.float64)
+    if arr.ndim != 1:
+        raise ValueError("autocorrelation expects a 1-D stream")
+    if not 0 < lag < arr.size:
+        raise ValueError(f"lag must be in (0, {arr.size}), got {lag}")
+    head = arr[:-lag]
+    tail = arr[lag:]
+    var = arr.var()
+    if var == 0:
+        return 0.0
+    cov = ((head - arr.mean()) * (tail - arr.mean())).mean()
+    return float(cov / var)

@@ -1,0 +1,119 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — enumerate the registered experiments;
+* ``run <experiment> [--step N] [--out FILE]`` — run one experiment and
+  print its paper-vs-measured table;
+* ``all [--step N] [--out-dir DIR]`` — run every experiment;
+* ``costs`` — print the hardware component cost landscape.
+
+The step flag trades sweep resolution for speed (1 = the paper's
+exhaustive setting; tests and quick looks use 8-32).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from .analysis import ALL_EXPERIMENTS, render_table, run_experiment
+from .hardware import components, report
+
+__all__ = ["main", "build_parser"]
+
+_STEPPED = {"fig2", "table2", "table3", "ablation_save_depth",
+            "ablation_composition", "ablation_buffer_depth", "propagation"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Correlation Manipulating Circuits for "
+        "Stochastic Computing' (DATE 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
+    run_p.add_argument("--step", type=int, default=4,
+                       help="level sweep step (1 = paper-exhaustive)")
+    run_p.add_argument("--out", type=pathlib.Path, default=None,
+                       help="also write the table to this file")
+
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--step", type=int, default=4)
+    all_p.add_argument("--out-dir", type=pathlib.Path, default=None)
+
+    sub.add_parser("costs", help="print the hardware cost landscape")
+    return parser
+
+
+def _run_one(experiment: str, step: int):
+    kwargs = {"step": step} if experiment in _STEPPED else {}
+    return run_experiment(experiment, **kwargs)
+
+
+def _cmd_list() -> int:
+    for name in ALL_EXPERIMENTS:
+        doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+        print(f"  {name:24s} {doc[0] if doc else ''}")
+    return 0
+
+
+def _cmd_run(experiment: str, step: int, out: Optional[pathlib.Path]) -> int:
+    result = _run_one(experiment, step)
+    text = result.to_text()
+    print(text)
+    if out is not None:
+        out.write_text(text + "\n")
+    return 0 if result.all_checks_pass else 1
+
+
+def _cmd_all(step: int, out_dir: Optional[pathlib.Path]) -> int:
+    status = 0
+    for name in ALL_EXPERIMENTS:
+        result = _run_one(name, step)
+        print(result.to_text())
+        print()
+        if out_dir is not None:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / f"{name}.txt").write_text(result.to_text() + "\n")
+        if not result.all_checks_pass:
+            status = 1
+    return status
+
+
+def _cmd_costs() -> int:
+    rows = []
+    for name in ("and_gate", "or_gate", "xor_gate", "mux_adder", "ca_adder",
+                 "ca_max", "isolator", "synchronizer", "desynchronizer",
+                 "sync_max", "sync_min", "desync_saturating_adder",
+                 "shuffle_buffer", "decorrelator", "tfm", "lfsr_rng",
+                 "d2s_converter", "s2d_converter", "regenerator"):
+        r = report(getattr(components, name)())
+        rows.append([name, r.area_um2, r.power_uw, r.energy_pj(256)])
+    print(render_table(
+        ["component", "area um2", "power uW", "energy pJ (N=256)"], rows,
+        title="Hardware component costs (65nm-calibrated model)",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.step, args.out)
+    if args.command == "all":
+        return _cmd_all(args.step, args.out_dir)
+    return _cmd_costs()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Domain converters between binary-encoded and stochastic representations.
+
+* :class:`DigitalToStochastic` — comparator D/S converter (paper Fig. 2g).
+* :class:`StochasticToDigital` — counter S/D converter (paper Fig. 2f).
+* :class:`AccumulativeParallelCounter` — exact parallel-sum converter [3].
+* :class:`Regenerator` — S/D + D/S correlation reset (the expensive
+  baseline the paper's circuits replace).
+"""
+
+from .apc import AccumulativeParallelCounter
+from .d2s import DigitalToStochastic
+from .regenerator import Regenerator
+from .s2d import StochasticToDigital
+
+__all__ = [
+    "DigitalToStochastic",
+    "StochasticToDigital",
+    "AccumulativeParallelCounter",
+    "Regenerator",
+]

@@ -1,0 +1,44 @@
+"""Accumulative parallel counter (APC) — paper reference [3].
+
+An APC sums *k* parallel stream bits per cycle into a binary accumulator.
+After ``N`` cycles the accumulator holds ``sum_i B_i`` exactly — an
+unscaled, higher-precision addition that sidesteps the MUX adder's 1/k
+scale factor and its quantisation loss. The paper cites APCs as the
+standard way to avoid "fatal levels of precision reduction".
+
+The APC is correlation-agnostic: it counts 1s regardless of how the input
+streams align.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..bitstream import BitstreamBatch
+
+__all__ = ["AccumulativeParallelCounter"]
+
+
+class AccumulativeParallelCounter:
+    """Binary accumulator over parallel stochastic inputs."""
+
+    def accumulate(self, batch: Union[BitstreamBatch, np.ndarray]) -> int:
+        """Exact sum of 1s across all streams and cycles."""
+        bits = batch.bits if isinstance(batch, BitstreamBatch) else np.asarray(batch)
+        return int(bits.sum())
+
+    def accumulate_value(self, batch: Union[BitstreamBatch, np.ndarray]) -> float:
+        """The unscaled sum of stream values: ``sum_i p_i``."""
+        bits = batch.bits if isinstance(batch, BitstreamBatch) else np.asarray(batch)
+        if bits.ndim != 2:
+            raise ValueError("accumulate_value expects a (k, N) batch")
+        return float(bits.sum() / bits.shape[-1])
+
+    def timeline(self, batch: Union[BitstreamBatch, np.ndarray]) -> np.ndarray:
+        """Cycle-by-cycle accumulator contents (for RTL-level checks)."""
+        bits = batch.bits if isinstance(batch, BitstreamBatch) else np.asarray(batch)
+        if bits.ndim != 2:
+            raise ValueError("timeline expects a (k, N) batch")
+        return np.cumsum(bits.sum(axis=0, dtype=np.int64))

@@ -1,0 +1,114 @@
+"""Digital-to-stochastic (D/S) converter — paper Fig. 2g.
+
+The D/S converter holds a binary input ``x`` in ``[0, N]`` and compares it
+each cycle against the RNG output ``r_t``; the stream bit is
+``x > r_t``. If the RNG emits every residue ``0..N-1`` exactly once per
+period (counter, VDC, full-period Halton), the generated SN has *exactly*
+``x`` ones — no sampling noise, only quantisation.
+
+Correlation control happens here: converting two values through converters
+that share one RNG yields SCC = +1; through independent low-discrepancy
+RNGs yields SCC ~ 0 (paper Section II-B).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..bitstream import Bitstream, BitstreamBatch, Encoding
+from ..exceptions import EncodingError
+from ..rng import StreamRNG
+
+__all__ = ["DigitalToStochastic"]
+
+
+class DigitalToStochastic:
+    """Comparator-based D/S converter bound to one RNG.
+
+    Args:
+        rng: the random source driving the comparator.
+        length: default stream length ``N`` (defaults to ``rng.modulus``,
+            one full RNG period).
+    """
+
+    def __init__(self, rng: StreamRNG, length: int = None) -> None:
+        self._rng = rng
+        self._length = check_positive_int(
+            rng.modulus if length is None else length, name="length"
+        )
+
+    @property
+    def rng(self) -> StreamRNG:
+        return self._rng
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def _check_level(self, x: int) -> int:
+        if not 0 <= x <= self._length:
+            raise EncodingError(
+                f"binary input must lie in [0, {self._length}], got {x}"
+            )
+        return int(x)
+
+    def convert(self, x: int, *, encoding: Union[Encoding, str] = Encoding.UNIPOLAR) -> Bitstream:
+        """Convert one binary level ``x`` (stream value ``x / N``)."""
+        x = self._check_level(x)
+        seq = self._rng.sequence(self._length)
+        bits = (x > seq).astype(np.uint8)
+        return Bitstream(bits, encoding)
+
+    def convert_value(
+        self, value: float, *, encoding: Union[Encoding, str] = Encoding.UNIPOLAR
+    ) -> Bitstream:
+        """Convert a real value in the encoding's range (quantised to N levels)."""
+        enc = Encoding.coerce(encoding)
+        lo, hi = enc.value_range
+        if not lo <= value <= hi:
+            raise EncodingError(f"value {value} outside [{lo}, {hi}] for {enc.value}")
+        probability = value if enc is Encoding.UNIPOLAR else (value + 1.0) / 2.0
+        return self.convert(int(round(probability * self._length)), encoding=enc)
+
+    def convert_batch(
+        self,
+        levels: Sequence[int],
+        *,
+        encoding: Union[Encoding, str] = Encoding.UNIPOLAR,
+    ) -> BitstreamBatch:
+        """Convert many binary levels through this converter's single RNG.
+
+        All resulting streams share the RNG sequence and are therefore
+        maximally positively correlated with one another (SCC = +1 whenever
+        neither stream is constant).
+        """
+        levels = np.asarray(levels, dtype=np.int64)
+        if levels.ndim != 1:
+            raise EncodingError("convert_batch expects a 1-D sequence of levels")
+        if levels.size and (levels.min() < 0 or levels.max() > self._length):
+            raise EncodingError(
+                f"binary inputs must lie in [0, {self._length}]; "
+                f"got range [{levels.min()}, {levels.max()}]"
+            )
+        seq = self._rng.sequence(self._length)
+        bits = (levels[:, None] > seq[None, :]).astype(np.uint8)
+        return BitstreamBatch(bits, encoding)
+
+    def convert_values_batch(
+        self,
+        values: Sequence[float],
+        *,
+        encoding: Union[Encoding, str] = Encoding.UNIPOLAR,
+    ) -> BitstreamBatch:
+        """Vectorised :meth:`convert_value` (shared RNG, hence correlated)."""
+        enc = Encoding.coerce(encoding)
+        values = np.asarray(values, dtype=np.float64)
+        lo, hi = enc.value_range
+        if values.size and (values.min() < lo or values.max() > hi):
+            raise EncodingError(f"values outside [{lo}, {hi}] for {enc.value}")
+        probs = values if enc is Encoding.UNIPOLAR else (values + 1.0) / 2.0
+        levels = np.rint(probs * self._length).astype(np.int64)
+        return self.convert_batch(levels, encoding=enc)

@@ -1,0 +1,84 @@
+"""Regeneration: the S/D -> D/S correlation-reset baseline.
+
+Regeneration (Ting & Hayes, paper reference [10]; Section II-B) converts an
+SN back to binary with an S/D counter and immediately re-encodes it with a
+D/S converter. This *resets* correlation:
+
+* regenerating a group of SNs through converters sharing one RNG makes the
+  group maximally positively correlated (what the image pipeline's
+  "SC Regeneration" variant does before the edge detector);
+* regenerating through independent RNGs decorrelates the group.
+
+Regeneration is exact in value (counting loses nothing) but expensive: a
+full S/D + D/S pair per stream plus the RNG, and a full-stream latency
+bubble (the S/D must finish before the D/S can start — we model the
+functional behaviour and charge the hardware cost in
+:mod:`repro.hardware.components`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..bitstream import Bitstream, BitstreamBatch
+from ..exceptions import CircuitConfigurationError
+from ..rng import StreamRNG
+from .d2s import DigitalToStochastic
+from .s2d import StochasticToDigital
+
+__all__ = ["Regenerator"]
+
+
+class Regenerator:
+    """S/D + D/S regeneration unit.
+
+    Args:
+        rng: RNG used by the re-encoding D/S converter. Pass the *same*
+            instance (or same-spec RNGs) to several calls to produce
+            positively correlated outputs.
+    """
+
+    def __init__(self, rng: StreamRNG) -> None:
+        self._rng = rng
+        self._s2d = StochasticToDigital()
+
+    @property
+    def rng(self) -> StreamRNG:
+        return self._rng
+
+    def regenerate(self, stream: Bitstream) -> Bitstream:
+        """Re-encode one stream; value is preserved exactly (same 1-count)
+        whenever the RNG covers each residue once per period."""
+        count = self._s2d.convert(stream)
+        d2s = DigitalToStochastic(self._rng, length=stream.length)
+        return d2s.convert(count, encoding=stream.encoding)
+
+    def regenerate_batch(self, batch: BitstreamBatch) -> BitstreamBatch:
+        """Re-encode a batch through the shared RNG.
+
+        All outputs are driven by the same comparator sequence, so the
+        regenerated group is maximally positively correlated — exactly the
+        behaviour the image pipeline's regeneration variant relies on to
+        feed the correlation-hungry edge detector.
+        """
+        counts = self._s2d.convert_batch(batch)
+        d2s = DigitalToStochastic(self._rng, length=batch.length)
+        return d2s.convert_batch(counts, encoding=batch.encoding)
+
+    @staticmethod
+    def regenerate_independent(
+        streams: Sequence[Bitstream], rngs: Sequence[StreamRNG]
+    ) -> List[Bitstream]:
+        """Re-encode each stream with its own RNG (decorrelating variant)."""
+        if len(streams) != len(rngs):
+            raise CircuitConfigurationError(
+                f"need one RNG per stream: {len(streams)} streams, {len(rngs)} RNGs"
+            )
+        s2d = StochasticToDigital()
+        out = []
+        for stream, rng in zip(streams, rngs):
+            d2s = DigitalToStochastic(rng, length=stream.length)
+            out.append(d2s.convert(s2d.convert(stream), encoding=stream.encoding))
+        return out

@@ -1,0 +1,44 @@
+"""The paper's contribution: correlation manipulating circuits.
+
+* :class:`Synchronizer` — drives SCC toward +1 (Fig. 3a).
+* :class:`Desynchronizer` — drives SCC toward -1 (Fig. 3b).
+* :class:`ShuffleBuffer` / :class:`Decorrelator` — drive SCC toward 0
+  (Fig. 4).
+* :class:`SyncMax` / :class:`SyncMin` / :class:`DesyncSaturatingAdder` —
+  the improved operators built on them (Fig. 5).
+* :class:`Isolator` / :class:`IsolatorPair`,
+  :class:`TrackingForecastMemory` / :class:`TFMPair` — the prior-art
+  baselines Table II compares against.
+* :class:`SeriesPair` / :class:`SeriesStream` — series composition
+  (Section III-B).
+* :class:`PairTransform` / :class:`StreamTransform` — the extension points
+  for user-defined circuits.
+"""
+
+from .compose import SeriesPair, SeriesStream
+from .decorrelator import Decorrelator
+from .desynchronizer import Desynchronizer
+from .fsm import PairTransform, StreamTransform
+from .improved_ops import DesyncSaturatingAdder, SyncMax, SyncMin
+from .isolator import Isolator, IsolatorPair
+from .shuffle_buffer import ShuffleBuffer
+from .synchronizer import Synchronizer
+from .tfm import TFMPair, TrackingForecastMemory
+
+__all__ = [
+    "PairTransform",
+    "StreamTransform",
+    "Synchronizer",
+    "Desynchronizer",
+    "ShuffleBuffer",
+    "Decorrelator",
+    "Isolator",
+    "IsolatorPair",
+    "TrackingForecastMemory",
+    "TFMPair",
+    "SeriesPair",
+    "SeriesStream",
+    "SyncMax",
+    "SyncMin",
+    "DesyncSaturatingAdder",
+]

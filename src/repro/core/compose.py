@@ -1,0 +1,86 @@
+"""Series composition of correlation manipulating circuits.
+
+Paper Section III-B: instead of one deep FSM, chain several minimal-depth
+(D = 1) synchronizers or desynchronizers. "Each synchronizer or
+desynchronizer will improve the correlation albeit with diminishing
+returns. In the limit, output SNs will eventually become maximally
+correlated." The residual-bit bias compounds across stages; the paper's
+mitigation — adjusting each stage's initial state — is available through
+the stage constructors.
+
+:class:`SeriesPair` chains pair transforms; :class:`SeriesStream` chains
+stream transforms (e.g. cascaded shuffle buffers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CircuitConfigurationError
+from .fsm import PairTransform, StreamTransform
+
+__all__ = ["SeriesPair", "SeriesStream"]
+
+
+class SeriesPair(PairTransform):
+    """A chain of pair transforms applied left to right."""
+
+    def __init__(self, stages: Sequence[PairTransform]) -> None:
+        stages = tuple(stages)
+        if not stages:
+            raise CircuitConfigurationError("SeriesPair needs at least one stage")
+        for stage in stages:
+            if not isinstance(stage, PairTransform):
+                raise CircuitConfigurationError(
+                    f"SeriesPair stages must be PairTransforms, got {type(stage).__name__}"
+                )
+        self._stages = stages
+
+    @property
+    def name(self) -> str:
+        return " -> ".join(stage.name for stage in self._stages)
+
+    @property
+    def stages(self) -> Tuple[PairTransform, ...]:
+        return self._stages
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def _process_bits(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        for stage in self._stages:
+            x, y = stage._process_bits(x, y)
+        return x, y
+
+
+class SeriesStream(StreamTransform):
+    """A chain of single-stream transforms applied left to right."""
+
+    def __init__(self, stages: Sequence[StreamTransform]) -> None:
+        stages = tuple(stages)
+        if not stages:
+            raise CircuitConfigurationError("SeriesStream needs at least one stage")
+        for stage in stages:
+            if not isinstance(stage, StreamTransform):
+                raise CircuitConfigurationError(
+                    f"SeriesStream stages must be StreamTransforms, got {type(stage).__name__}"
+                )
+        self._stages = stages
+
+    @property
+    def name(self) -> str:
+        return " -> ".join(stage.name for stage in self._stages)
+
+    @property
+    def stages(self) -> Tuple[StreamTransform, ...]:
+        return self._stages
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def _process_stream_bits(self, bits: np.ndarray) -> np.ndarray:
+        for stage in self._stages:
+            bits = stage._process_stream_bits(bits)
+        return bits

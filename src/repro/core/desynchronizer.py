@@ -1,0 +1,169 @@
+"""The desynchronizer — the paper's negative-correlation inducer (Fig. 3b).
+
+Dual of the synchronizer: instead of pairing 1s, it *unpairs* them. When
+both inputs are 1 it saves one of the 1s and emits the other; when both are
+0 it emits a previously saved 1 against the 0; when the inputs already
+differ it passes them through.
+
+**State representation.** The FSM holds a FIFO of saved 1s, each tagged
+with the stream it belongs to. Because the circuit alternates which stream
+it saves from (for symmetry), the tags in the queue strictly alternate
+X, Y, X, Y, ... — so the whole queue is captured by two scalars:
+
+* ``count`` — number of saved 1s (``0..D``);
+* ``tag`` — owner of the queue *head* when ``count > 0``, or the stream to
+  save from next when ``count == 0``.
+
+Per-cycle transitions (exactly the paper's 4-state cycle for ``D = 1``:
+``(0, X) = S0``, ``(1, X) = save-X``, ``(0, Y) = S3``, ``(1, Y) = save-Y``):
+
+====================  ===========================  ========================
+input ``(x, y)``      condition                    output, state update
+====================  ===========================  ========================
+``x != y``            —                            pass ``(x, y)``
+``(1, 1)``            ``count < D``                save a 1 from the stream
+                                                   ``next_tag``; emit the
+                                                   *other* stream's 1 alone
+``(1, 1)``            ``count = D`` (saturated)    pass ``(1, 1)``
+``(0, 0)``            ``count > 0``                emit head's 1 on its own
+                                                   stream; ``tag`` flips
+``(0, 0)``            ``count = 0``                pass ``(0, 0)``
+====================  ===========================  ========================
+
+where ``next_tag`` is the opposite of the queue tail's owner (i.e. ``tag``
+XOR ``count`` parity), keeping the alternation invariant.
+
+Saved 1s left in the queue at end-of-stream are the source of the small
+negative bias the paper reports; the optional **flush** mode force-emits
+them when they could no longer drain naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int
+from .fsm import PairTransform
+
+__all__ = ["Desynchronizer"]
+
+_TAG_X = 0
+_TAG_Y = 1
+
+
+class Desynchronizer(PairTransform):
+    """Negative-correlation-inducing FSM.
+
+    Args:
+        depth: save depth ``D`` (paper Fig. 3b is ``D = 1``).
+        flush: enable the end-of-stream flush extension (Section III-B).
+        first_save: which stream the first save comes from (``"x"`` or
+            ``"y"``); the paper's initial-state adjustment for composition.
+    """
+
+    def __init__(self, depth: int = 1, *, flush: bool = False, first_save: str = "x") -> None:
+        self._depth = check_positive_int(depth, name="depth")
+        self._flush = bool(flush)
+        if first_save not in ("x", "y"):
+            raise ValueError(f"first_save must be 'x' or 'y', got {first_save!r}")
+        self._first_tag = _TAG_X if first_save == "x" else _TAG_Y
+
+    @property
+    def name(self) -> str:
+        flags = ",flush" if self._flush else ""
+        return f"desynchronizer(D={self._depth}{flags})"
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def flush(self) -> bool:
+        return self._flush
+
+    def _process_bits(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        batch, length = x.shape
+        depth = self._depth
+        count = np.zeros(batch, dtype=np.int64)
+        tag = np.full(batch, self._first_tag, dtype=np.int64)
+        out_x = np.empty_like(x)
+        out_y = np.empty_like(y)
+        for t in range(length):
+            xt = x[:, t]
+            yt = y[:, t]
+            if self._flush:
+                flushing = count >= (length - t)
+            else:
+                flushing = np.zeros(batch, dtype=bool)
+
+            both_one = (xt == 1) & (yt == 1)
+            both_zero = (xt == 0) & (yt == 0)
+
+            ox = xt.copy()
+            oy = yt.copy()
+            ncount = count.copy()
+            ntag = tag.copy()
+
+            # Save a 1 (inputs both 1, room in the queue).
+            can_save = both_one & (count < depth) & ~flushing
+            # Owner of the next save: queue-tail's opposite = tag XOR parity.
+            next_tag = (tag + count) % 2
+            save_x = can_save & (next_tag == _TAG_X)
+            save_y = can_save & (next_tag == _TAG_Y)
+            ox[save_x] = 0  # X's 1 goes into the queue; Y's 1 passes.
+            oy[save_x] = 1
+            ox[save_y] = 1  # Y's 1 goes into the queue; X's 1 passes.
+            oy[save_y] = 0
+            ncount[can_save] += 1
+            # Head tag is defined by the first entry; set it when the queue
+            # was empty.
+            was_empty = can_save & (count == 0)
+            ntag[was_empty] = next_tag[was_empty]
+
+            # Emit the head 1 (inputs both 0, queue non-empty).
+            can_emit = both_zero & (count > 0) & ~flushing
+            emit_x = can_emit & (tag == _TAG_X)
+            emit_y = can_emit & (tag == _TAG_Y)
+            ox[emit_x] = 1
+            oy[emit_y] = 1
+            ncount[can_emit] -= 1
+            ntag[can_emit] = 1 - tag[can_emit]  # alternation invariant
+
+            # Flush: force-emit the head on its stream regardless of input;
+            # the queue drains only on cycles where that stream's input was
+            # 0 (a natural 1 doubles as the repayment otherwise).
+            if self._flush:
+                fl_x = flushing & (tag == _TAG_X)
+                fl_y = flushing & (tag == _TAG_Y)
+                ox[fl_x] = 1
+                oy[fl_x] = yt[fl_x]
+                oy[fl_y] = 1
+                ox[fl_y] = xt[fl_y]
+                repaid_x = fl_x & (xt == 0)
+                repaid_y = fl_y & (yt == 0)
+                repaid = repaid_x | repaid_y
+                ncount[repaid] = count[repaid] - 1
+                ntag[repaid] = 1 - tag[repaid]
+                keep = flushing & ~repaid
+                ncount[keep] = count[keep]
+                ntag[keep] = tag[keep]
+
+            out_x[:, t] = ox
+            out_y[:, t] = oy
+            count = ncount
+            tag = ntag
+        return out_x, out_y
+
+    def stuck_bits(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """1s left in the queue at end-of-stream, per batch row."""
+        xb = np.asarray(x, dtype=np.uint8)
+        yb = np.asarray(y, dtype=np.uint8)
+        if xb.ndim == 1:
+            xb = xb.reshape(1, -1)
+            yb = yb.reshape(1, -1)
+        ox, oy = self._process_bits(xb, yb)
+        total_in = xb.sum(axis=1, dtype=np.int64) + yb.sum(axis=1, dtype=np.int64)
+        total_out = ox.sum(axis=1, dtype=np.int64) + oy.sum(axis=1, dtype=np.int64)
+        return total_in - total_out

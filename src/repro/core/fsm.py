@@ -1,0 +1,80 @@
+"""Base classes for correlation manipulating circuits.
+
+Two circuit shapes appear in the paper:
+
+* **Pair transforms** (synchronizer, desynchronizer, decorrelator): take
+  two SNs and emit two SNs of (ideally) the same values but different
+  mutual correlation.
+* **Stream transforms** (shuffle buffer, isolator, TFM): take one SN and
+  emit one SN; pair-level effects come from applying instances with
+  different auxiliary randomness to each stream.
+
+Both are sequential circuits. Subclasses implement the raw-bit methods on
+``(batch, N)`` uint8 matrices — vectorised over the batch, looping only
+over time — and inherit the public wrappers that accept/return
+:class:`~repro.bitstream.Bitstream`, :class:`~repro.bitstream.BitstreamBatch`,
+or numpy arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from ..arith._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from ..exceptions import EncodingError
+
+__all__ = ["PairTransform", "StreamTransform"]
+
+
+class PairTransform(abc.ABC):
+    """A two-in / two-out correlation manipulating circuit."""
+
+    @abc.abstractmethod
+    def _process_bits(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Transform raw ``(batch, N)`` bit matrices; return two like-shaped
+        matrices."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used in experiment tables."""
+
+    def process_pair(self, x: StreamLike, y: StreamLike) -> Tuple[StreamLike, StreamLike]:
+        """Transform a pair of SNs, preserving the input container kinds."""
+        xb, kind_x, enc_x = unwrap(x, name="x")
+        yb, kind_y, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError(
+                f"{self.name}: operands must share an encoding "
+                f"({enc_x.value} vs {enc_y.value})"
+            )
+        xb, yb = broadcast_pair(xb, yb)
+        out_x, out_y = self._process_bits(xb, yb)
+        return rewrap(out_x, kind_x, enc_x), rewrap(out_y, kind_y, enc_y)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class StreamTransform(abc.ABC):
+    """A one-in / one-out stream-reshaping circuit."""
+
+    @abc.abstractmethod
+    def _process_stream_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Transform a raw ``(batch, N)`` bit matrix."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short identifier used in experiment tables."""
+
+    def process(self, x: StreamLike) -> StreamLike:
+        """Transform one SN (or batch), preserving the container kind."""
+        xb, kind, enc = unwrap(x, name="x")
+        return rewrap(self._process_stream_bits(xb), kind, enc)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"

@@ -1,0 +1,118 @@
+"""The paper's improved SC operators (Fig. 5).
+
+Each improved design is a correlation manipulating circuit fused with a
+single gate:
+
+* :class:`SyncMax` — synchronizer + OR. After synchronisation the smaller
+  SN's 1s are masked by the larger's, so the OR emits exactly the larger
+  value (plus its surplus 1s) — an accurate maximum from *any* input
+  correlation (Table III: 0.003 mean error vs. 0.087 for a bare OR).
+* :class:`SyncMin` — synchronizer + AND, the mirror argument for minimum.
+* :class:`DesyncSaturatingAdder` — desynchronizer + OR. After
+  desynchronisation the 1s overlap as little as possible, so the OR
+  collects ``min(1, px + py)``: an accurate saturating adder from any
+  input correlation.
+
+Constructors accept a prebuilt pair transform so the depth/flush/
+composition variants can be dropped in (the Table III "deeper save depth"
+trade-off and the ablation benches use this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..arith._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from ..arith.gates import and_bits, or_bits
+from ..exceptions import CircuitConfigurationError, EncodingError
+from .desynchronizer import Desynchronizer
+from .fsm import PairTransform
+from .synchronizer import Synchronizer
+
+__all__ = ["SyncMax", "SyncMin", "DesyncSaturatingAdder"]
+
+
+class _FusedGateOp:
+    """Shared machinery: run a pair transform, then a 2-input gate."""
+
+    _GATE = None  # subclass binds and_bits / or_bits
+    _DEFAULT_TRANSFORM = None  # subclass binds a constructor
+
+    def __init__(self, transform: Optional[PairTransform] = None, *, depth: int = 1) -> None:
+        if transform is None:
+            transform = self._make_default_transform(depth)
+        if not isinstance(transform, PairTransform):
+            raise CircuitConfigurationError(
+                f"{type(self).__name__} needs a PairTransform, got {type(transform).__name__}"
+            )
+        self._transform = transform
+
+    @classmethod
+    def _make_default_transform(cls, depth: int) -> PairTransform:
+        raise NotImplementedError
+
+    @property
+    def transform(self) -> PairTransform:
+        """The embedded correlation manipulating circuit."""
+        return self._transform
+
+    def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        xb, kind, enc_x = unwrap(x, name="x")
+        yb, _, enc_y = unwrap(y, name="y")
+        if enc_x is not enc_y:
+            raise EncodingError(f"{type(self).__name__} operands must share an encoding")
+        xb, yb = broadcast_pair(xb, yb)
+        sx, sy = self._transform._process_bits(xb, yb)
+        bits = type(self)._GATE(sx, sy)
+        return rewrap(bits, kind, enc_x)
+
+
+class SyncMax(_FusedGateOp):
+    """Synchronizer-based maximum (paper Fig. 5a).
+
+    Args:
+        transform: optional custom synchronizer (depth/flush/series).
+        depth: save depth for the default synchronizer.
+    """
+
+    _GATE = staticmethod(or_bits)
+
+    @classmethod
+    def _make_default_transform(cls, depth: int) -> PairTransform:
+        return Synchronizer(depth=depth)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        return np.maximum(np.asarray(px, dtype=np.float64), np.asarray(py, dtype=np.float64))
+
+
+class SyncMin(_FusedGateOp):
+    """Synchronizer-based minimum (paper Fig. 5b)."""
+
+    _GATE = staticmethod(and_bits)
+
+    @classmethod
+    def _make_default_transform(cls, depth: int) -> PairTransform:
+        return Synchronizer(depth=depth)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        return np.minimum(np.asarray(px, dtype=np.float64), np.asarray(py, dtype=np.float64))
+
+
+class DesyncSaturatingAdder(_FusedGateOp):
+    """Desynchronizer-based saturating adder (paper Fig. 5c)."""
+
+    _GATE = staticmethod(or_bits)
+
+    @classmethod
+    def _make_default_transform(cls, depth: int) -> PairTransform:
+        return Desynchronizer(depth=depth)
+
+    @staticmethod
+    def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        return np.minimum(
+            1.0, np.asarray(px, dtype=np.float64) + np.asarray(py, dtype=np.float64)
+        )

@@ -1,0 +1,99 @@
+"""The shuffle buffer — the decorrelator's building block (paper Fig. 4b).
+
+A shuffle buffer is a ``D``-entry bit memory. Each cycle an auxiliary RNG
+addresses one slot; the stored bit is emitted and the incoming bit takes
+its place. Over time this randomly permutes bits across windows of roughly
+``D`` positions — scrambling *relative bit order*, which is exactly what a
+plain isolator (a fixed delay) cannot do (paper Section V).
+
+**Bit conservation.** Every input bit is eventually emitted except the
+``D`` bits resident when the stream ends; the emitted surplus is the ``D``
+initial bits. The paper therefore initialises half the buffer with 1s and
+half with 0s "so that on average fewer 1s from the input SNs will get
+stuck" — the expected net bias is ``(D/2 - p*D) / N``, tiny for values
+near 0.5 and bounded by ``D/(2N)`` in the worst case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import CircuitConfigurationError
+from ..rng import StreamRNG
+from .fsm import StreamTransform
+
+__all__ = ["ShuffleBuffer"]
+
+_INIT_POLICIES = ("half_ones", "zeros", "ones")
+
+
+class ShuffleBuffer(StreamTransform):
+    """Randomly swapping bit memory.
+
+    Args:
+        rng: auxiliary address source; rescaled to ``[0, depth)`` per
+            cycle. Two buffers with *different* RNGs decorrelate a pair of
+            streams (see :class:`~repro.core.decorrelator.Decorrelator`).
+        depth: number of memory slots ``D`` (paper Fig. 4b shows D = 4).
+        init: initial fill policy — ``"half_ones"`` (paper default),
+            ``"zeros"``, or ``"ones"`` (the alternatives exist for the
+            bias ablation bench).
+    """
+
+    def __init__(self, rng: StreamRNG, depth: int = 4, *, init: str = "half_ones") -> None:
+        self._rng = rng
+        self._depth = check_positive_int(depth, name="depth")
+        if init not in _INIT_POLICIES:
+            raise CircuitConfigurationError(
+                f"init must be one of {_INIT_POLICIES}, got {init!r}"
+            )
+        self._init = init
+
+    @property
+    def name(self) -> str:
+        return f"shuffle_buffer(D={self._depth},{self._init})"
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def rng(self) -> StreamRNG:
+        return self._rng
+
+    def _initial_buffer(self, batch: int) -> np.ndarray:
+        if self._init == "zeros":
+            return np.zeros((batch, self._depth), dtype=np.uint8)
+        if self._init == "ones":
+            return np.ones((batch, self._depth), dtype=np.uint8)
+        # Half 1s, half 0s (paper Section III-C). Slot order is irrelevant:
+        # slots are addressed randomly, only the 1-count matters.
+        row = np.zeros(self._depth, dtype=np.uint8)
+        row[: self._depth // 2] = 1
+        return np.tile(row, (batch, 1))
+
+    def _process_stream_bits(self, bits: np.ndarray) -> np.ndarray:
+        batch, length = bits.shape
+        buffer = self._initial_buffer(batch)
+        addresses = self._rng.integers(length, self._depth)
+        out = np.empty_like(bits)
+        rows = np.arange(batch)
+        for t in range(length):
+            slot = int(addresses[t])
+            out[:, t] = buffer[rows, slot]
+            buffer[rows, slot] = bits[:, t]
+        return out
+
+    def residual_ones(self, bits: np.ndarray) -> np.ndarray:
+        """1s still resident in the buffer after the stream ends.
+
+        ``ones(out) = ones(in) + ones(init) - residual``; diagnostic for
+        the bias analysis and the property tests.
+        """
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        out = self._process_stream_bits(arr)
+        init_ones = int(self._initial_buffer(1).sum())
+        return arr.sum(axis=1, dtype=np.int64) + init_ones - out.sum(axis=1, dtype=np.int64)

@@ -1,0 +1,161 @@
+"""The synchronizer — the paper's positive-correlation inducer (Fig. 3a).
+
+The synchronizer pairs up 1s between two streams as often as possible while
+preserving each stream's 1-count. Its state is the *surplus ledger*
+``s in [-D, +D]``:
+
+* ``s > 0`` — X has emitted ``s`` fewer 1s than it received: ``s`` X-1s are
+  "saved" awaiting a Y-1 to pair with;
+* ``s < 0`` — symmetric, ``-s`` saved Y-1s;
+* ``s = 0`` — balanced (the paper's initial state S0).
+
+Transition rules per cycle (the paper's D = 1 FSM, generalised verbatim to
+depth ``D``):
+
+====================  =============================  =====================
+input ``(x, y)``      condition                      output, state update
+====================  =============================  =====================
+``x == y``            —                              pass ``(x, y)``
+``(1, 0)``            ``s < 0`` (saved Y available)  emit ``(1, 1)``, s += 1
+``(1, 0)``            ``0 <= s < D`` (room to save)  emit ``(0, 0)``, s += 1
+``(1, 0)``            ``s = D`` (saturated)          pass ``(1, 0)``
+``(0, 1)``            mirror image                   mirror image
+====================  =============================  =====================
+
+For ``D = 1`` the three reachable ``s`` values {-1, 0, +1} are exactly the
+paper's states S2, S0, S1, and the table above reproduces every edge of
+Fig. 3a.
+
+**Value preservation.** Each stream's 1s are only ever deferred, never
+dropped — except that up to ``|s_final|`` 1s can be left *stuck* in the
+FSM when the stream ends, which is the paper's explanation for the small
+negative output bias in Table II. The optional **flush** mode (paper
+Section III-B) tracks the stream offset and force-emits saved bits once
+``|s|`` reaches the number of remaining cycles, bounding the stuck loss.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import check_positive_int
+from .fsm import PairTransform
+
+__all__ = ["Synchronizer"]
+
+
+class Synchronizer(PairTransform):
+    """Positive-correlation-inducing FSM.
+
+    Args:
+        depth: save depth ``D`` (paper Fig. 3a is ``D = 1``). Larger depths
+            survive longer runs of unpaired bits at the cost of a bigger
+            FSM and a larger worst-case stuck loss.
+        flush: enable the end-of-stream flush extension (Section III-B):
+            saved bits are force-emitted once they could no longer drain
+            naturally, trading correlation strength for value accuracy.
+        initial_state: starting ledger value in ``[-depth, depth]``. The
+            paper suggests biased initial states to cancel composition
+            losses (Section III-B).
+    """
+
+    def __init__(self, depth: int = 1, *, flush: bool = False, initial_state: int = 0) -> None:
+        self._depth = check_positive_int(depth, name="depth")
+        if not -self._depth <= initial_state <= self._depth:
+            raise ValueError(
+                f"initial_state must lie in [-{self._depth}, {self._depth}], got {initial_state}"
+            )
+        self._flush = bool(flush)
+        self._initial_state = int(initial_state)
+
+    @property
+    def name(self) -> str:
+        flags = ",flush" if self._flush else ""
+        return f"synchronizer(D={self._depth}{flags})"
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def flush(self) -> bool:
+        return self._flush
+
+    def _process_bits(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        batch, length = x.shape
+        depth = self._depth
+        s = np.full(batch, self._initial_state, dtype=np.int64)
+        out_x = np.empty_like(x)
+        out_y = np.empty_like(y)
+        for t in range(length):
+            xt = x[:, t]
+            yt = y[:, t]
+            if self._flush:
+                remaining = length - t
+                flush_x = s >= remaining  # saved X 1s must drain now
+                flush_y = -s >= remaining  # saved Y 1s must drain now
+            else:
+                flush_x = flush_y = np.zeros(batch, dtype=bool)
+
+            equal = xt == yt
+            x_hi = (xt == 1) & (yt == 0)
+            y_hi = (xt == 0) & (yt == 1)
+
+            # Default: pass-through (covers equal inputs and saturation).
+            ox = xt.copy()
+            oy = yt.copy()
+            ns = s.copy()
+
+            # X surplus 1 arrives.
+            pair_with_saved_y = x_hi & (s < 0) & ~flush_x & ~flush_y
+            save_x = x_hi & (s >= 0) & (s < depth) & ~flush_x & ~flush_y
+            ox[pair_with_saved_y] = 1
+            oy[pair_with_saved_y] = 1
+            ns[pair_with_saved_y] += 1
+            ox[save_x] = 0
+            oy[save_x] = 0
+            ns[save_x] += 1
+
+            # Y surplus 1 arrives (mirror image).
+            pair_with_saved_x = y_hi & (s > 0) & ~flush_x & ~flush_y
+            save_y = y_hi & (s <= 0) & (s > -depth) & ~flush_x & ~flush_y
+            ox[pair_with_saved_x] = 1
+            oy[pair_with_saved_x] = 1
+            ns[pair_with_saved_x] -= 1
+            ox[save_y] = 0
+            oy[save_y] = 0
+            ns[save_y] -= 1
+
+            # Flush overrides: force the owing stream's output to 1 and
+            # repay one saved bit whenever the natural input was 0.
+            if self._flush:
+                fx = flush_x
+                ox[fx] = 1
+                oy[fx] = yt[fx]
+                ns[fx] = s[fx] - (1 - xt[fx].astype(np.int64))
+                fy = flush_y & ~flush_x
+                oy[fy] = 1
+                ox[fy] = xt[fy]
+                ns[fy] = s[fy] + (1 - yt[fy].astype(np.int64))
+
+            out_x[:, t] = ox
+            out_y[:, t] = oy
+            s = ns
+        return out_x, out_y
+
+    def stuck_bits(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Final ledger magnitude per batch row — the 1s lost to the FSM.
+
+        Diagnostic used by tests and the bias analysis; recomputes the run.
+        """
+        xb = np.asarray(x, dtype=np.uint8)
+        yb = np.asarray(y, dtype=np.uint8)
+        if xb.ndim == 1:
+            xb = xb.reshape(1, -1)
+            yb = yb.reshape(1, -1)
+        ox, oy = self._process_bits(xb, yb)
+        lost_x = xb.sum(axis=1, dtype=np.int64) - ox.sum(axis=1, dtype=np.int64)
+        lost_y = yb.sum(axis=1, dtype=np.int64) - oy.sum(axis=1, dtype=np.int64)
+        return np.abs(lost_x) + np.abs(lost_y)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` stochastic-computing library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class EncodingError(ReproError, ValueError):
+    """A value or bitstream is invalid for the requested SN encoding."""
+
+
+class LengthMismatchError(ReproError, ValueError):
+    """Two bitstreams that must share a length do not."""
+
+
+class RNGConfigurationError(ReproError, ValueError):
+    """A random-number generator was configured with invalid parameters."""
+
+
+class CircuitConfigurationError(ReproError, ValueError):
+    """A circuit (FSM, buffer, converter, ...) has invalid parameters."""
+
+
+class HardwareModelError(ReproError, ValueError):
+    """The hardware cost model was asked for something it cannot provide."""
+
+
+class PipelineError(ReproError, ValueError):
+    """The image-processing pipeline was configured or driven incorrectly."""

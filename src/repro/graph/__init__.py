@@ -1,0 +1,36 @@
+"""SC dataflow graphs with correlation auditing and automatic fix-up.
+
+Build a computation as a DAG of sources and operators, then:
+
+* :meth:`SCGraph.audit` — measure the SCC every operator's operands
+  actually arrive with, against the SCC its function requires;
+* :func:`autofix` — splice the paper's synchronizer / desynchronizer /
+  decorrelator in front of every violated operator, and price the
+  insertion with the hardware model.
+
+Example::
+
+    g = SCGraph()
+    g.source("a", 0.9, "vdc")
+    g.source("b", 0.5, "vdc")        # same RNG: correlated with "a"!
+    g.op("prod", "mul", "a", "b")    # multiply requires SCC = 0
+    report = autofix(g)
+    print(report.insertions)          # ['prod: decorrelator(D=4)']
+"""
+
+from .autofix import AutofixReport, autofix
+from .graph import AuditEntry, GraphAudit, SCGraph
+from .nodes import OP_LIBRARY, Node, OpNode, SourceNode, TransformNode
+
+__all__ = [
+    "SCGraph",
+    "GraphAudit",
+    "AuditEntry",
+    "Node",
+    "SourceNode",
+    "OpNode",
+    "TransformNode",
+    "OP_LIBRARY",
+    "autofix",
+    "AutofixReport",
+]

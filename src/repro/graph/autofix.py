@@ -1,0 +1,145 @@
+"""Automatic insertion of correlation manipulating circuits.
+
+The paper's pitch (Section I): unlike RNG-level correlation control, the
+synchronizer / desynchronizer / decorrelator "can be inserted at
+appropriate points in the computation". :func:`autofix` mechanises the
+choice of points: audit the graph, and in front of every operator whose
+operands violate its correlation requirement splice the matching circuit —
+
+* requirement **+1** -> :class:`~repro.core.synchronizer.Synchronizer`,
+* requirement **-1** -> :class:`~repro.core.desynchronizer.Desynchronizer`,
+* requirement **0**  -> :class:`~repro.core.decorrelator.Decorrelator`
+  (fresh LFSR address pair per insertion).
+
+The returned report prices the inserted hardware with the cost model and
+re-audits, so the accuracy-vs-area trade is explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core import Decorrelator, Desynchronizer, Synchronizer
+from ..hardware import Netlist, components, report
+from ..rng import LFSR
+from .graph import SCGraph
+from .nodes import Node, OpNode, SourceNode, TransformNode
+
+__all__ = ["AutofixReport", "autofix"]
+
+
+@dataclass
+class AutofixReport:
+    """Outcome of one auto-fix pass."""
+
+    fixed_graph: SCGraph
+    insertions: List[str] = field(default_factory=list)
+    added_area_um2: float = 0.0
+    added_power_uw: float = 0.0
+    error_before: Dict[str, float] = field(default_factory=dict)
+    error_after: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def insertion_count(self) -> int:
+        return len(self.insertions)
+
+    def mean_error_before(self) -> float:
+        return sum(self.error_before.values()) / max(1, len(self.error_before))
+
+    def mean_error_after(self) -> float:
+        return sum(self.error_after.values()) / max(1, len(self.error_after))
+
+
+def _transform_for(required: float, depth: int, seed_counter: List[int]):
+    """Build the manipulating circuit and its netlist for a requirement."""
+    if required == 1.0:
+        return Synchronizer(depth=depth), components.synchronizer(depth)
+    if required == -1.0:
+        return Desynchronizer(depth=depth), components.desynchronizer(depth)
+    # requirement 0: decorrelator with fresh, distinct address RNG seeds.
+    seed_counter[0] += 2
+    deco = Decorrelator(
+        LFSR(8, seed=(seed_counter[0] % 254) + 1),
+        LFSR(8, seed=((seed_counter[0] + 97) % 254) + 1),
+        depth=4,
+    )
+    return deco, components.decorrelator(4)
+
+
+def _fix_once(
+    graph: SCGraph,
+    violated: set,
+    depth: int,
+    round_index: int,
+    seed_counter: List[int],
+) -> tuple:
+    """One insertion pass; returns (fixed graph, insertions, netlist)."""
+    fixed = SCGraph()
+    netlist = Netlist("autofix")
+    insertions: List[str] = []
+    for name in graph.node_names:
+        node = graph.node(name)
+        if isinstance(node, OpNode) and node.name in violated:
+            a, b = node.inputs
+            transform, cost = _transform_for(node.required_scc, depth, seed_counter)
+            shared: dict = {}
+            fix_a = TransformNode(f"{name}.fix{round_index}_a", transform, (a, b), 0, shared)
+            fix_b = TransformNode(f"{name}.fix{round_index}_b", transform, (a, b), 1, shared)
+            fixed.add(fix_a)
+            fixed.add(fix_b)
+            fixed.add(OpNode(name, node.op, (fix_a.name, fix_b.name)))
+            netlist = netlist + cost
+            insertions.append(f"{name}: {transform.name}")
+        elif isinstance(node, SourceNode):
+            fixed.add(SourceNode(node.name, node.value, node.rng_spec, **node.rng_kwargs))
+        elif isinstance(node, OpNode):
+            fixed.add(OpNode(node.name, node.op, node.inputs))
+        else:
+            # Pre-existing transform nodes are carried over unchanged.
+            fixed.add(node)
+    return fixed, insertions, netlist
+
+
+def autofix(
+    graph: SCGraph,
+    *,
+    length: int = 256,
+    tolerance: float = 0.35,
+    depth: int = 1,
+    iterations: int = 1,
+) -> AutofixReport:
+    """Audit ``graph`` and return a rebuilt graph with circuits inserted.
+
+    The input graph is not modified. Inserted transform nodes are named
+    ``<op>.fix<round>_a`` / ``_b``. With ``iterations > 1`` the pass
+    repeats on the fixed graph, *composing* additional stages in front of
+    operators that are still violated — the paper's Section III-B series
+    composition, applied only where the first stage wasn't enough.
+    """
+    audit_before = graph.audit(length, tolerance=tolerance)
+    seed_counter = [0]
+    total_netlist = Netlist("autofix")
+    all_insertions: List[str] = []
+    current = graph
+    violated = {e.node for e in audit_before.violations}
+    for round_index in range(max(1, iterations)):
+        if not violated:
+            break
+        current, insertions, netlist = _fix_once(
+            current, violated, depth, round_index, seed_counter
+        )
+        total_netlist = total_netlist + netlist
+        all_insertions.extend(insertions)
+        violated = {e.node for e in current.audit(length, tolerance=tolerance).violations}
+
+    audit_after = current.audit(length, tolerance=tolerance)
+    cost = report(total_netlist)
+    return AutofixReport(
+        fixed_graph=current,
+        insertions=all_insertions,
+        added_area_um2=cost.area_um2,
+        added_power_uw=cost.power_uw,
+        error_before={e.node: e.value_error for e in audit_before.entries},
+        error_after={e.node: e.value_error for e in audit_after.entries},
+    )

@@ -1,0 +1,167 @@
+"""The SC dataflow graph: evaluation and correlation auditing.
+
+:class:`SCGraph` is a DAG of :mod:`repro.graph.nodes`. It can:
+
+* ``run(length)`` — simulate every stream;
+* ``audit(length)`` — measure, at every operator, the SCC its operands
+  actually arrived with versus the SCC its function requires, plus each
+  node's value error against exact float semantics (so correlation damage
+  is attributed to the operator where it happens).
+
+The audit output feeds :func:`repro.graph.autofix.autofix`, which splices
+in the paper's circuits where requirements are violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..bitstream.metrics import scc
+from ..exceptions import CircuitConfigurationError
+from .nodes import Node, OpNode, SourceNode
+
+__all__ = ["SCGraph", "AuditEntry", "GraphAudit"]
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """Correlation/accuracy report for one operator node."""
+
+    node: str
+    op: str
+    required_scc: Optional[float]
+    measured_scc: float
+    expected_value: float
+    measured_value: float
+    violated: bool
+
+    @property
+    def value_error(self) -> float:
+        return abs(self.measured_value - self.expected_value)
+
+
+@dataclass
+class GraphAudit:
+    """Full-graph audit: per-op entries plus per-node values."""
+
+    entries: List[AuditEntry]
+    values: Dict[str, float]
+    expected: Dict[str, float]
+
+    @property
+    def violations(self) -> List[AuditEntry]:
+        return [e for e in self.entries if e.violated]
+
+    def total_output_error(self, outputs: Sequence[str]) -> float:
+        return float(
+            np.mean([abs(self.values[o] - self.expected[o]) for o in outputs])
+        )
+
+
+class SCGraph:
+    """A directed acyclic graph of SC stream computations."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add(self, node: Node) -> Node:
+        """Add any node; inputs must already exist (insertion order is
+        topological by construction)."""
+        if node.name in self._nodes:
+            raise CircuitConfigurationError(f"duplicate node name {node.name!r}")
+        for dep in node.inputs:
+            if dep not in self._nodes:
+                raise CircuitConfigurationError(
+                    f"node {node.name!r} references unknown input {dep!r}"
+                )
+        self._nodes[node.name] = node
+        self._order.append(node.name)
+        return node
+
+    def source(self, name: str, value: float, rng_spec: str = "vdc", **kw) -> Node:
+        """Add a :class:`SourceNode`."""
+        return self.add(SourceNode(name, value, rng_spec, **kw))
+
+    def op(self, name: str, op: str, a: str, b: str) -> Node:
+        """Add an :class:`OpNode` computing ``op(a, b)``."""
+        return self.add(OpNode(name, op, (a, b)))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._order)
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def op_nodes(self) -> List[OpNode]:
+        return [n for n in (self._nodes[k] for k in self._order) if isinstance(n, OpNode)]
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def run(self, length: int = 256) -> Dict[str, np.ndarray]:
+        """Simulate all streams; returns name -> (length,) bit array."""
+        check_positive_int(length, name="length")
+        streams: Dict[str, np.ndarray] = {}
+        for name in self._order:
+            node = self._nodes[name]
+            inputs = [streams[dep] for dep in node.inputs]
+            streams[name] = node.emit(inputs, length)
+        return streams
+
+    def expected_values(self) -> Dict[str, float]:
+        """Exact float semantics for every node."""
+        values: Dict[str, float] = {}
+        for name in self._order:
+            node = self._nodes[name]
+            values[name] = node.expected([values[dep] for dep in node.inputs])
+        return values
+
+    def audit(self, length: int = 256, *, tolerance: float = 0.35) -> GraphAudit:
+        """Measure operand SCC at every operator against its requirement.
+
+        An operator is *violated* when its operands' measured SCC is more
+        than ``tolerance`` away from the required value (requirement
+        ``None`` never violates).
+        """
+        streams = self.run(length)
+        expected = self.expected_values()
+        values = {k: float(v.mean()) for k, v in streams.items()}
+        entries: List[AuditEntry] = []
+        for node in self.op_nodes():
+            a, b = node.inputs
+            measured = scc(streams[a], streams[b])
+            required = node.required_scc
+            violated = required is not None and abs(measured - required) > tolerance
+            entries.append(
+                AuditEntry(
+                    node=node.name,
+                    op=node.op,
+                    required_scc=required,
+                    measured_scc=measured,
+                    expected_value=expected[node.name],
+                    measured_value=values[node.name],
+                    violated=violated,
+                )
+            )
+        return GraphAudit(entries=entries, values=values, expected=expected)

@@ -1,0 +1,194 @@
+"""Nodes of an SC dataflow graph.
+
+A graph node produces one stochastic-number stream per evaluation. Three
+kinds exist:
+
+* :class:`SourceNode` — a D/S-converted input value, bound to an RNG spec
+  (the graph-level analogue of Fig. 2g);
+* :class:`OpNode` — an arithmetic circuit from :mod:`repro.arith` with its
+  declared operand-correlation requirement;
+* :class:`TransformNode` — a correlation manipulating circuit from
+  :mod:`repro.core` splicing a *pair* of upstream streams (this is what
+  the auto-fixer inserts).
+
+Each node also knows its *nominal* float semantics (``expected``), so the
+graph can compare every stream against the exact value it should carry —
+which is how correlation damage is localised to the operator that caused
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.fsm import PairTransform
+from ..exceptions import CircuitConfigurationError
+from ..rng import make_rng
+
+__all__ = ["Node", "SourceNode", "OpNode", "TransformNode", "OP_LIBRARY"]
+
+
+class Node:
+    """Base graph node. Subclasses implement :meth:`emit` and
+    :meth:`expected`."""
+
+    def __init__(self, name: str, inputs: Sequence[str] = ()) -> None:
+        if not name or not isinstance(name, str):
+            raise CircuitConfigurationError(f"node name must be a non-empty string, got {name!r}")
+        self.name = name
+        self.inputs: Tuple[str, ...] = tuple(inputs)
+
+    def emit(self, input_bits: List[np.ndarray], length: int) -> np.ndarray:
+        """Produce this node's stream(s) from its inputs' streams."""
+        raise NotImplementedError
+
+    def expected(self, input_values: List[float]) -> float:
+        """The exact value this node should carry."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, inputs={list(self.inputs)})"
+
+
+class SourceNode(Node):
+    """A graph input: ``value`` converted through ``rng_spec``.
+
+    Sources sharing an ``rng_spec`` string produce identical comparator
+    sequences and hence maximally correlated streams — exactly the RNG
+    amortisation trade-off the paper describes.
+    """
+
+    def __init__(self, name: str, value: float, rng_spec: str = "vdc", **rng_kwargs) -> None:
+        super().__init__(name, ())
+        if not 0.0 <= value <= 1.0:
+            raise CircuitConfigurationError(
+                f"source {name!r}: value must be in [0, 1], got {value}"
+            )
+        self.value = float(value)
+        self.rng_spec = rng_spec
+        self.rng_kwargs = dict(rng_kwargs)
+
+    def emit(self, input_bits: List[np.ndarray], length: int) -> np.ndarray:
+        rng = make_rng(self.rng_spec, **self.rng_kwargs)
+        level = int(round(self.value * length))
+        return (level > rng.sequence(length)).astype(np.uint8)
+
+    def expected(self, input_values: List[float]) -> float:
+        return self.value
+
+
+# Operator registry: name -> (op factory, expected fn, required SCC).
+# ``required`` is +1 / -1 / 0 / None (agnostic); the MUX adder's select
+# requirement is handled inside its emit (fresh low-discrepancy select).
+def _mux_add_emit(bits: List[np.ndarray], length: int) -> np.ndarray:
+    select_rng = make_rng("halton7")
+    select = (select_rng.sequence(length) < select_rng.modulus // 2).astype(np.uint8)
+    return np.where(select == 1, bits[1], bits[0]).astype(np.uint8)
+
+
+OP_LIBRARY: Dict[str, dict] = {
+    "mul": {
+        "emit": lambda bits, n: (bits[0] & bits[1]).astype(np.uint8),
+        "expected": lambda v: v[0] * v[1],
+        "required": 0.0,
+    },
+    "scaled_add": {
+        "emit": _mux_add_emit,
+        "expected": lambda v: 0.5 * (v[0] + v[1]),
+        "required": None,  # data inputs may be arbitrarily correlated
+    },
+    "sat_add": {
+        "emit": lambda bits, n: (bits[0] | bits[1]).astype(np.uint8),
+        "expected": lambda v: min(1.0, v[0] + v[1]),
+        "required": -1.0,
+    },
+    "sub": {
+        "emit": lambda bits, n: (bits[0] ^ bits[1]).astype(np.uint8),
+        "expected": lambda v: abs(v[0] - v[1]),
+        "required": 1.0,
+    },
+    "max": {
+        "emit": lambda bits, n: (bits[0] | bits[1]).astype(np.uint8),
+        "expected": lambda v: max(v[0], v[1]),
+        "required": 1.0,
+    },
+    "min": {
+        "emit": lambda bits, n: (bits[0] & bits[1]).astype(np.uint8),
+        "expected": lambda v: min(v[0], v[1]),
+        "required": 1.0,
+    },
+}
+
+
+class OpNode(Node):
+    """A two-input arithmetic operator from :data:`OP_LIBRARY`."""
+
+    def __init__(self, name: str, op: str, inputs: Sequence[str]) -> None:
+        if op not in OP_LIBRARY:
+            raise CircuitConfigurationError(
+                f"unknown op {op!r}; available: {', '.join(sorted(OP_LIBRARY))}"
+            )
+        if len(inputs) != 2:
+            raise CircuitConfigurationError(
+                f"op node {name!r} needs exactly 2 inputs, got {len(inputs)}"
+            )
+        super().__init__(name, inputs)
+        self.op = op
+
+    @property
+    def required_scc(self) -> Optional[float]:
+        return OP_LIBRARY[self.op]["required"]
+
+    def emit(self, input_bits: List[np.ndarray], length: int) -> np.ndarray:
+        return OP_LIBRARY[self.op]["emit"](input_bits, length)
+
+    def expected(self, input_values: List[float]) -> float:
+        return OP_LIBRARY[self.op]["expected"](input_values)
+
+
+class TransformNode(Node):
+    """A correlation manipulating circuit spliced onto a stream pair.
+
+    Emits one of the transform's two outputs (``port`` 0 or 1); the
+    auto-fixer inserts *one shared transform instance* and two
+    TransformNodes referencing it, so both outputs come from the same
+    simulated pass (as in hardware).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transform: PairTransform,
+        inputs: Sequence[str],
+        port: int,
+        shared_cache: Optional[dict] = None,
+    ) -> None:
+        if len(inputs) != 2:
+            raise CircuitConfigurationError(
+                f"transform node {name!r} needs exactly 2 inputs"
+            )
+        if port not in (0, 1):
+            raise CircuitConfigurationError(f"port must be 0 or 1, got {port}")
+        super().__init__(name, inputs)
+        self.transform = transform
+        self.port = port
+        # Shared between the port-0 and port-1 nodes of one insertion so
+        # the pair transform runs once per evaluation.
+        self._cache = shared_cache if shared_cache is not None else {}
+
+    def emit(self, input_bits: List[np.ndarray], length: int) -> np.ndarray:
+        key = id(self.transform)
+        token = (input_bits[0].tobytes(), input_bits[1].tobytes())
+        cached = self._cache.get(key)
+        if cached is None or cached[0] != token:
+            out_x, out_y = self.transform._process_bits(
+                input_bits[0].reshape(1, -1), input_bits[1].reshape(1, -1)
+            )
+            self._cache[key] = (token, (out_x[0], out_y[0]))
+        return self._cache[key][1][self.port]
+
+    def expected(self, input_values: List[float]) -> float:
+        # Value-preserving by design: port p carries input p's value.
+        return input_values[self.port]

@@ -1,0 +1,28 @@
+"""Gate-level area / power / energy model.
+
+Substitutes for the paper's TSMC 65nm Synopsys flow with a calibrated
+structural model (see DESIGN.md, "Substitutions"):
+
+* :mod:`~repro.hardware.gatelib` — the standard-cell constants;
+* :mod:`~repro.hardware.netlist` — composable cell-bag netlists;
+* :mod:`~repro.hardware.components` — one netlist builder per circuit;
+* :mod:`~repro.hardware.costs` — area/power reports and the Table III
+  energy convention.
+"""
+
+from . import components
+from .costs import EFFECTIVE_CYCLE_US, CostReport, report
+from .gatelib import STDCELLS, GateSpec, cell
+from .netlist import Netlist, NetlistEntry
+
+__all__ = [
+    "GateSpec",
+    "STDCELLS",
+    "cell",
+    "Netlist",
+    "NetlistEntry",
+    "CostReport",
+    "report",
+    "EFFECTIVE_CYCLE_US",
+    "components",
+]

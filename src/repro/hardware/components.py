@@ -1,0 +1,277 @@
+"""Netlist builders for every circuit in the library.
+
+Each builder returns a :class:`~repro.hardware.netlist.Netlist` decomposing
+the circuit into standard cells. Decompositions follow the structural
+descriptions in the paper (Figs. 2-5) and its references; the cell
+constants are calibrated per :mod:`repro.hardware.gatelib`.
+
+Conventions:
+
+* ``width`` is the binary precision ``log2(N)`` (8 for the paper's
+  N = 256 experiments).
+* FSM state registers are sized as ``ceil(log2(#states))`` flip-flops with
+  a few logic gates per state bit for next-state and output decode.
+* Activity factors: counters and TFMs toggle far more than FSMs that
+  mostly pass bits through; their entries carry explicit activity
+  multipliers (the static stand-in for the paper's random-trace power
+  simulation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_positive_int
+from .netlist import Netlist, NetlistEntry
+from .gatelib import cell
+
+__all__ = [
+    "or_gate",
+    "and_gate",
+    "xor_gate",
+    "mux_adder",
+    "isolator",
+    "lfsr_rng",
+    "comparator",
+    "d2s_converter",
+    "s2d_converter",
+    "regenerator",
+    "synchronizer",
+    "desynchronizer",
+    "sync_max",
+    "sync_min",
+    "desync_saturating_adder",
+    "ca_adder",
+    "ca_max",
+    "shuffle_buffer",
+    "decorrelator",
+    "tfm",
+    "gaussian_blur_kernel",
+    "roberts_cross_kernel",
+]
+
+
+def _state_bits(states: int) -> int:
+    return max(1, math.ceil(math.log2(states)))
+
+
+# ---------------------------------------------------------------------- #
+# Combinational SC operators (paper Fig. 2)
+# ---------------------------------------------------------------------- #
+
+def or_gate() -> Netlist:
+    """Bare OR: the paper's baseline max / saturating adder."""
+    return Netlist.build("or_gate", OR2=1)
+
+
+def and_gate() -> Netlist:
+    """Bare AND: the paper's multiplier / baseline min."""
+    return Netlist.build("and_gate", AND2=1)
+
+
+def xor_gate() -> Netlist:
+    """Bare XOR: the correlated subtractor."""
+    return Netlist.build("xor_gate", XOR2=1)
+
+
+def mux_adder() -> Netlist:
+    """MUX scaled adder (select stream generation charged separately)."""
+    return Netlist.build("mux_adder", MUX2=1)
+
+
+def isolator() -> Netlist:
+    """One D flip-flop (Ting & Hayes isolator)."""
+    return Netlist.build("isolator", DFF=1)
+
+
+# ---------------------------------------------------------------------- #
+# Number sources and converters
+# ---------------------------------------------------------------------- #
+
+def lfsr_rng(width: int = 8) -> Netlist:
+    """Maximal-length LFSR: ``width`` flip-flops + feedback XORs."""
+    width = check_positive_int(width, name="width")
+    return Netlist(
+        "lfsr_rng",
+        (
+            NetlistEntry(cell("DFF"), width, activity=1.0),
+            NetlistEntry(cell("XOR2"), max(1, width // 3)),
+        ),
+    )
+
+
+def comparator(width: int = 8) -> Netlist:
+    """``width``-bit magnitude comparator (~3 gates/bit)."""
+    width = check_positive_int(width, name="width")
+    return Netlist.build("comparator", GATE=3 * width)
+
+
+def d2s_converter(width: int = 8) -> Netlist:
+    """D/S converter: input hold register + comparator (RNG shared,
+    charged separately)."""
+    width = check_positive_int(width, name="width")
+    return Netlist(
+        "d2s",
+        (
+            NetlistEntry(cell("DFF"), width, activity=0.5),  # held input
+            NetlistEntry(cell("GATE"), 3 * width),
+        ),
+    )
+
+
+def s2d_converter(width: int = 8) -> Netlist:
+    """S/D converter: ``width``-bit ripple counter."""
+    width = check_positive_int(width, name="width")
+    return Netlist(
+        "s2d",
+        (
+            NetlistEntry(cell("DFF"), width, activity=1.2),
+            NetlistEntry(cell("GATE"), width, activity=1.2),
+        ),
+    )
+
+
+def regenerator(width: int = 8) -> Netlist:
+    """Regeneration unit: S/D counter feeding a D/S comparator.
+
+    The counter doubles as the hold register for the re-encoding phase, so
+    the unit is one counter + one comparator (~165 um^2 at width 8 — the
+    per-unit area increment implied by the paper's Table IV).
+    """
+    width = check_positive_int(width, name="width")
+    return Netlist(
+        "regenerator",
+        (
+            NetlistEntry(cell("DFF"), width, activity=1.2),
+            NetlistEntry(cell("GATE"), width, activity=1.2),
+            NetlistEntry(cell("GATE"), 3 * width),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The paper's correlation manipulating circuits
+# ---------------------------------------------------------------------- #
+
+def synchronizer(depth: int = 1) -> Netlist:
+    """Synchronizer FSM (Fig. 3a): ``2*depth + 1`` states."""
+    depth = check_positive_int(depth, name="depth")
+    bits = _state_bits(2 * depth + 1)
+    return Netlist.build("synchronizer", DFF=bits, GATE=3 + 4 * bits)
+
+
+def desynchronizer(depth: int = 1) -> Netlist:
+    """Desynchronizer FSM (Fig. 3b): ``2*(depth + 1)`` states."""
+    depth = check_positive_int(depth, name="depth")
+    bits = _state_bits(2 * (depth + 1))
+    return Netlist.build("desynchronizer", DFF=bits, GATE=4 + 4 * bits)
+
+
+def sync_max(depth: int = 1) -> Netlist:
+    """Improved maximum: synchronizer + OR (Fig. 5a)."""
+    return (synchronizer(depth) + or_gate()).renamed("sync_max")
+
+
+def sync_min(depth: int = 1) -> Netlist:
+    """Improved minimum: synchronizer + AND (Fig. 5b)."""
+    return (synchronizer(depth) + and_gate()).renamed("sync_min")
+
+
+def desync_saturating_adder(depth: int = 1) -> Netlist:
+    """Improved saturating adder: desynchronizer + OR (Fig. 5c)."""
+    return (desynchronizer(depth) + or_gate()).renamed("desync_sat_add")
+
+
+def shuffle_buffer(depth: int = 4) -> Netlist:
+    """Shuffle buffer (Fig. 4b): ``depth`` bit cells + decode + output mux."""
+    depth = check_positive_int(depth, name="depth")
+    return Netlist(
+        "shuffle_buffer",
+        (
+            NetlistEntry(cell("DFF"), depth),
+            NetlistEntry(cell("GATE"), 2 * depth),   # address decode + enables
+            NetlistEntry(cell("MUX2"), depth - 1),   # output mux tree
+        ),
+    )
+
+
+def decorrelator(depth: int = 4) -> Netlist:
+    """Decorrelator (Fig. 4a): two shuffle buffers (aux RNGs charged
+    separately, as they are shared infrastructure)."""
+    return (shuffle_buffer(depth) * 2).renamed("decorrelator")
+
+
+def tfm(bits: int = 8) -> Netlist:
+    """Tracking forecast memory: EMA register + shifter-adder + comparator.
+
+    Larger than the decorrelator because parts are binary-encoded
+    arithmetic (paper Section V).
+    """
+    bits = check_positive_int(bits, name="bits")
+    return Netlist(
+        "tfm",
+        (
+            NetlistEntry(cell("DFF"), bits, activity=1.5),
+            NetlistEntry(cell("GATE"), 5 * bits, activity=1.5),  # EMA update
+            NetlistEntry(cell("GATE"), 3 * bits),                # comparator
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Correlation-agnostic baselines
+# ---------------------------------------------------------------------- #
+
+def ca_adder() -> Netlist:
+    """Correlation-agnostic adder (serial full adder + carry flip-flop)."""
+    return Netlist(
+        "ca_adder",
+        (
+            NetlistEntry(cell("DFF"), 1),
+            NetlistEntry(cell("XOR2"), 2),  # sum path x ^ y ^ carry
+            NetlistEntry(cell("GATE"), 3),  # majority carry logic
+        ),
+    )
+
+
+def ca_max(counter_bits: int = 8) -> Netlist:
+    """Correlation-agnostic max (SC-DCNN): saturating up/down counter,
+    lead compare, steering mux. Counter datapaths toggle constantly, hence
+    the high activity factor (matches the paper's 56.7 uW)."""
+    counter_bits = check_positive_int(counter_bits, name="counter_bits")
+    return Netlist(
+        "ca_max",
+        (
+            NetlistEntry(cell("DFF"), counter_bits, activity=2.5),
+            NetlistEntry(cell("GATE"), 8 * counter_bits, activity=2.5),
+            NetlistEntry(cell("GATE"), 5, activity=2.5),
+            NetlistEntry(cell("MUX2"), 1),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Image pipeline kernels (Section IV)
+# ---------------------------------------------------------------------- #
+
+def gaussian_blur_kernel() -> Netlist:
+    """3x3 SC Gaussian blur: a 16-slot weighted mux tree (15 MUX2) plus
+    select decode; select RNG shared across the tile, charged separately."""
+    return Netlist(
+        "gaussian_blur_kernel",
+        (
+            NetlistEntry(cell("MUX2"), 15),
+            NetlistEntry(cell("GATE"), 6),
+        ),
+    )
+
+
+def roberts_cross_kernel() -> Netlist:
+    """Roberts cross ED: two XOR subtractors + one MUX scaled adder."""
+    return Netlist(
+        "roberts_cross_kernel",
+        (
+            NetlistEntry(cell("XOR2"), 2),
+            NetlistEntry(cell("MUX2"), 1),
+        ),
+    )

@@ -1,0 +1,61 @@
+"""Area / power / energy reporting on top of netlists.
+
+Energy model: an SC operation over a stream of length ``N`` runs for ``N``
+cycles, so ``energy = power x N x T_eff`` where ``T_eff`` is the effective
+cycle time. ``T_eff`` is calibrated from the paper's own Table III: every
+row satisfies ``energy_pJ ~ power_uW x 634 us`` at N = 256, giving
+``T_eff = 634/256 ~ 2.48 us``. (That figure folds the authors' clocking
+and measurement conventions into one constant; since every design shares
+it, energy *ratios* — the quantities the paper argues with — are
+unaffected by its absolute value.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import HardwareModelError
+from .netlist import Netlist
+
+__all__ = ["EFFECTIVE_CYCLE_US", "CostReport", "report"]
+
+# Effective cycle time implied by Table III (see module docstring).
+EFFECTIVE_CYCLE_US = 2.48
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Hardware cost summary for one design."""
+
+    name: str
+    area_um2: float
+    power_uw: float
+
+    def energy_pj(self, cycles: int, cycle_us: float = EFFECTIVE_CYCLE_US) -> float:
+        """Energy in pJ for a ``cycles``-long operation.
+
+        ``power[uW] x time[us] = energy[pJ]``.
+        """
+        if cycles <= 0:
+            raise HardwareModelError(f"cycles must be positive, got {cycles}")
+        if cycle_us <= 0:
+            raise HardwareModelError(f"cycle_us must be positive, got {cycle_us}")
+        return self.power_uw * cycles * cycle_us
+
+    def energy_nj(self, cycles: int, cycle_us: float = EFFECTIVE_CYCLE_US) -> float:
+        """Energy in nJ for a ``cycles``-long operation."""
+        return self.energy_pj(cycles, cycle_us) / 1000.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.area_um2:.2f} um2, {self.power_uw:.2f} uW"
+        )
+
+
+def report(netlist: Netlist) -> CostReport:
+    """Summarise a netlist into a :class:`CostReport`."""
+    return CostReport(
+        name=netlist.name,
+        area_um2=netlist.area_um2,
+        power_uw=netlist.power_uw,
+    )

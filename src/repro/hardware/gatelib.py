@@ -1,0 +1,87 @@
+"""Standard-cell library for the gate-level cost model.
+
+The paper reports area/power/energy from a TSMC 65nm Synopsys flow
+(Design Compiler + IC Compiler + PrimeTime, post-place-and-route power on
+random traces). That flow is not reproducible here, so the library
+substitutes a *calibrated structural model*: every circuit is decomposed
+into the standard cells below, and area/power are the weighted sums of
+per-cell constants.
+
+Calibration anchors (documented in DESIGN.md):
+
+* A 2-input combinational gate is pinned to the paper's standalone OR/AND
+  op (Table III: 2.16 um^2, ~0.26 uW).
+* The flip-flop constants are chosen so the synchronizer-based max lands
+  at the paper's 48.6 um^2 / 4.89 uW.
+* Energy uses the effective cycle time implied by Table III
+  (energy = power x N x T_eff with T_eff ~ 2.48 us; see
+  :mod:`repro.hardware.costs`).
+
+What the model preserves is the *relative* cost of designs — gate-count
+ratios — which is what the paper's conclusions (5.2x, 11.6x, 3.0x, 24%)
+rest on. Activity-dependent power differences between identical netlists
+(the paper's sync-min vs sync-max) are captured by an explicit per-entry
+activity factor rather than trace simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..exceptions import HardwareModelError
+
+__all__ = ["GateSpec", "STDCELLS", "cell"]
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """One standard cell: name, area in um^2, nominal power in uW.
+
+    Power is the average (leakage + dynamic) draw at the calibration
+    activity; netlist entries can scale it with an activity factor.
+    """
+
+    name: str
+    area_um2: float
+    power_uw: float
+
+    def __post_init__(self) -> None:
+        if self.area_um2 <= 0 or self.power_uw <= 0:
+            raise HardwareModelError(
+                f"cell {self.name!r} must have positive area and power "
+                f"(got {self.area_um2}, {self.power_uw})"
+            )
+
+
+STDCELLS: Dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in (
+        GateSpec("INV", 0.72, 0.05),
+        GateSpec("NAND2", 1.44, 0.09),
+        GateSpec("NOR2", 1.44, 0.09),
+        GateSpec("AND2", 2.16, 0.25),   # anchor: paper's standalone AND op
+        GateSpec("OR2", 2.16, 0.26),    # anchor: paper's standalone OR op
+        GateSpec("XOR2", 2.88, 0.30),
+        GateSpec("XNOR2", 2.88, 0.30),
+        GateSpec("MUX2", 2.88, 0.28),
+        GateSpec("AOI21", 2.16, 0.12),
+        GateSpec("GATE", 2.16, 0.12),   # generic FSM/datapath logic gate
+        GateSpec("DFF", 12.0, 1.80),    # anchor: synchronizer max total
+        GateSpec("SRAM_BIT", 1.80, 0.08),
+    )
+}
+
+
+def cell(name: str) -> GateSpec:
+    """Look up a cell by name.
+
+    Raises:
+        HardwareModelError: for unknown cells (lists the library).
+    """
+    try:
+        return STDCELLS[name]
+    except KeyError:
+        raise HardwareModelError(
+            f"unknown cell {name!r}; library has: {', '.join(sorted(STDCELLS))}"
+        ) from None

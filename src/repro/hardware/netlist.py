@@ -1,0 +1,142 @@
+"""Structural netlists: bags of standard cells with activity factors.
+
+A :class:`Netlist` is the unit of hardware accounting. Component builders
+(:mod:`repro.hardware.components`) assemble one netlist per circuit;
+netlists compose with ``+`` (instantiating blocks side by side) and ``*``
+(arrays of identical units), so an accelerator's cost is literally the sum
+of its parts — the same arithmetic the paper's Table IV does over kernels,
+converters, RNGs, and synchronizers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from ..exceptions import HardwareModelError
+from .gatelib import GateSpec, cell
+
+__all__ = ["NetlistEntry", "Netlist"]
+
+
+@dataclass(frozen=True)
+class NetlistEntry:
+    """``count`` instances of ``gate`` switching at ``activity`` (x nominal)."""
+
+    gate: GateSpec
+    count: float
+    activity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise HardwareModelError(f"negative cell count for {self.gate.name}")
+        if self.activity <= 0:
+            raise HardwareModelError(f"activity must be positive for {self.gate.name}")
+
+    @property
+    def area_um2(self) -> float:
+        return self.gate.area_um2 * self.count
+
+    @property
+    def power_uw(self) -> float:
+        return self.gate.power_uw * self.count * self.activity
+
+
+class Netlist:
+    """A named collection of cell instances."""
+
+    def __init__(self, name: str, entries: Iterable[NetlistEntry] = ()) -> None:
+        self._name = str(name)
+        self._entries: Tuple[NetlistEntry, ...] = tuple(entries)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, name: str, **cells: float) -> "Netlist":
+        """Shorthand: ``Netlist.build("foo", DFF=2, GATE=11)``."""
+        return cls(name, [NetlistEntry(cell(c), n) for c, n in cells.items()])
+
+    def with_entry(self, cell_name: str, count: float, activity: float = 1.0) -> "Netlist":
+        """Return a copy with one more entry appended."""
+        return Netlist(
+            self._name,
+            self._entries + (NetlistEntry(cell(cell_name), count, activity),),
+        )
+
+    def renamed(self, name: str) -> "Netlist":
+        return Netlist(name, self._entries)
+
+    def scaled_activity(self, factor: float) -> "Netlist":
+        """Uniformly rescale every entry's activity (trace-level knob)."""
+        if factor <= 0:
+            raise HardwareModelError(f"activity factor must be positive, got {factor}")
+        return Netlist(
+            self._name,
+            tuple(
+                NetlistEntry(e.gate, e.count, e.activity * factor) for e in self._entries
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def entries(self) -> Tuple[NetlistEntry, ...]:
+        return self._entries
+
+    @property
+    def area_um2(self) -> float:
+        """Total cell area in um^2."""
+        return sum(e.area_um2 for e in self._entries)
+
+    @property
+    def power_uw(self) -> float:
+        """Total average power in uW."""
+        return sum(e.power_uw for e in self._entries)
+
+    def gate_count(self) -> float:
+        """Total cell instances (diagnostic)."""
+        return sum(e.count for e in self._entries)
+
+    def cell_histogram(self) -> Dict[str, float]:
+        """Instance counts per cell type."""
+        hist: Dict[str, float] = {}
+        for e in self._entries:
+            hist[e.gate.name] = hist.get(e.gate.name, 0.0) + e.count
+        return hist
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other: "Netlist") -> "Netlist":
+        if not isinstance(other, Netlist):
+            return NotImplemented
+        return Netlist(f"{self._name}+{other._name}", self._entries + other._entries)
+
+    def __mul__(self, count: int) -> "Netlist":
+        if not isinstance(count, int):
+            return NotImplemented
+        if count < 0:
+            raise HardwareModelError(f"cannot instantiate {count} copies of {self._name}")
+        return Netlist(
+            f"{count}x{self._name}",
+            tuple(
+                NetlistEntry(e.gate, e.count * count, e.activity) for e in self._entries
+            ),
+        )
+
+    __rmul__ = __mul__
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self._name!r}, area={self.area_um2:.2f}um2, "
+            f"power={self.power_uw:.2f}uW)"
+        )

@@ -1,0 +1,56 @@
+"""The image-processing case study (paper Section IV).
+
+A tiled SC accelerator running a Gaussian blur (needs *uncorrelated*
+operands) into a Roberts-cross edge detector (needs *positively
+correlated* operands) — the mismatch that motivates correlation
+manipulation.
+
+* :mod:`~repro.pipeline.images` — synthetic test images + tiling.
+* :mod:`~repro.pipeline.kernels` — floating-point reference pipeline.
+* :mod:`~repro.pipeline.gaussian_sc` — SC blur (weighted mux tree).
+* :mod:`~repro.pipeline.roberts_sc` — SC edge detector (XOR + MUX).
+* :mod:`~repro.pipeline.accelerator` — the three Table IV variants with
+  functional simulation and hardware cost assembly.
+* :mod:`~repro.pipeline.quality` — MAE / PSNR metrics.
+"""
+
+from .accelerator import VARIANTS, AcceleratorConfig, AcceleratorResult, SCAccelerator
+from .gaussian_sc import SCGaussianBlur, WEIGHT_SLOTS
+from .images import (
+    blob_image,
+    checkerboard_image,
+    gradient_image,
+    noise_image,
+    standard_test_images,
+    tile_origins,
+)
+from .kernels import (
+    GAUSSIAN_3X3,
+    gaussian_blur_reference,
+    pipeline_reference,
+    roberts_cross_reference,
+)
+from .quality import image_mae, image_psnr
+from .roberts_sc import SCRobertsCross
+
+__all__ = [
+    "SCAccelerator",
+    "AcceleratorConfig",
+    "AcceleratorResult",
+    "VARIANTS",
+    "SCGaussianBlur",
+    "WEIGHT_SLOTS",
+    "SCRobertsCross",
+    "GAUSSIAN_3X3",
+    "gaussian_blur_reference",
+    "roberts_cross_reference",
+    "pipeline_reference",
+    "gradient_image",
+    "blob_image",
+    "checkerboard_image",
+    "noise_image",
+    "standard_test_images",
+    "tile_origins",
+    "image_mae",
+    "image_psnr",
+]

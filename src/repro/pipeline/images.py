@@ -1,0 +1,112 @@
+"""Synthetic test images and tiling for the accelerator case study.
+
+The paper evaluates on images it does not name; we substitute
+deterministic synthetic images covering the structures that matter to a
+blur + edge-detector pipeline: smooth ramps (low edge energy), blobs
+(curved edges), checkerboards (dense edges), and band-limited noise.
+All images are float arrays in ``[0, 1]``.
+
+The accelerator is tiled (paper Section IV-A: "expects the input image to
+be tiled and processes each tile individually"); :func:`tile_origins`
+yields origins with a clamped final tile so any image size is covered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..exceptions import PipelineError
+
+__all__ = [
+    "gradient_image",
+    "blob_image",
+    "checkerboard_image",
+    "noise_image",
+    "standard_test_images",
+    "tile_origins",
+]
+
+
+def _check_size(size: int) -> int:
+    if size < 4:
+        raise PipelineError(f"image size must be >= 4, got {size}")
+    return int(size)
+
+
+def gradient_image(size: int = 64, *, angle: float = 30.0) -> np.ndarray:
+    """A linear intensity ramp across the image at the given angle."""
+    size = _check_size(size)
+    theta = np.deg2rad(angle)
+    yy, xx = np.mgrid[0:size, 0:size]
+    field = np.cos(theta) * xx + np.sin(theta) * yy
+    field -= field.min()
+    return (field / field.max()).astype(np.float64)
+
+
+def blob_image(size: int = 64, *, blobs: int = 3, seed: int = 7) -> np.ndarray:
+    """A sum of Gaussian blobs — smooth regions with curved edges."""
+    size = _check_size(size)
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:size, 0:size]
+    image = np.zeros((size, size), dtype=np.float64)
+    for _ in range(blobs):
+        cy, cx = rng.uniform(0.2 * size, 0.8 * size, size=2)
+        sigma = rng.uniform(0.08 * size, 0.2 * size)
+        image += np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * sigma**2))
+    image -= image.min()
+    peak = image.max()
+    return image / peak if peak > 0 else image
+
+
+def checkerboard_image(size: int = 64, *, cell: int = 8) -> np.ndarray:
+    """A checkerboard — the dense-edge worst case for the edge detector."""
+    size = _check_size(size)
+    if cell < 1:
+        raise PipelineError(f"cell must be >= 1, got {cell}")
+    yy, xx = np.mgrid[0:size, 0:size]
+    return (((yy // cell) + (xx // cell)) % 2).astype(np.float64)
+
+
+def noise_image(size: int = 64, *, seed: int = 11, smooth: int = 2) -> np.ndarray:
+    """Band-limited uniform noise (box-smoothed ``smooth`` times)."""
+    size = _check_size(size)
+    rng = np.random.default_rng(seed)
+    image = rng.random((size, size))
+    kernel = np.ones(3) / 3.0
+    for _ in range(max(0, smooth)):
+        image = np.apply_along_axis(
+            lambda row: np.convolve(row, kernel, mode="same"), 0, image
+        )
+        image = np.apply_along_axis(
+            lambda row: np.convolve(row, kernel, mode="same"), 1, image
+        )
+    image -= image.min()
+    peak = image.max()
+    return image / peak if peak > 0 else image
+
+
+def standard_test_images(size: int = 64) -> Dict[str, np.ndarray]:
+    """The default evaluation set used by the Table IV experiment."""
+    return {
+        "gradient": gradient_image(size),
+        "blobs": blob_image(size),
+        "checker": checkerboard_image(size, cell=max(2, size // 8)),
+        "noise": noise_image(size),
+    }
+
+
+def tile_origins(image_size: int, tile: int, stride: int) -> List[int]:
+    """1-D tile origins covering ``image_size`` with a clamped last tile."""
+    if tile > image_size:
+        raise PipelineError(
+            f"tile ({tile}) larger than image ({image_size}); shrink the tile"
+        )
+    if stride < 1:
+        raise PipelineError(f"stride must be >= 1, got {stride}")
+    origins = list(range(0, image_size - tile + 1, stride))
+    last = image_size - tile
+    if origins[-1] != last:
+        origins.append(last)
+    return origins

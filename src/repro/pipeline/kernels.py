@@ -1,0 +1,73 @@
+"""Floating-point reference kernels for the image pipeline.
+
+The paper's quality metric is "average absolute error of the SC result
+compared to a floating point baseline image" (Section IV-A). These are
+that baseline: a 3x3 binomial Gaussian blur and the Roberts cross edge
+detector, composed exactly as the SC accelerator composes them (including
+the SC adder's 0.5 output scale in the edge magnitude, so the two
+pipelines compute the same nominal function).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import PipelineError
+
+__all__ = [
+    "GAUSSIAN_3X3",
+    "gaussian_blur_reference",
+    "roberts_cross_reference",
+    "pipeline_reference",
+]
+
+# The classic 3x3 binomial approximation of a Gaussian; weights sum to 1,
+# and each weight is a multiple of 1/16 — realisable exactly by a 16-slot
+# stochastic mux tree.
+GAUSSIAN_3X3 = np.array(
+    [[1.0, 2.0, 1.0], [2.0, 4.0, 2.0], [1.0, 2.0, 1.0]]
+) / 16.0
+
+
+def _check_image(image: np.ndarray, minimum: int) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise PipelineError(f"expected a 2-D image, got ndim={image.ndim}")
+    if min(image.shape) < minimum:
+        raise PipelineError(
+            f"image too small for this kernel: {image.shape}, need >= {minimum}"
+        )
+    if image.min() < 0.0 or image.max() > 1.0:
+        raise PipelineError("image values must lie in [0, 1]")
+    return image
+
+
+def gaussian_blur_reference(image: np.ndarray) -> np.ndarray:
+    """3x3 Gaussian blur; returns the valid (H-2, W-2) region."""
+    image = _check_image(image, 3)
+    h, w = image.shape
+    out = np.zeros((h - 2, w - 2), dtype=np.float64)
+    for dy in range(3):
+        for dx in range(3):
+            out += GAUSSIAN_3X3[dy, dx] * image[dy : dy + h - 2, dx : dx + w - 2]
+    return out
+
+
+def roberts_cross_reference(image: np.ndarray) -> np.ndarray:
+    """Roberts cross edge magnitude with the SC adder's 0.5 scale.
+
+    ``z[i,j] = 0.5 (|g[i,j] - g[i+1,j+1]| + |g[i,j+1] - g[i+1,j]|)``;
+    returns the valid (H-1, W-1) region.
+    """
+    image = _check_image(image, 2)
+    d1 = np.abs(image[:-1, :-1] - image[1:, 1:])
+    d2 = np.abs(image[:-1, 1:] - image[1:, :-1])
+    return 0.5 * (d1 + d2)
+
+
+def pipeline_reference(image: np.ndarray) -> np.ndarray:
+    """Gaussian blur followed by Roberts cross: the full float pipeline.
+
+    Returns the (H-3, W-3) region matching the SC accelerator's output.
+    """
+    return roberts_cross_reference(gaussian_blur_reference(image))

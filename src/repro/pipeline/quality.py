@@ -1,0 +1,41 @@
+"""Image quality metrics for the case study.
+
+The paper reports "average absolute error of the SC result compared to a
+floating point baseline image" (Section IV-A); PSNR is included as the
+conventional secondary metric.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import PipelineError
+
+__all__ = ["image_mae", "image_psnr"]
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise PipelineError(f"image shapes differ: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        raise PipelineError("cannot compare empty images")
+    return a, b
+
+
+def image_mae(measured: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute pixel error (the paper's quality metric)."""
+    a, b = _check_pair(measured, reference)
+    return float(np.abs(a - b).mean())
+
+
+def image_psnr(measured: np.ndarray, reference: np.ndarray, peak: float = 1.0) -> float:
+    """Peak signal-to-noise ratio in dB (infinite for identical images)."""
+    a, b = _check_pair(measured, reference)
+    mse = float(((a - b) ** 2).mean())
+    if mse == 0.0:
+        return math.inf
+    return 10.0 * math.log10(peak * peak / mse)

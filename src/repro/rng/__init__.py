@@ -1,0 +1,43 @@
+"""Random number generators for stochastic-number generation.
+
+The correlation structure of SC computation starts here (paper Section
+II-B): SNs produced from one RNG are positively correlated; SNs produced
+from independent low-discrepancy sequences (VDC base 2 vs. Halton base 3)
+are uncorrelated; LFSR pairs sit somewhere in between.
+
+Available generators:
+
+* :class:`LFSR` — classic maximal-length linear feedback shift register.
+* :class:`VanDerCorput` — base-2 bit-reversal low-discrepancy sequence.
+* :class:`Halton` — base-``b`` radical-inverse sequence.
+* :class:`Sobol` — direction-number-based low-discrepancy sequence.
+* :class:`CounterRNG` — plain ramp (deterministic unary generator).
+* :class:`SystemRNG` — seeded PCG64, the software gold standard.
+"""
+
+from .base import StreamRNG
+from .counter import CounterRNG
+from .factory import available_rngs, make_rng, register_rng
+from .halton import Halton, radical_inverse
+from .lfsr import LFSR, MAXIMAL_TAPS
+from .sharing import RNGBank, RotatedView
+from .sobol import Sobol
+from .system import SystemRNG
+from .vandercorput import VanDerCorput
+
+__all__ = [
+    "StreamRNG",
+    "LFSR",
+    "MAXIMAL_TAPS",
+    "VanDerCorput",
+    "Halton",
+    "radical_inverse",
+    "Sobol",
+    "CounterRNG",
+    "SystemRNG",
+    "RotatedView",
+    "RNGBank",
+    "make_rng",
+    "register_rng",
+    "available_rngs",
+]

@@ -1,0 +1,109 @@
+"""Base class for stochastic-number random number generators.
+
+In SC hardware, an RNG is a small sequential circuit that emits one
+``width``-bit integer per cycle; a D/S converter compares that integer
+against a binary input to produce one stream bit per cycle (paper Fig. 2g).
+The *choice* of RNG determines the correlation structure of the generated
+SNs (paper Section II-B):
+
+* two SNs driven by the *same* RNG sequence are maximally positively
+  correlated (SCC = +1);
+* SNs driven by independent, well-chosen RNGs are uncorrelated (SCC ~ 0);
+* low-discrepancy sequences (VDC, Halton, Sobol) additionally minimise
+  quantisation noise.
+
+Every generator in this package is deterministic and replayable:
+:meth:`StreamRNG.sequence` always returns the same values for the same
+constructor arguments, and :meth:`StreamRNG.reset` rewinds the internal
+cursor used by the streaming :meth:`StreamRNG.next_value` interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_positive_int
+
+__all__ = ["StreamRNG"]
+
+
+class StreamRNG(abc.ABC):
+    """Abstract deterministic integer-sequence generator.
+
+    Subclasses implement :meth:`_generate` returning the first ``length``
+    values of their sequence as ``int64`` integers in ``[0, modulus)``.
+    """
+
+    def __init__(self, modulus: int) -> None:
+        self._modulus = check_positive_int(modulus, name="modulus")
+        self._cursor = 0
+        self._cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Abstract surface
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _generate(self, length: int) -> np.ndarray:
+        """Return the first ``length`` sequence values in ``[0, modulus)``."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short human-readable identifier (used in experiment tables)."""
+
+    # ------------------------------------------------------------------ #
+    # Concrete API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def modulus(self) -> int:
+        """Exclusive upper bound of emitted values (``2**width`` usually)."""
+        return self._modulus
+
+    def sequence(self, length: int) -> np.ndarray:
+        """The first ``length`` values of the sequence (replayable)."""
+        length = check_positive_int(length, name="length")
+        seq = self._generate(length)
+        if seq.shape != (length,):
+            raise AssertionError(
+                f"{type(self).__name__}._generate returned shape {seq.shape}, "
+                f"expected ({length},)"
+            )
+        return seq.astype(np.int64, copy=False)
+
+    def fractions(self, length: int) -> np.ndarray:
+        """The sequence scaled into ``[0, 1)`` as float64."""
+        return self.sequence(length) / float(self._modulus)
+
+    def integers(self, length: int, high: int) -> np.ndarray:
+        """The sequence rescaled to integers in ``[0, high)``.
+
+        Used e.g. by shuffle buffers that need addresses in ``[0, depth)``
+        from a generic RNG; the scaling preserves low-discrepancy structure.
+        """
+        high = check_positive_int(high, name="high")
+        return (self.sequence(length) * high) // self._modulus
+
+    def next_value(self) -> int:
+        """Streaming interface: emit the next sequence value.
+
+        Cycle-level circuit models use this one value at a time; batch code
+        should prefer :meth:`sequence`.
+        """
+        if self._cache is None or self._cursor >= self._cache.size:
+            grow = max(256, self._cursor + 1)
+            self._cache = self.sequence(2 * grow)
+        value = int(self._cache[self._cursor])
+        self._cursor += 1
+        return value
+
+    def reset(self) -> None:
+        """Rewind the streaming cursor to the beginning of the sequence."""
+        self._cursor = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, modulus={self._modulus})"

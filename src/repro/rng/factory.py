@@ -1,0 +1,72 @@
+"""RNG factory and registry.
+
+Experiment configuration files and the benchmark harness name RNGs by
+string ("lfsr", "vdc", "halton3", ...). :func:`make_rng` turns such a spec
+into a concrete :class:`~repro.rng.base.StreamRNG` instance;
+:func:`register_rng` lets downstream users plug in their own generators and
+have them usable everywhere an RNG spec is accepted (Table II harness,
+pipeline configs, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..exceptions import RNGConfigurationError
+from .base import StreamRNG
+from .counter import CounterRNG
+from .halton import Halton
+from .lfsr import LFSR
+from .sobol import Sobol
+from .system import SystemRNG
+from .vandercorput import VanDerCorput
+
+__all__ = ["make_rng", "register_rng", "available_rngs"]
+
+_BUILDERS: Dict[str, Callable[..., StreamRNG]] = {}
+
+
+def register_rng(name: str, builder: Callable[..., StreamRNG]) -> None:
+    """Register a builder callable under a spec name (case-insensitive)."""
+    key = name.lower()
+    if key in _BUILDERS:
+        raise RNGConfigurationError(f"RNG spec {name!r} is already registered")
+    _BUILDERS[key] = builder
+
+
+def available_rngs() -> tuple:
+    """Sorted tuple of registered RNG spec names."""
+    return tuple(sorted(_BUILDERS))
+
+
+def make_rng(spec: str, *, width: int = 8, **kwargs) -> StreamRNG:
+    """Instantiate an RNG from a spec name.
+
+    Args:
+        spec: a registered name, e.g. ``"lfsr"``, ``"vdc"``, ``"halton3"``,
+            ``"halton5"``, ``"sobol0"``, ``"counter"``, ``"system"``.
+        width: bit width passed through to the builder.
+        **kwargs: extra builder arguments (``seed``, ``phase``, ...).
+
+    Raises:
+        RNGConfigurationError: for unknown specs.
+    """
+    key = spec.lower()
+    if key not in _BUILDERS:
+        raise RNGConfigurationError(
+            f"unknown RNG spec {spec!r}; available: {', '.join(available_rngs())}"
+        )
+    return _BUILDERS[key](width=width, **kwargs)
+
+
+register_rng("lfsr", lambda width=8, **kw: LFSR(width=width, **kw))
+register_rng("vdc", lambda width=8, **kw: VanDerCorput(width=width, **kw))
+register_rng("halton2", lambda width=8, **kw: Halton(base=2, width=width, **kw))
+register_rng("halton3", lambda width=8, **kw: Halton(base=3, width=width, **kw))
+register_rng("halton5", lambda width=8, **kw: Halton(base=5, width=width, **kw))
+register_rng("halton7", lambda width=8, **kw: Halton(base=7, width=width, **kw))
+register_rng("sobol0", lambda width=8, **kw: Sobol(dimension=0, width=width, **kw))
+register_rng("sobol1", lambda width=8, **kw: Sobol(dimension=1, width=width, **kw))
+register_rng("sobol2", lambda width=8, **kw: Sobol(dimension=2, width=width, **kw))
+register_rng("counter", lambda width=8, **kw: CounterRNG(width=width, **kw))
+register_rng("system", lambda width=8, **kw: SystemRNG(width=width, **kw))

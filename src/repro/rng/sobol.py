@@ -1,0 +1,107 @@
+"""Sobol low-discrepancy sequence generator.
+
+Liu & Han (DATE 2017, paper reference [8]) showed Sobol sequences make
+energy-efficient SC number sources. A Sobol dimension is defined by a
+primitive polynomial and initial *direction numbers*; output ``t`` is the
+XOR of direction numbers selected by the bits of the Gray code of ``t``.
+
+We embed the first eight dimensions of the Joe–Kuo table (new-joe-kuo-6),
+which is far more than the circuits here need — different dimensions give
+mutually uncorrelated streams. Dimension 0 visits exactly the point set of
+the base-2 Van der Corput sequence (in Gray-code order), as in every
+standard Sobol construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .._validation import check_non_negative_int, check_positive_int
+from ..exceptions import RNGConfigurationError
+from .base import StreamRNG
+
+__all__ = ["Sobol"]
+
+# Joe-Kuo new-joe-kuo-6 parameters: (degree s, coefficient a, m_1..m_s)
+# for dimensions 1..7 (dimension 0 is the VDC special case).
+_JOE_KUO: List[Tuple[int, int, Tuple[int, ...]]] = [
+    (1, 0, (1,)),
+    (2, 1, (1, 3)),
+    (3, 1, (1, 3, 1)),
+    (3, 2, (1, 1, 1)),
+    (4, 1, (1, 1, 3, 3)),
+    (4, 4, (1, 3, 5, 13)),
+    (5, 2, (1, 1, 5, 5, 17)),
+]
+
+
+def _direction_numbers(dimension: int, width: int) -> np.ndarray:
+    """Compute the ``width`` direction numbers V_k for a dimension."""
+    v = np.zeros(width, dtype=np.int64)
+    if dimension == 0:
+        for k in range(width):
+            v[k] = 1 << (width - 1 - k)
+        return v
+    s, a, m_init = _JOE_KUO[dimension - 1]
+    m = list(m_init)
+    for k in range(s, width):
+        new = m[k - s] ^ (m[k - s] << s)
+        for i in range(1, s):
+            if (a >> (s - 1 - i)) & 1:
+                new ^= m[k - i] << i
+        m.append(new)
+    for k in range(width):
+        v[k] = m[k] << (width - 1 - k)
+    return v
+
+
+class Sobol(StreamRNG):
+    """One dimension of a Sobol sequence as a ``width``-bit integer stream.
+
+    Args:
+        dimension: which Sobol dimension (0..7 built in); distinct
+            dimensions are mutually uncorrelated.
+        width: output bit width; period ``2**width``.
+        phase: start index offset.
+    """
+
+    MAX_DIMENSION = len(_JOE_KUO)  # dimensions 0..MAX_DIMENSION inclusive
+
+    def __init__(self, dimension: int = 0, width: int = 8, phase: int = 0) -> None:
+        width = check_positive_int(width, name="width")
+        dimension = check_non_negative_int(dimension, name="dimension")
+        if dimension > self.MAX_DIMENSION:
+            raise RNGConfigurationError(
+                f"built-in Sobol supports dimensions 0..{self.MAX_DIMENSION}, got {dimension}"
+            )
+        super().__init__(modulus=1 << width)
+        self._dimension = dimension
+        self._width = width
+        self._phase = check_non_negative_int(phase, name="phase")
+        self._directions = _direction_numbers(dimension, width)
+
+    @property
+    def name(self) -> str:
+        return f"sobol[{self._dimension}]"
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def _generate(self, length: int) -> np.ndarray:
+        total = self._phase + length
+        out = np.empty(total, dtype=np.int64)
+        x = 0
+        out[0] = 0
+        for t in range(1, total):
+            # Gray-code increment: flip direction of lowest zero bit of t-1.
+            low_zero = (~(t - 1) & (t)).bit_length() - 1
+            x ^= int(self._directions[min(low_zero, self._width - 1)])
+            out[t] = x
+        return out[self._phase :]

@@ -1,0 +1,34 @@
+"""Cycle-accurate scalar (RTL-style) reference models.
+
+Independent second implementations of every sequential circuit, written
+as explicit per-clock state machines with the paper's state names. The
+test suite proves them trace-equivalent to the vectorised circuits —
+the reproduction's analogue of the paper's "verified against RTL
+simulation traces".
+"""
+
+from .base import PairRTL, RTLModule, StreamRTL
+from .datapath_rtl import (
+    CAAdderRTL,
+    CAMaxRTL,
+    CorDivRTL,
+    IsolatorRTL,
+    ShuffleBufferRTL,
+    TFMRTL,
+)
+from .desynchronizer_rtl import DesynchronizerRTL
+from .synchronizer_rtl import SynchronizerRTL
+
+__all__ = [
+    "RTLModule",
+    "PairRTL",
+    "StreamRTL",
+    "SynchronizerRTL",
+    "DesynchronizerRTL",
+    "ShuffleBufferRTL",
+    "CorDivRTL",
+    "CAAdderRTL",
+    "CAMaxRTL",
+    "TFMRTL",
+    "IsolatorRTL",
+]

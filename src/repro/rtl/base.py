@@ -1,0 +1,64 @@
+"""Cycle-accurate scalar ("RTL-level") circuit models.
+
+The paper validates its cycle-level simulator "against RTL simulation
+traces" (Section IV-A). This subpackage plays the same role for this
+reproduction: every sequential circuit has a second, *independent*
+implementation written the way the RTL is written — one explicit state
+register, one ``step()`` per clock edge, literal case-by-case transitions
+straight from the paper's figures. The test suite drives both
+implementations with the same stimuli and requires bit-identical traces,
+so a bug would have to be made twice, in two different styles, to
+survive.
+
+These models are intentionally scalar and slow; use the vectorised
+circuits in :mod:`repro.core` / :mod:`repro.arith` for experiments.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Tuple
+
+__all__ = ["RTLModule", "PairRTL", "StreamRTL"]
+
+
+class RTLModule(abc.ABC):
+    """A clocked module: ``reset()`` then one ``step()`` per cycle."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Return all state elements to their power-on values."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PairRTL(RTLModule):
+    """Two-in / two-out clocked module (synchronizer-shaped)."""
+
+    @abc.abstractmethod
+    def step(self, x: int, y: int) -> Tuple[int, int]:
+        """Consume one input bit pair, emit one output bit pair."""
+
+    def trace(self, xs: Iterable[int], ys: Iterable[int]) -> Tuple[List[int], List[int]]:
+        """Reset, then run a whole stimulus; returns both output streams."""
+        self.reset()
+        out_x: List[int] = []
+        out_y: List[int] = []
+        for x, y in zip(xs, ys):
+            ox, oy = self.step(int(x), int(y))
+            out_x.append(ox)
+            out_y.append(oy)
+        return out_x, out_y
+
+
+class StreamRTL(RTLModule):
+    """One-in / one-out clocked module (shuffle-buffer-shaped)."""
+
+    @abc.abstractmethod
+    def step(self, x: int) -> int:
+        """Consume one input bit, emit one output bit."""
+
+    def trace(self, xs: Iterable[int]) -> List[int]:
+        self.reset()
+        return [self.step(int(x)) for x in xs]

@@ -1,0 +1,189 @@
+"""RTL-style models of the sequential datapath circuits.
+
+Scalar step-per-clock implementations of the shuffle buffer (Fig. 4b),
+CORDIV divider (Fig. 2e), the correlation-agnostic serial-adder and
+counter-max baselines, and the tracking forecast memory. Each mirrors its
+vectorised counterpart's observable behaviour exactly; the equivalence is
+enforced by ``tests/test_rtl_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._validation import check_non_negative_int, check_positive_int
+from ..rng import StreamRNG
+from .base import PairRTL, StreamRTL
+
+__all__ = [
+    "ShuffleBufferRTL",
+    "CorDivRTL",
+    "CAAdderRTL",
+    "CAMaxRTL",
+    "TFMRTL",
+    "IsolatorRTL",
+]
+
+
+class ShuffleBufferRTL(StreamRTL):
+    """Depth-``D`` shuffle buffer: emit-and-replace at a random address.
+
+    Addresses are drawn from the same rescaled RNG sequence the vectorised
+    model uses, one per cycle.
+    """
+
+    def __init__(self, rng: StreamRNG, depth: int = 4, *, init: str = "half_ones") -> None:
+        self._rng = rng
+        self._depth = check_positive_int(depth, name="depth")
+        self._init = init
+        self._addresses: Optional[np.ndarray] = None
+        self.reset()
+
+    def reset(self) -> None:
+        if self._init == "zeros":
+            self._memory = [0] * self._depth
+        elif self._init == "ones":
+            self._memory = [1] * self._depth
+        else:
+            self._memory = [1 if i < self._depth // 2 else 0 for i in range(self._depth)]
+        self._cycle = 0
+
+    def _address(self) -> int:
+        # Lazily fetch a long address sequence; extend if the trace is long.
+        if self._addresses is None or self._cycle >= self._addresses.size:
+            need = max(1024, 2 * (self._cycle + 1))
+            self._addresses = self._rng.integers(need, self._depth)
+        return int(self._addresses[self._cycle])
+
+    def step(self, x: int) -> int:
+        slot = self._address()
+        out = self._memory[slot]
+        self._memory[slot] = int(x)
+        self._cycle += 1
+        return out
+
+
+class CorDivRTL(PairRTL):
+    """CORDIV: mux steered by the divisor, D flip-flop holding the last
+    in-divisor quotient bit."""
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial not in (0, 1):
+            raise ValueError(f"initial must be 0 or 1, got {initial}")
+        self._initial = initial
+        self.reset()
+
+    def reset(self) -> None:
+        self._held = self._initial
+
+    def step(self, x: int, y: int) -> Tuple[int, int]:
+        """Returns ``(quotient_bit, 0)`` (single-output circuit)."""
+        if y == 1:
+            self._held = int(x)
+            return int(x), 0
+        return self._held, 0
+
+
+class CAAdderRTL(PairRTL):
+    """Correlation-agnostic adder = serial full adder.
+
+    ``sum = x ^ y ^ carry``... except the roles are swapped relative to a
+    textbook FA: the *majority* is emitted as the stream bit (it carries
+    weight 2 = one output 1) and the XOR is held as the new carry.
+    """
+
+    def reset(self) -> None:
+        self._carry = 0
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def step(self, x: int, y: int) -> Tuple[int, int]:
+        total = int(x) + int(y) + self._carry
+        emit = 1 if total >= 2 else 0
+        self._carry = total - 2 * emit
+        return emit, 0
+
+
+class CAMaxRTL(PairRTL):
+    """Correlation-agnostic max: saturating up/down counter steering a mux."""
+
+    def __init__(self, counter_bits: int = 6) -> None:
+        self._bits = check_positive_int(counter_bits, name="counter_bits")
+        self._limit = (1 << self._bits) - 1
+        self._mid = 1 << (self._bits - 1)
+        self.reset()
+
+    def reset(self) -> None:
+        self._counter = self._mid
+
+    def step(self, x: int, y: int) -> Tuple[int, int]:
+        out = int(x) if self._counter >= self._mid else int(y)
+        self._counter = min(self._limit, max(0, self._counter + int(x) - int(y)))
+        return out, 0
+
+
+class TFMRTL(StreamRTL):
+    """Tracking forecast memory: shift-based EMA register + comparator."""
+
+    def __init__(
+        self,
+        rng: StreamRNG,
+        bits: int = 8,
+        *,
+        shift: int = 3,
+        initial: float = 0.5,
+    ) -> None:
+        self._rng = rng
+        self._bits = check_positive_int(bits, name="bits")
+        self._shift = check_non_negative_int(shift, name="shift")
+        self._max = (1 << self._bits) - 1
+        self._initial = int(round(initial * self._max))
+        self._rand: Optional[np.ndarray] = None
+        self.reset()
+
+    def reset(self) -> None:
+        self._estimate = self._initial
+        self._cycle = 0
+
+    def _random(self) -> int:
+        if self._rand is None or self._cycle >= self._rand.size:
+            need = max(1024, 2 * (self._cycle + 1))
+            seq = self._rng.sequence(need)
+            self._rand = (seq * (self._max + 1)) // self._rng.modulus
+        return int(self._rand[self._cycle])
+
+    def step(self, x: int) -> int:
+        out = 1 if self._random() < self._estimate else 0
+        if x == 1:
+            delta = (self._max - self._estimate) >> self._shift
+            if delta == 0 and self._estimate < self._max:
+                delta = 1
+        else:
+            delta = -(self._estimate >> self._shift)
+            if delta == 0 and self._estimate > 0:
+                delta = -1
+        self._estimate += delta
+        self._cycle += 1
+        return out
+
+
+class IsolatorRTL(StreamRTL):
+    """A chain of D flip-flops."""
+
+    def __init__(self, delay: int = 1, *, fill: int = 0) -> None:
+        self._delay = check_positive_int(delay, name="delay")
+        if fill not in (0, 1):
+            raise ValueError(f"fill must be 0 or 1, got {fill}")
+        self._fill = fill
+        self.reset()
+
+    def reset(self) -> None:
+        self._pipe = [self._fill] * self._delay
+
+    def step(self, x: int) -> int:
+        out = self._pipe[-1]
+        self._pipe = [int(x)] + self._pipe[:-1]
+        return out

@@ -1,0 +1,82 @@
+"""RTL-style desynchronizer: the literal 4-state cycle of paper Fig. 3b.
+
+States (depth 1):
+
+* ``E0`` — queue empty, next save takes X's bit ("Initial State");
+* ``HX`` — holding a saved X 1 ("Save Paired X Bit");
+* ``E1`` — queue empty, next save takes Y's bit;
+* ``HY`` — holding a saved Y 1 ("Save Paired Y Bit").
+
+The cycle ``E0 -> HX -> E1 -> HY -> E0`` alternates which stream donates
+the saved bit, which is what keeps the two output streams' biases
+symmetric. Deeper instances keep a FIFO of (owner-tagged) saved 1s whose
+owners provably alternate, so the queue is represented by a count plus the
+head owner (the same representation the vectorised model uses — see
+``repro.core.desynchronizer`` for the argument).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Tuple
+
+from .._validation import check_positive_int
+from .base import PairRTL
+
+__all__ = ["DesynchronizerRTL"]
+
+E0, HX, E1, HY = "E0", "HX", "E1", "HY"
+
+
+class DesynchronizerRTL(PairRTL):
+    """Cycle-accurate desynchronizer with inspectable state."""
+
+    def __init__(self, depth: int = 1) -> None:
+        self._depth = check_positive_int(depth, name="depth")
+        self.reset()
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def reset(self) -> None:
+        self._queue = deque()   # owner tags of saved 1s: "x" / "y"
+        self._next_save = "x"
+
+    @property
+    def state(self):
+        if self._depth == 1:
+            if not self._queue:
+                return E0 if self._next_save == "x" else E1
+            return HX if self._queue[0] == "x" else HY
+        return (len(self._queue), tuple(self._queue))
+
+    def step(self, x: int, y: int) -> Tuple[int, int]:
+        if x not in (0, 1) or y not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got ({x}, {y})")
+        if x != y:                          # In: X ^ Y == 1 / pass through
+            return x, y
+        if x == 1:                          # both 1: try to unpair
+            if len(self._queue) < self._depth:
+                saved = self._next_save
+                self._queue.append(saved)
+                self._next_save = "y" if saved == "x" else "x"
+                if saved == "x":            # X's 1 enters the queue
+                    return 0, 1
+                return 1, 0                 # Y's 1 enters the queue
+            return 1, 1                     # saturated: pass through
+        # both 0: emit the head saved 1 if any
+        if self._queue:
+            owner = self._queue.popleft()
+            if not self._queue:
+                # Queue drained: the next save takes the opposite stream of
+                # the emitted owner (the Fig. 3b cycle's alternation).
+                self._next_save = "y" if owner == "x" else "x"
+            # Otherwise the tail is unchanged, so the pending next_save
+            # (opposite of the tail) is already correct — a pop from the
+            # head must not disturb it, or the queue's strict X/Y
+            # alternation breaks.
+            if owner == "x":
+                return 1, 0
+            return 0, 1
+        return 0, 0

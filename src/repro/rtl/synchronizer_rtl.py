@@ -1,0 +1,107 @@
+"""RTL-style synchronizer: the literal FSM of paper Fig. 3a.
+
+For ``depth == 1`` the machine is written with the paper's three named
+states (S0 initial, S1 "save unpaired X bit", S2 "save unpaired Y bit")
+and one explicit transition per figure edge. For deeper save depths the
+state generalises to a signed surplus counter, matching the description in
+Section III-B ("adding an equal number of states to the left and right of
+the FSM").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .._validation import check_positive_int
+from .base import PairRTL
+
+__all__ = ["SynchronizerRTL"]
+
+S0, S1, S2 = "S0", "S1", "S2"
+
+
+class SynchronizerRTL(PairRTL):
+    """Cycle-accurate synchronizer with inspectable state.
+
+    Attributes:
+        state: for depth 1, one of ``"S0"``, ``"S1"``, ``"S2"`` (paper
+            Fig. 3a names); for deeper instances, the signed surplus count.
+    """
+
+    def __init__(self, depth: int = 1) -> None:
+        self._depth = check_positive_int(depth, name="depth")
+        self.reset()
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def reset(self) -> None:
+        self._surplus = 0  # saved X 1s minus saved Y 1s
+
+    @property
+    def state(self):
+        if self._depth == 1:
+            return {0: S0, 1: S1, -1: S2}[self._surplus]
+        return self._surplus
+
+    def step(self, x: int, y: int) -> Tuple[int, int]:
+        if x not in (0, 1) or y not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got ({x}, {y})")
+        if self._depth == 1:
+            return self._step_fig3a(x, y)
+        return self._step_general(x, y)
+
+    # ------------------------------------------------------------------ #
+    # The literal Fig. 3a machine (depth 1)
+    # ------------------------------------------------------------------ #
+
+    def _step_fig3a(self, x: int, y: int) -> Tuple[int, int]:
+        state = self.state
+        if state == S0:
+            if x == y:                      # In: X == Y / Out: X, Y
+                return x, y
+            if x == 1:                      # save unpaired X bit
+                self._surplus = 1
+                return 0, 0
+            self._surplus = -1              # save unpaired Y bit
+            return 0, 0
+        if state == S1:                     # holding an unpaired X 1
+            if x == y:                      # In: X == Y / Out: X, Y
+                return x, y
+            if x == 0:                      # pair saved X bit with Y's 1
+                self._surplus = 0
+                return 1, 1
+            return 1, 0                     # saturated: pass through
+        # state == S2: holding an unpaired Y 1
+        if x == y:
+            return x, y
+        if y == 0:                          # pair saved Y bit with X's 1
+            self._surplus = 0
+            return 1, 1
+        return 0, 1                         # saturated: pass through
+
+    # ------------------------------------------------------------------ #
+    # Generalised depth (Section III-B)
+    # ------------------------------------------------------------------ #
+
+    def _step_general(self, x: int, y: int) -> Tuple[int, int]:
+        s = self._surplus
+        if x == y:
+            return x, y
+        if x == 1:  # X surplus 1 arrives
+            if s < 0:
+                self._surplus = s + 1
+                return 1, 1
+            if s < self._depth:
+                self._surplus = s + 1
+                return 0, 0
+            return 1, 0
+        # Y surplus 1 arrives
+        if s > 0:
+            self._surplus = s - 1
+            return 1, 1
+        if s > -self._depth:
+            self._surplus = s - 1
+            return 0, 0
+        return 0, 1

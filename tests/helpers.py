@@ -1,0 +1,18 @@
+"""Shared non-fixture helpers for the test suite."""
+
+import numpy as np
+
+
+def make_pair_batch(rng_x, rng_y, n=256, step=16):
+    """Small exhaustive pair batch: comparator D/S through two RNGs.
+
+    Returns ``(x_bits, y_bits, x_levels, y_levels)``.
+    """
+    levels = np.arange(0, n, step, dtype=np.int64)
+    xs = np.repeat(levels, levels.size)
+    ys = np.tile(levels, levels.size)
+    sx = rng_x.sequence(n)
+    sy = rng_y.sequence(n)
+    x = (xs[:, None] > sx[None, :]).astype(np.uint8)
+    y = (ys[:, None] > sy[None, :]).astype(np.uint8)
+    return x, y, xs, ys

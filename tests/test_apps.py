@@ -1,0 +1,118 @@
+"""Unit tests for the application layer (repro.apps)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    CompareExchangeNetwork,
+    bitonic_network,
+    median5_network,
+    median9_network,
+)
+from repro.exceptions import CircuitConfigurationError
+from repro.rng import LFSR
+
+
+def make_streams(values: np.ndarray, n: int = 256) -> np.ndarray:
+    """(batch, lanes) values -> (batch, lanes, n) mutually decorrelated
+    streams via phase-rotated LFSR conversion."""
+    base = LFSR(width=8).sequence(255)
+    batch, lanes = values.shape
+    levels = np.rint(values * n).astype(np.int64)
+    streams = np.empty((batch, lanes, n), dtype=np.uint8)
+    for i in range(lanes):
+        idx = (np.arange(n) + 31 * i) % 255
+        streams[:, i, :] = (levels[:, i : i + 1] > base[idx][None, :]).astype(np.uint8)
+    return streams
+
+
+class TestScheduleCorrectness:
+    """Float-path verification: the schedules really compute their claims."""
+
+    def test_median9_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((200, 9))
+        out = median9_network().apply_values(values)
+        assert np.allclose(out[:, 0], np.median(values, axis=1))
+
+    def test_median5_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        values = rng.random((200, 5))
+        out = median5_network().apply_values(values)
+        assert np.allclose(out[:, 0], np.median(values, axis=1))
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_bitonic_sorts(self, width):
+        rng = np.random.default_rng(width)
+        values = rng.random((64, width))
+        out = bitonic_network(width).apply_values(values)
+        assert np.allclose(out, np.sort(values, axis=1))
+
+    def test_bitonic_requires_power_of_two(self):
+        with pytest.raises(CircuitConfigurationError):
+            bitonic_network(6)
+
+
+class TestStreamEvaluation:
+    def test_median9_streams_accurate_with_synchronizers(self):
+        rng = np.random.default_rng(2)
+        values = rng.random((32, 9))
+        streams = make_streams(values)
+        out = median9_network().apply_streams(streams).mean(axis=-1)
+        expected = np.median(values, axis=1)
+        assert np.abs(out[:, 0] - expected).mean() < 0.05
+
+    def test_synchronized_beats_gate_only(self):
+        rng = np.random.default_rng(3)
+        values = rng.random((32, 9))
+        streams = make_streams(values)
+        expected = np.median(values, axis=1)
+        synced = median9_network(use_synchronizers=True).apply_streams(streams)
+        naive = median9_network(use_synchronizers=False).apply_streams(streams)
+        err_synced = np.abs(synced.mean(axis=-1)[:, 0] - expected).mean()
+        err_naive = np.abs(naive.mean(axis=-1)[:, 0] - expected).mean()
+        assert err_synced < err_naive / 2
+
+    def test_bitonic_sort_streams(self):
+        rng = np.random.default_rng(4)
+        values = rng.random((16, 4))
+        streams = make_streams(values)
+        out = bitonic_network(4).apply_streams(streams).mean(axis=-1)
+        expected = np.sort(values, axis=1)
+        assert np.abs(out - expected).mean() < 0.05
+
+    def test_sorted_outputs_monotone(self):
+        rng = np.random.default_rng(5)
+        values = rng.random((16, 8))
+        streams = make_streams(values)
+        out = bitonic_network(8).apply_streams(streams).mean(axis=-1)
+        assert (np.diff(out, axis=1) >= -0.05).all()
+
+    def test_stream_shape_validation(self):
+        net = median5_network()
+        with pytest.raises(CircuitConfigurationError):
+            net.apply_streams(np.zeros((2, 4, 16), dtype=np.uint8))
+
+    def test_value_shape_validation(self):
+        with pytest.raises(CircuitConfigurationError):
+            median9_network().apply_values(np.zeros((3, 5)))
+
+
+class TestNetworkHardware:
+    def test_netlist_scales_with_stages(self):
+        med9 = median9_network().netlist()
+        med5 = median5_network().netlist()
+        assert med9.area_um2 > med5.area_um2
+
+    def test_gate_only_much_smaller(self):
+        synced = median9_network(use_synchronizers=True).netlist()
+        naive = median9_network(use_synchronizers=False).netlist()
+        assert naive.area_um2 < synced.area_um2 / 10
+
+    def test_schedule_validation(self):
+        with pytest.raises(CircuitConfigurationError):
+            CompareExchangeNetwork(4, [(0, 4)], output_slots=(0,))
+        with pytest.raises(CircuitConfigurationError):
+            CompareExchangeNetwork(4, [(1, 1)], output_slots=(0,))
+        with pytest.raises(CircuitConfigurationError):
+            CompareExchangeNetwork(4, [(0, 1)], output_slots=(9,))

@@ -1,0 +1,237 @@
+"""Unit tests for the SC arithmetic circuits (repro.arith)."""
+
+import numpy as np
+import pytest
+
+from repro.arith import (
+    AbsSubtractor,
+    AndMin,
+    CAAdder,
+    CAMax,
+    CorDiv,
+    Multiplier,
+    OrMax,
+    SaturatingAdder,
+    ScaledAdder,
+    and_bits,
+    mux_bits,
+    not_bits,
+    or_bits,
+    xor_bits,
+)
+from repro.bitstream import Bitstream, BitstreamBatch, correlated_pair, exact_stream
+from repro.exceptions import CircuitConfigurationError, EncodingError
+from repro.rng import Halton, VanDerCorput
+
+
+class TestGates:
+    def test_and(self):
+        assert and_bits(np.array([1, 1, 0]), np.array([1, 0, 0])).tolist() == [1, 0, 0]
+
+    def test_or(self):
+        assert or_bits(np.array([1, 0, 0]), np.array([0, 0, 1])).tolist() == [1, 0, 1]
+
+    def test_xor(self):
+        assert xor_bits(np.array([1, 1, 0]), np.array([1, 0, 0])).tolist() == [0, 1, 0]
+
+    def test_not(self):
+        assert not_bits(np.array([1, 0], dtype=np.uint8)).tolist() == [0, 1]
+
+    def test_mux_selects(self):
+        out = mux_bits(np.array([0, 1, 0, 1]), np.array([1, 1, 1, 1]), np.array([0, 0, 0, 0]))
+        assert out.tolist() == [1, 0, 1, 0]
+
+
+class TestMultiplier:
+    def test_paper_fig1a(self):
+        z = Multiplier().compute(Bitstream("01010101"), Bitstream("00111111"))
+        assert z.value == 0.375
+
+    def test_uncorrelated_accuracy_sweep(self):
+        d2s_x = VanDerCorput(width=8)
+        d2s_y = Halton(base=3, width=8)
+        levels = np.arange(0, 256, 16)
+        xs = np.repeat(levels, levels.size)
+        ys = np.tile(levels, levels.size)
+        x = (xs[:, None] > d2s_x.sequence(256)[None, :]).astype(np.uint8)
+        y = (ys[:, None] > d2s_y.sequence(256)[None, :]).astype(np.uint8)
+        z = Multiplier().compute(x, y)
+        err = np.abs(z.mean(axis=1) - (xs / 256) * (ys / 256)).mean()
+        assert err < 0.01
+
+    def test_bipolar_uses_xnor(self):
+        # Bipolar multiply: (+1) * (-1) = -1 with deterministic streams.
+        x = Bitstream("1111", "bipolar")
+        y = Bitstream("0000", "bipolar")
+        assert Multiplier().compute(x, y).value == -1.0
+
+    def test_encoding_mismatch(self):
+        with pytest.raises(EncodingError):
+            Multiplier().compute(Bitstream("01"), Bitstream("01", "bipolar"))
+
+    def test_batch_input_returns_batch(self):
+        b = BitstreamBatch([[1, 0], [0, 1]])
+        out = Multiplier().compute(b, b)
+        assert isinstance(out, BitstreamBatch)
+
+    def test_expected(self):
+        assert Multiplier.expected(0.5, 0.5) == 0.25
+
+
+class TestScaledAdder:
+    def test_paper_fig1b(self):
+        z = ScaledAdder().compute(
+            Bitstream("01110111"), Bitstream("11000000"), select=Bitstream("10100110")
+        )
+        assert z.value == 0.5
+
+    def test_exact_half_sum_with_even_select(self):
+        x = exact_stream(0.75, 64)
+        y = exact_stream(0.25, 64)
+        select = exact_stream(0.5, 64)
+        z = ScaledAdder().compute(x, y, select=select)
+        assert abs(z.value - 0.5) <= 2 / 64
+
+    def test_rng_backed_select(self):
+        adder = ScaledAdder(select_rng=Halton(base=5, width=8))
+        x = exact_stream(0.5, 256)
+        y = exact_stream(1.0, 256)
+        assert abs(adder.compute(x, y).value - 0.75) < 0.05
+
+    def test_missing_select_raises(self):
+        with pytest.raises(CircuitConfigurationError):
+            ScaledAdder().compute(Bitstream("01"), Bitstream("10"))
+
+    def test_expected(self):
+        assert ScaledAdder.expected(0.5, 1.0) == 0.75
+
+
+class TestSaturatingAdder:
+    def test_exact_on_negative_correlation(self):
+        for px, py in [(0.25, 0.5), (0.5, 0.75), (0.875, 0.875)]:
+            x, y = correlated_pair(px, py, 64, scc=-1)
+            z = SaturatingAdder().compute(x, y)
+            assert z.value == pytest.approx(min(1.0, px + py))
+
+    def test_wrong_on_positive_correlation(self):
+        x, y = correlated_pair(0.5, 0.5, 64, scc=1)
+        # Positively correlated OR degenerates to max, not saturating add.
+        assert SaturatingAdder().compute(x, y).value == pytest.approx(0.5)
+
+    def test_expected_clips(self):
+        assert SaturatingAdder.expected(0.75, 0.75) == 1.0
+
+
+class TestAbsSubtractor:
+    def test_exact_on_positive_correlation(self):
+        for px, py in [(0.25, 0.75), (0.5, 0.125), (1.0, 0.5)]:
+            x, y = correlated_pair(px, py, 64, scc=1)
+            z = AbsSubtractor().compute(x, y)
+            assert z.value == pytest.approx(abs(px - py))
+
+    def test_overestimates_when_uncorrelated(self):
+        x, y = correlated_pair(0.5, 0.5, 256, scc=0, seed=1)
+        assert AbsSubtractor().compute(x, y).value > 0.2
+
+    def test_expected(self):
+        assert AbsSubtractor.expected(0.25, 0.75) == 0.5
+
+
+class TestCorDiv:
+    def test_ratio_on_shared_rng_inputs(self):
+        # CORDIV needs comparator-style correlated streams (1s interleaved,
+        # SCC=+1); synthetic bursts defeat its held-bit extrapolation.
+        seq = VanDerCorput(width=8).sequence(256)
+        x = Bitstream((64 > seq).astype(np.uint8))
+        y = Bitstream((128 > seq).astype(np.uint8))
+        z = CorDiv().compute(x, y)
+        assert abs(z.value - 0.5) < 0.05
+
+    def test_division_sweep_correlated(self):
+        d2s = VanDerCorput(width=8)
+        seq = d2s.sequence(256)
+        errors = []
+        for xl in (32, 64, 128):
+            for yl in (160, 192, 255):
+                x = (xl > seq).astype(np.uint8)
+                y = (yl > seq).astype(np.uint8)
+                z = CorDiv().compute(x, y)
+                errors.append(abs(z.mean() - xl / yl))
+        assert float(np.mean(errors)) < 0.05
+
+    def test_initial_bit_validation(self):
+        with pytest.raises(EncodingError):
+            CorDiv(initial=2)
+
+    def test_expected_handles_zero_divisor(self):
+        assert CorDiv.expected(0.5, 0.0) == 0.0
+        assert CorDiv.expected(0.75, 0.5) == 1.0
+
+
+class TestMaxMin:
+    def test_or_max_exact_on_correlated(self):
+        x, y = correlated_pair(0.25, 0.625, 64, scc=1)
+        assert OrMax().compute(x, y).value == 0.625
+
+    def test_and_min_exact_on_correlated(self):
+        x, y = correlated_pair(0.25, 0.625, 64, scc=1)
+        assert AndMin().compute(x, y).value == 0.25
+
+    def test_or_max_overshoots_uncorrelated(self):
+        x, y = correlated_pair(0.5, 0.5, 256, scc=0, seed=3)
+        assert OrMax().compute(x, y).value > 0.6
+
+    def test_and_min_undershoots_uncorrelated(self):
+        x, y = correlated_pair(0.5, 0.5, 256, scc=0, seed=3)
+        assert AndMin().compute(x, y).value < 0.4
+
+    def test_expected(self):
+        assert OrMax.expected(0.2, 0.7) == 0.7
+        assert AndMin.expected(0.2, 0.7) == 0.2
+
+
+class TestCAAdder:
+    def test_exact_regardless_of_correlation(self):
+        for scc_target in (-1, 0, 1):
+            x, y = correlated_pair(0.625, 0.375, 64, scc=scc_target, seed=0)
+            z = CAAdder().compute(x, y)
+            assert abs(z.value - 0.5) <= 1 / 64
+
+    def test_output_count_is_floor_half_sum(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            x = rng.integers(0, 2, 33).astype(np.uint8)
+            y = rng.integers(0, 2, 33).astype(np.uint8)
+            z = CAAdder().compute(x, y)
+            assert int(z.sum()) == (int(x.sum()) + int(y.sum())) // 2
+
+    def test_requires_no_select(self):
+        z = CAAdder().compute(Bitstream("1111"), Bitstream("1111"))
+        assert z.value == 1.0
+
+
+class TestCAMax:
+    def test_accurate_for_any_correlation(self):
+        # Realistic comparator-generated streams at SCC ~ +1, 0 (synthetic
+        # bursts are pathological for the counter heuristic, as for any
+        # FSM-based SC design).
+        seq_a = VanDerCorput(width=8).sequence(256)
+        seq_b = Halton(base=3, width=8).sequence(256)
+        for sy in (seq_a, seq_b):  # shared sequence (+1) and independent (0)
+            x = (64 > seq_a).astype(np.uint8)
+            y = (192 > sy).astype(np.uint8)
+            z = CAMax(counter_bits=6).compute(x, y)
+            assert abs(float(z.mean()) - 0.75) < 0.06
+
+    def test_equal_inputs(self):
+        x, y = correlated_pair(0.5, 0.5, 256, scc=0, seed=5)
+        z = CAMax().compute(x, y)
+        assert abs(z.value - 0.5) < 0.06
+
+    def test_counter_bits_validated(self):
+        with pytest.raises(CircuitConfigurationError):
+            CAMax(counter_bits=0)
+
+    def test_batch_kind_preserved(self):
+        b = BitstreamBatch(np.ones((2, 8), dtype=np.uint8))
+        assert isinstance(CAMax().compute(b, b), BitstreamBatch)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.bitstream.batch.BitstreamBatch."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import Bitstream, BitstreamBatch, Encoding
+from repro.exceptions import EncodingError, LengthMismatchError
+
+
+@pytest.fixture
+def batch():
+    return BitstreamBatch(
+        np.array([[1, 0, 1, 0], [1, 1, 0, 0], [1, 1, 1, 1]], dtype=np.uint8)
+    )
+
+
+class TestConstruction:
+    def test_shape_properties(self, batch):
+        assert batch.batch_size == 3
+        assert batch.length == 4
+
+    def test_1d_promoted(self):
+        b = BitstreamBatch([1, 0, 1, 1])
+        assert b.batch_size == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            BitstreamBatch(np.zeros((0, 4), dtype=np.uint8))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(EncodingError):
+            BitstreamBatch(np.array([[0, 2]]))
+
+    def test_from_streams(self):
+        b = BitstreamBatch.from_streams([Bitstream("01"), Bitstream("11")])
+        assert b.batch_size == 2
+        assert np.allclose(b.values, [0.5, 1.0])
+
+    def test_from_streams_mixed_encoding_rejected(self):
+        with pytest.raises(EncodingError):
+            BitstreamBatch.from_streams([Bitstream("01"), Bitstream("11", "bipolar")])
+
+    def test_from_streams_mixed_length_rejected(self):
+        with pytest.raises(EncodingError):
+            BitstreamBatch.from_streams([Bitstream("01"), Bitstream("110")])
+
+    def test_from_streams_empty_rejected(self):
+        with pytest.raises(EncodingError):
+            BitstreamBatch.from_streams([])
+
+
+class TestValues:
+    def test_ones(self, batch):
+        assert list(batch.ones) == [2, 2, 4]
+
+    def test_values_unipolar(self, batch):
+        assert np.allclose(batch.values, [0.5, 0.5, 1.0])
+
+    def test_values_bipolar(self):
+        b = BitstreamBatch([[1, 1, 0, 0]], Encoding.BIPOLAR)
+        assert np.allclose(b.values, [0.0])
+
+    def test_stream_extraction(self, batch):
+        s = batch.stream(2)
+        assert isinstance(s, Bitstream)
+        assert s.value == 1.0
+
+    def test_iter(self, batch):
+        assert [s.value for s in batch] == [0.5, 0.5, 1.0]
+
+    def test_len(self, batch):
+        assert len(batch) == 3
+
+
+class TestOperators:
+    def test_and(self, batch):
+        other = BitstreamBatch(np.ones((3, 4), dtype=np.uint8))
+        assert np.array_equal((batch & other).bits, batch.bits)
+
+    def test_invert(self, batch):
+        assert np.allclose((~batch).values, 1 - batch.values)
+
+    def test_xor_with_self_is_zero(self, batch):
+        assert (batch ^ batch).values.sum() == 0
+
+    def test_scc_self_rows(self, batch):
+        values = batch.scc(batch)
+        # Constant row (all ones) defines SCC 0; others are +1.
+        assert values[0] == 1.0
+        assert values[1] == 1.0
+        assert values[2] == 0.0
+
+    def test_length_mismatch(self, batch):
+        with pytest.raises(LengthMismatchError):
+            batch & BitstreamBatch(np.zeros((3, 5), dtype=np.uint8))
+
+    def test_encoding_mismatch(self, batch):
+        with pytest.raises(EncodingError):
+            batch & BitstreamBatch(np.zeros((3, 4), dtype=np.uint8), "bipolar")

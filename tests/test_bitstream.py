@@ -1,0 +1,153 @@
+"""Unit tests for repro.bitstream.bitstream.Bitstream."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import Bitstream, Encoding
+from repro.exceptions import EncodingError, LengthMismatchError
+
+
+class TestConstruction:
+    def test_from_string(self):
+        s = Bitstream("01000100")
+        assert s.length == 8
+        assert s.ones == 2
+        assert s.value == 0.25
+
+    def test_from_list(self):
+        s = Bitstream([0, 1, 1, 0])
+        assert s.value == 0.5
+
+    def test_from_numpy(self):
+        s = Bitstream(np.array([1, 1, 1, 0], dtype=np.uint8))
+        assert s.value == 0.75
+
+    def test_from_bool_array(self):
+        s = Bitstream(np.array([True, False]))
+        assert s.ones == 1
+
+    def test_rejects_non_binary_string(self):
+        with pytest.raises(EncodingError):
+            Bitstream("01012")
+
+    def test_rejects_non_binary_values(self):
+        with pytest.raises(EncodingError):
+            Bitstream([0, 1, 2])
+
+    def test_rejects_empty(self):
+        with pytest.raises(EncodingError):
+            Bitstream("")
+
+    def test_rejects_2d(self):
+        with pytest.raises(EncodingError):
+            Bitstream(np.zeros((2, 4), dtype=np.uint8))
+
+    def test_bits_are_read_only(self):
+        s = Bitstream("0101")
+        with pytest.raises(ValueError):
+            s.bits[0] = 1
+
+    def test_encoding_by_string_name(self):
+        s = Bitstream("01100001", "bipolar")
+        assert s.encoding is Encoding.BIPOLAR
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(EncodingError):
+            Bitstream("01", "ternary")
+
+
+class TestValues:
+    def test_paper_unipolar_example(self):
+        # Section II-A: X = 01100001 has value 3/8 unipolar.
+        assert Bitstream("01100001").value == 3 / 8
+
+    def test_paper_bipolar_example(self):
+        # Section II-A: the same stream is -1/4 bipolar.
+        assert Bitstream("01100001", Encoding.BIPOLAR).value == -0.25
+
+    def test_probability_is_encoding_independent(self):
+        bits = "01100001"
+        assert Bitstream(bits).probability == Bitstream(bits, "bipolar").probability
+
+    def test_all_zeros_and_ones(self):
+        assert Bitstream("0000").value == 0.0
+        assert Bitstream("1111").value == 1.0
+        assert Bitstream("0000", "bipolar").value == -1.0
+        assert Bitstream("1111", "bipolar").value == 1.0
+
+    def test_with_encoding_reinterprets(self):
+        s = Bitstream("0110")
+        assert s.with_encoding("bipolar").value == 0.0
+        assert s.with_encoding("bipolar").bits is s.bits or np.array_equal(
+            s.with_encoding("bipolar").bits, s.bits
+        )
+
+
+class TestOperators:
+    def test_and_is_table1_multiply(self):
+        x = Bitstream("01010101")
+        y = Bitstream("11111100")
+        assert (x & y).value == 0.375
+
+    def test_or(self):
+        x = Bitstream("0101")
+        y = Bitstream("0011")
+        assert (x | y).to01() == "0111"
+
+    def test_xor(self):
+        x = Bitstream("0101")
+        y = Bitstream("0011")
+        assert (x ^ y).to01() == "0110"
+
+    def test_invert_complements_value(self):
+        s = Bitstream("0111")
+        assert (~s).value == pytest.approx(1 - s.value)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError):
+            Bitstream("01") & Bitstream("011")
+
+    def test_encoding_mismatch_raises(self):
+        with pytest.raises(EncodingError):
+            Bitstream("01") & Bitstream("01", "bipolar")
+
+    def test_delayed_shifts_right(self):
+        s = Bitstream("1100")
+        assert s.delayed(1).to01() == "0110"
+        assert s.delayed(2).to01() == "0011"
+
+    def test_delayed_fill_one(self):
+        assert Bitstream("0000").delayed(2, fill=1).to01() == "1100"
+
+    def test_delayed_zero_is_identity(self):
+        s = Bitstream("1010")
+        assert s.delayed(0) is s
+
+    def test_delayed_beyond_length_saturates(self):
+        assert Bitstream("1111").delayed(10).value == 0.0
+
+    def test_delayed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Bitstream("01").delayed(-1)
+
+
+class TestEqualityAndRepr:
+    def test_equality(self):
+        assert Bitstream("0101") == Bitstream([0, 1, 0, 1])
+        assert Bitstream("0101") != Bitstream("0110")
+        assert Bitstream("0101") != Bitstream("0101", "bipolar")
+
+    def test_hash_consistency(self):
+        assert hash(Bitstream("0101")) == hash(Bitstream("0101"))
+
+    def test_len_and_iter(self):
+        s = Bitstream("101")
+        assert len(s) == 3
+        assert list(s) == [1, 0, 1]
+
+    def test_repr_contains_value(self):
+        assert "0.5" in repr(Bitstream("01"))
+
+    def test_to01_roundtrip(self):
+        text = "0110100110010110"
+        assert Bitstream(text).to01() == text

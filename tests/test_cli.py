@@ -1,0 +1,51 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.experiment == "table1"
+        assert args.step == 4
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fault_tolerance" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "PASS" in out
+
+    def test_run_with_step(self, capsys):
+        assert main(["run", "fig2", "--step", "32"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_run_writes_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "t1.txt"
+        assert main(["run", "table1", "--out", str(out_file)]) == 0
+        capsys.readouterr()
+        assert "Table I" in out_file.read_text()
+
+    def test_costs(self, capsys):
+        assert main(["costs"]) == 0
+        out = capsys.readouterr().out
+        assert "regenerator" in out and "sync_max" in out
+
+    def test_run_fault_tolerance(self, capsys):
+        assert main(["run", "fault_tolerance"]) == 0
+        assert "Error tolerance" in capsys.readouterr().out

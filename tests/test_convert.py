@@ -1,0 +1,146 @@
+"""Unit tests for the converters (repro.convert)."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import Bitstream, BitstreamBatch, scc, scc_batch
+from repro.convert import (
+    AccumulativeParallelCounter,
+    DigitalToStochastic,
+    Regenerator,
+    StochasticToDigital,
+)
+from repro.exceptions import CircuitConfigurationError, EncodingError
+from repro.rng import CounterRNG, Halton, LFSR, VanDerCorput
+
+
+class TestD2S:
+    def test_exact_with_full_period_rng(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=8))
+        for level in (0, 1, 37, 128, 255, 256):
+            assert d2s.convert(level).ones == level
+
+    def test_counter_rng_gives_burst(self):
+        d2s = DigitalToStochastic(CounterRNG(width=3), length=8)
+        assert d2s.convert(3).to01() == "11100000"
+
+    def test_default_length_is_rng_period(self):
+        assert DigitalToStochastic(VanDerCorput(width=8)).length == 256
+
+    def test_out_of_range_rejected(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=4))
+        with pytest.raises(EncodingError):
+            d2s.convert(17)
+        with pytest.raises(EncodingError):
+            d2s.convert(-1)
+
+    def test_convert_value_quantises(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=8))
+        assert d2s.convert_value(0.5).value == 0.5
+
+    def test_convert_value_bipolar(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=8))
+        s = d2s.convert_value(-0.5, encoding="bipolar")
+        assert s.value == -0.5
+
+    def test_convert_value_range_check(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=8))
+        with pytest.raises(EncodingError):
+            d2s.convert_value(1.01)
+
+    def test_batch_shares_sequence_hence_correlated(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=8))
+        batch = d2s.convert_batch(np.arange(1, 256, 16))
+        first = batch.bits[0:1]
+        sccs = scc_batch(np.broadcast_to(first, batch.bits.shape), batch.bits)
+        assert (sccs == 1.0).all()
+
+    def test_batch_values_exact(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=8))
+        levels = np.array([0, 5, 100, 256])
+        batch = d2s.convert_batch(levels)
+        assert np.array_equal(batch.ones, levels)
+
+    def test_batch_rejects_2d(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=4))
+        with pytest.raises(EncodingError):
+            d2s.convert_batch(np.zeros((2, 2), dtype=np.int64))
+
+    def test_values_batch(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=8))
+        batch = d2s.convert_values_batch([0.0, 0.25, 1.0])
+        assert np.allclose(batch.values, [0.0, 0.25, 1.0])
+
+
+class TestS2D:
+    def test_counts_ones(self):
+        assert StochasticToDigital().convert(Bitstream("0110100")) == 3
+
+    def test_accepts_raw_bits(self):
+        assert StochasticToDigital().convert(np.array([1, 1, 0], dtype=np.uint8)) == 2
+
+    def test_batch(self):
+        batch = BitstreamBatch([[1, 1, 0, 0], [1, 1, 1, 1]])
+        assert StochasticToDigital().convert_batch(batch).tolist() == [2, 4]
+
+    def test_to_value(self):
+        assert StochasticToDigital().to_value(Bitstream("0110")) == 0.5
+
+    def test_roundtrip_with_d2s(self):
+        d2s = DigitalToStochastic(Halton(base=3, width=8))
+        s2d = StochasticToDigital()
+        for level in (0, 17, 200, 255):
+            # Halton is not exactly uniform per prefix; allow 1 LSB.
+            assert abs(s2d.convert(d2s.convert(level)) - level) <= 2
+
+
+class TestAPC:
+    def test_exact_sum(self):
+        batch = BitstreamBatch([[1, 0, 1, 0], [1, 1, 1, 0], [0, 0, 0, 1]])
+        assert AccumulativeParallelCounter().accumulate(batch) == 6
+
+    def test_accumulate_value_is_unscaled_sum(self):
+        batch = BitstreamBatch([[1, 1, 0, 0], [1, 1, 1, 1]])
+        assert AccumulativeParallelCounter().accumulate_value(batch) == 1.5
+
+    def test_timeline_monotone(self):
+        batch = BitstreamBatch([[1, 0, 1, 0], [0, 1, 0, 1]])
+        timeline = AccumulativeParallelCounter().timeline(batch)
+        assert timeline.tolist() == [1, 2, 3, 4]
+
+    def test_timeline_requires_2d(self):
+        with pytest.raises(ValueError):
+            AccumulativeParallelCounter().timeline(np.array([1, 0, 1], dtype=np.uint8))
+
+
+class TestRegenerator:
+    def test_value_preserved_exactly(self):
+        # Whatever 1-count the (imperfect, LFSR-generated) input stream
+        # actually has, regeneration through a full-period RNG keeps it.
+        regen = Regenerator(VanDerCorput(width=8))
+        stream = DigitalToStochastic(LFSR(width=8)).convert(100)
+        assert regen.regenerate(stream).ones == stream.ones
+
+    def test_group_regeneration_correlates(self):
+        # Two streams from different RNGs (uncorrelated) become SCC=+1
+        # after shared-RNG regeneration.
+        x = DigitalToStochastic(LFSR(width=8)).convert(80)
+        y = DigitalToStochastic(Halton(base=3, width=8)).convert(160)
+        assert abs(scc(x.bits, y.bits)) < 0.3
+        regen = Regenerator(VanDerCorput(width=8))
+        batch = regen.regenerate_batch(BitstreamBatch(np.stack([x.bits, y.bits])))
+        assert scc(batch.bits[0], batch.bits[1]) == 1.0
+
+    def test_independent_regeneration_decorrelates(self):
+        d2s = DigitalToStochastic(VanDerCorput(width=8))
+        x = d2s.convert(100)
+        y = DigitalToStochastic(VanDerCorput(width=8)).convert(90)
+        assert scc(x.bits, y.bits) == 1.0
+        out = Regenerator.regenerate_independent(
+            [x, y], [VanDerCorput(width=8), Halton(base=3, width=8)]
+        )
+        assert abs(scc(out[0].bits, out[1].bits)) < 0.3
+
+    def test_independent_requires_matching_lengths(self):
+        with pytest.raises(CircuitConfigurationError):
+            Regenerator.regenerate_independent([Bitstream("01")], [])

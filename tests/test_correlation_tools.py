@@ -1,0 +1,192 @@
+"""Unit tests for shuffle buffer, decorrelator, isolator, TFM, composition."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import Bitstream, scc_batch
+from repro.core import (
+    Decorrelator,
+    Desynchronizer,
+    Isolator,
+    IsolatorPair,
+    SeriesPair,
+    SeriesStream,
+    ShuffleBuffer,
+    Synchronizer,
+    TFMPair,
+    TrackingForecastMemory,
+)
+from repro.exceptions import CircuitConfigurationError
+
+from tests.helpers import make_pair_batch
+from repro.rng import LFSR, SystemRNG, VanDerCorput
+
+
+class TestShuffleBuffer:
+    def test_bit_conservation_identity(self):
+        # ones(out) = ones(in) + ones(init) - residual, for any input.
+        rng = np.random.default_rng(0)
+        buf = ShuffleBuffer(SystemRNG(8, seed=1), depth=4)
+        bits = rng.integers(0, 2, (16, 64)).astype(np.uint8)
+        out = buf._process_stream_bits(bits)
+        residual = buf.residual_ones(bits)
+        init_ones = 2  # half of depth 4
+        assert np.array_equal(
+            out.sum(axis=1), bits.sum(axis=1) + init_ones - residual
+        )
+
+    def test_value_bias_bounded_by_depth(self):
+        buf = ShuffleBuffer(SystemRNG(8, seed=2), depth=4)
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, (32, 128)).astype(np.uint8)
+        out = buf._process_stream_bits(bits)
+        max_bias = np.abs(out.mean(axis=1) - bits.mean(axis=1)).max()
+        assert max_bias <= 4 / 128
+
+    def test_scrambles_order(self):
+        buf = ShuffleBuffer(SystemRNG(8, seed=3), depth=8)
+        burst = np.zeros((1, 64), dtype=np.uint8)
+        burst[0, :8] = 1
+        out = buf._process_stream_bits(burst)
+        assert not np.array_equal(out, burst)
+
+    def test_init_policies(self):
+        zeros = ShuffleBuffer(SystemRNG(8, seed=4), depth=4, init="zeros")
+        ones = ShuffleBuffer(SystemRNG(8, seed=4), depth=4, init="ones")
+        stream = np.zeros((1, 32), dtype=np.uint8)
+        assert zeros._process_stream_bits(stream).sum() == 0
+        assert ones._process_stream_bits(stream).sum() <= 4
+
+    def test_unknown_init_rejected(self):
+        with pytest.raises(CircuitConfigurationError):
+            ShuffleBuffer(SystemRNG(8), depth=4, init="random")
+
+    def test_process_wrapper_kinds(self):
+        buf = ShuffleBuffer(SystemRNG(8, seed=5), depth=2)
+        out = buf.process(Bitstream("01101001"))
+        assert isinstance(out, Bitstream)
+
+
+class TestDecorrelator:
+    def test_reduces_correlation(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), VanDerCorput(8), step=16)
+        before = scc_batch(x, y).mean()
+        deco = Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=4)
+        out_x, out_y = deco._process_bits(x, y)
+        after = scc_batch(out_x, out_y).mean()
+        assert before > 0.85
+        assert abs(after) < 0.4
+
+    def test_values_approximately_preserved(self):
+        x, y, _, _ = make_pair_batch(LFSR(8), LFSR(8), step=16)
+        deco = Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=4)
+        out_x, out_y = deco._process_bits(x, y)
+        assert abs((out_x.mean(axis=1) - x.mean(axis=1)).mean()) < 0.01
+
+    def test_shared_rng_instance_rejected(self):
+        rng = LFSR(8, seed=45)
+        with pytest.raises(CircuitConfigurationError):
+            Decorrelator(rng, rng, depth=4)
+
+    def test_exposes_buffers(self):
+        deco = Decorrelator(LFSR(8, seed=1), LFSR(8, seed=2), depth=8)
+        assert deco.buffer_x.depth == 8
+        assert deco.depth == 8
+
+
+class TestIsolator:
+    def test_single_delay(self):
+        iso = Isolator(delay=1)
+        out = iso.process(Bitstream("1100"))
+        assert out.to01() == "0110"
+
+    def test_multi_delay(self):
+        iso = Isolator(delay=3, fill=1)
+        assert iso.process(Bitstream("000000")).to01() == "111000"
+
+    def test_pair_delays_y_only(self):
+        pair = IsolatorPair(delay=1)
+        x = np.array([[1, 0, 1, 0]], dtype=np.uint8)
+        y = np.array([[1, 1, 0, 0]], dtype=np.uint8)
+        out_x, out_y = pair._process_bits(x, y)
+        assert np.array_equal(out_x, x)
+        assert out_y.tolist() == [[0, 1, 1, 0]]
+
+    def test_changes_correlation_of_identical_streams(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), VanDerCorput(8), step=16)
+        out_x, out_y = IsolatorPair(delay=1)._process_bits(x, y)
+        assert scc_batch(out_x, out_y).mean() < scc_batch(x, y).mean()
+
+    def test_cannot_reorder_bits(self):
+        # The paper's point: isolators shift, never scramble. A burst stays
+        # a burst.
+        iso = Isolator(delay=2)
+        burst = Bitstream("11110000")
+        out = iso.process(burst)
+        ones_positions = np.flatnonzero(out.bits)
+        assert np.array_equal(ones_positions, np.arange(2, 6))
+
+
+class TestTFM:
+    def test_tracks_value_of_stationary_stream(self):
+        tfm = TrackingForecastMemory(SystemRNG(8, seed=7), bits=8, shift=3)
+        stream = (np.random.default_rng(0).random((8, 512)) < 0.7).astype(np.uint8)
+        out = tfm._process_stream_bits(stream)
+        assert abs(out.mean() - 0.7) < 0.05
+
+    def test_constant_streams_converge(self):
+        tfm = TrackingForecastMemory(SystemRNG(8, seed=8), bits=8, shift=3)
+        ones = np.ones((1, 256), dtype=np.uint8)
+        zeros = np.zeros((1, 256), dtype=np.uint8)
+        assert tfm._process_stream_bits(ones)[:, 128:].mean() > 0.9
+        assert tfm._process_stream_bits(zeros)[:, 128:].mean() < 0.1
+
+    def test_shared_rng_pair_keeps_outputs_correlated(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), VanDerCorput(8), step=16)
+        pair = TFMPair(LFSR(8, seed=77))  # shared aux RNG
+        out_x, out_y = pair._process_bits(x, y)
+        assert scc_batch(out_x, out_y).mean() > 0.8
+
+    def test_independent_rngs_decorrelate(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), VanDerCorput(8), step=16)
+        pair = TFMPair(LFSR(8, seed=77), LFSR(8, seed=142))
+        out_x, out_y = pair._process_bits(x, y)
+        assert scc_batch(out_x, out_y).mean() < 0.5
+
+    def test_initial_validation(self):
+        with pytest.raises(ValueError):
+            TrackingForecastMemory(SystemRNG(8), initial=1.5)
+
+
+class TestComposition:
+    def test_series_pair_improves_scc(self):
+        x, y, _, _ = make_pair_batch(LFSR(8), VanDerCorput(8), step=16)
+        single = scc_batch(*Synchronizer(1)._process_bits(x, y)).mean()
+        series = SeriesPair([Synchronizer(1), Synchronizer(1), Synchronizer(1)])
+        tripled = scc_batch(*series._process_bits(x, y)).mean()
+        assert tripled >= single - 0.005
+
+    def test_series_pair_name_and_len(self):
+        series = SeriesPair([Synchronizer(1), Desynchronizer(1)])
+        assert len(series) == 2
+        assert "synchronizer" in series.name and "desynchronizer" in series.name
+
+    def test_series_requires_stages(self):
+        with pytest.raises(CircuitConfigurationError):
+            SeriesPair([])
+
+    def test_series_type_checked(self):
+        with pytest.raises(CircuitConfigurationError):
+            SeriesPair([Synchronizer(1), "not a transform"])
+
+    def test_series_stream(self):
+        chain = SeriesStream(
+            [ShuffleBuffer(SystemRNG(8, seed=1), 4), ShuffleBuffer(SystemRNG(8, seed=2), 4)]
+        )
+        out = chain.process(Bitstream("0101101001011010"))
+        assert isinstance(out, Bitstream)
+        assert len(chain) == 2
+
+    def test_series_stream_requires_stream_transforms(self):
+        with pytest.raises(CircuitConfigurationError):
+            SeriesStream([Synchronizer(1)])

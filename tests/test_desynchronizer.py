@@ -1,0 +1,133 @@
+"""Unit tests for the desynchronizer FSM (paper Fig. 3b)."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import Bitstream, scc_batch
+from repro.core import Desynchronizer
+from repro.exceptions import CircuitConfigurationError
+
+from tests.helpers import make_pair_batch
+from repro.rng import Halton, LFSR, VanDerCorput
+
+
+def run(desync, x_str, y_str):
+    x, y = desync.process_pair(Bitstream(x_str), Bitstream(y_str))
+    return x.to01(), y.to01()
+
+
+class TestFig3bTransitions:
+    """Cycle-by-cycle checks of every edge in the paper's D=1 cycle FSM."""
+
+    def test_differing_inputs_pass_through(self):
+        assert run(Desynchronizer(1), "10", "01") == ("10", "01")
+        assert run(Desynchronizer(1), "01", "10") == ("01", "10")
+
+    def test_save_paired_x_bit(self):
+        # S0 --(1,1)/(0,1)--> save X's 1, emit Y's alone.
+        assert run(Desynchronizer(1), "1", "1") == ("0", "1")
+
+    def test_emit_saved_x_bit(self):
+        # (1,1) then (0,0): the saved X 1 drains on the zero pair.
+        assert run(Desynchronizer(1), "10", "10") == ("01", "10")
+
+    def test_alternation_saves_y_second(self):
+        # After a full save/emit cycle of an X bit, the next save takes Y's.
+        x, y = run(Desynchronizer(1), "1010", "1010")
+        # cycle structure: save X (0,1); emit X (1,0); save Y (1,0); emit Y (0,1)
+        assert (x, y) == ("0110", "1001")
+
+    def test_saturation_passes_both_ones(self):
+        # With a bit already saved, a second (1,1) passes through.
+        x, y = run(Desynchronizer(1), "11", "11")
+        assert (x, y) == ("01", "11")
+
+    def test_zero_pairs_with_empty_queue_pass(self):
+        assert run(Desynchronizer(1), "00", "00") == ("00", "00")
+
+    def test_values_preserved_when_drained(self):
+        x, y = run(Desynchronizer(1), "1100", "1010")
+        assert Bitstream(x).ones == 2
+        assert Bitstream(y).ones == 2
+
+
+class TestCorrelationReduction:
+    def test_uncorrelated_inputs_become_negative(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), Halton(3, 8), step=16)
+        out_x, out_y = Desynchronizer(1)._process_bits(x, y)
+        assert scc_batch(out_x, out_y).mean() < -0.75
+
+    def test_positively_correlated_inputs_flip_negative(self):
+        x, y, _, _ = make_pair_batch(Halton(3, 8), Halton(3, 8), step=16)
+        assert scc_batch(x, y).mean() > 0.85
+        out_x, out_y = Desynchronizer(1)._process_bits(x, y)
+        assert scc_batch(out_x, out_y).mean() < -0.7
+
+    def test_deeper_depth_stronger(self):
+        x, y, _, _ = make_pair_batch(LFSR(8), VanDerCorput(8), step=16)
+        s1 = scc_batch(*Desynchronizer(1)._process_bits(x, y)).mean()
+        s4 = scc_batch(*Desynchronizer(4)._process_bits(x, y)).mean()
+        assert s4 <= s1 + 0.005
+
+
+class TestValueConservation:
+    def test_total_ones_never_created(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, (64, 128)).astype(np.uint8)
+        y = rng.integers(0, 2, (64, 128)).astype(np.uint8)
+        out_x, out_y = Desynchronizer(2)._process_bits(x, y)
+        total_in = x.sum() + y.sum()
+        total_out = out_x.sum() + out_y.sum()
+        assert total_out <= total_in
+
+    def test_loss_bounded_by_depth(self):
+        rng = np.random.default_rng(1)
+        for depth in (1, 2, 4):
+            x = rng.integers(0, 2, (32, 100)).astype(np.uint8)
+            y = rng.integers(0, 2, (32, 100)).astype(np.uint8)
+            stuck = Desynchronizer(depth).stuck_bits(x, y)
+            assert (stuck <= depth).all()
+            assert (stuck >= 0).all()
+
+    def test_bias_small_on_sweep(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), Halton(3, 8), step=16)
+        out_x, out_y = Desynchronizer(1)._process_bits(x, y)
+        assert abs((out_x.mean(axis=1) - x.mean(axis=1)).mean()) < 0.01
+        assert abs((out_y.mean(axis=1) - y.mean(axis=1)).mean()) < 0.01
+
+
+class TestFlush:
+    def test_flush_drains_trailing_saved_bit(self):
+        plain_x, plain_y = run(Desynchronizer(1), "1100", "1111")
+        flush_x, flush_y = run(Desynchronizer(1, flush=True), "1100", "1111")
+        total_plain = plain_x.count("1") + plain_y.count("1")
+        total_flush = flush_x.count("1") + flush_y.count("1")
+        assert total_flush >= total_plain
+
+    def test_flush_d1_loss_never_worse_than_plain(self):
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 2, (64, 64)).astype(np.uint8)
+        y = rng.integers(0, 2, (64, 64)).astype(np.uint8)
+        plain = Desynchronizer(1).stuck_bits(x, y)
+        flushed = Desynchronizer(1, flush=True).stuck_bits(x, y)
+        assert (flushed <= plain).all()
+        assert (flushed <= 1).all()
+        assert (flushed >= 0).all()
+
+
+class TestConfiguration:
+    def test_depth_validated(self):
+        with pytest.raises(CircuitConfigurationError):
+            Desynchronizer(0)
+
+    def test_first_save_side(self):
+        # first_save='y' saves Y's bit on the first (1,1).
+        x, y = run(Desynchronizer(1, first_save="y"), "1", "1")
+        assert (x, y) == ("1", "0")
+
+    def test_first_save_validated(self):
+        with pytest.raises(ValueError):
+            Desynchronizer(1, first_save="z")
+
+    def test_name(self):
+        assert "D=3" in Desynchronizer(3).name

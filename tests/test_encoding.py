@@ -1,0 +1,80 @@
+"""Unit tests for repro.bitstream.encoding."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import Encoding, ones_to_value, probability_of, value_to_ones
+from repro.exceptions import EncodingError
+
+
+class TestEncodingEnum:
+    def test_coerce_member(self):
+        assert Encoding.coerce(Encoding.UNIPOLAR) is Encoding.UNIPOLAR
+
+    def test_coerce_string(self):
+        assert Encoding.coerce("unipolar") is Encoding.UNIPOLAR
+        assert Encoding.coerce("BIPOLAR") is Encoding.BIPOLAR
+
+    def test_coerce_unknown(self):
+        with pytest.raises(EncodingError):
+            Encoding.coerce("nope")
+
+    def test_value_ranges(self):
+        assert Encoding.UNIPOLAR.value_range == (0.0, 1.0)
+        assert Encoding.BIPOLAR.value_range == (-1.0, 1.0)
+
+
+class TestOnesToValue:
+    def test_unipolar_scalar(self):
+        assert ones_to_value(3, 8, Encoding.UNIPOLAR) == 0.375
+
+    def test_bipolar_scalar(self):
+        assert ones_to_value(3, 8, Encoding.BIPOLAR) == -0.25
+
+    def test_vectorised(self):
+        out = ones_to_value(np.array([0, 4, 8]), 8, Encoding.UNIPOLAR)
+        assert np.allclose(out, [0.0, 0.5, 1.0])
+
+    def test_bipolar_extremes(self):
+        assert ones_to_value(0, 4, Encoding.BIPOLAR) == -1.0
+        assert ones_to_value(4, 4, Encoding.BIPOLAR) == 1.0
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(EncodingError):
+            ones_to_value(1, 0, Encoding.UNIPOLAR)
+
+
+class TestValueToOnes:
+    def test_unipolar_roundtrip(self):
+        for k in range(9):
+            assert value_to_ones(k / 8, 8, Encoding.UNIPOLAR) == k
+
+    def test_bipolar_roundtrip(self):
+        for k in range(9):
+            v = ones_to_value(k, 8, Encoding.BIPOLAR)
+            assert value_to_ones(v, 8, Encoding.BIPOLAR) == k
+
+    def test_rounding(self):
+        assert value_to_ones(0.49, 2, Encoding.UNIPOLAR) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(EncodingError):
+            value_to_ones(1.5, 8, Encoding.UNIPOLAR)
+        with pytest.raises(EncodingError):
+            value_to_ones(-0.1, 8, Encoding.UNIPOLAR)
+        with pytest.raises(EncodingError):
+            value_to_ones(-1.5, 8, Encoding.BIPOLAR)
+
+
+class TestProbabilityOf:
+    def test_unipolar_identity(self):
+        assert probability_of(0.25, Encoding.UNIPOLAR) == 0.25
+
+    def test_bipolar_mapping(self):
+        assert probability_of(0.0, Encoding.BIPOLAR) == 0.5
+        assert probability_of(-1.0, Encoding.BIPOLAR) == 0.0
+        assert probability_of(1.0, Encoding.BIPOLAR) == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(EncodingError):
+            probability_of(2.0, Encoding.UNIPOLAR)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.bitstream.generation."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import (
+    bernoulli_stream,
+    correlated_pair,
+    exact_stream,
+    rotations,
+    scc,
+)
+from repro.exceptions import EncodingError
+
+
+class TestExactStream:
+    @pytest.mark.parametrize("value", [0.0, 0.25, 0.5, 0.75, 1.0])
+    def test_exact_value(self, value):
+        for style in ("even", "burst", "tail"):
+            s = exact_stream(value, 64, style=style)
+            assert s.value == value
+
+    def test_even_spreads_ones(self):
+        s = exact_stream(0.5, 8, style="even")
+        # No two adjacent ones for p=0.5 even spreading.
+        bits = s.bits
+        assert not np.any(bits[:-1] & bits[1:])
+
+    def test_burst_front_loads(self):
+        s = exact_stream(0.25, 8, style="burst")
+        assert s.to01() == "11000000"
+
+    def test_tail_back_loads(self):
+        s = exact_stream(0.25, 8, style="tail")
+        assert s.to01() == "00000011"
+
+    def test_bipolar(self):
+        s = exact_stream(-0.5, 8, encoding="bipolar")
+        assert s.value == -0.5
+
+    def test_bad_style(self):
+        with pytest.raises(ValueError):
+            exact_stream(0.5, 8, style="diagonal")
+
+    def test_out_of_range(self):
+        with pytest.raises(EncodingError):
+            exact_stream(1.5, 8)
+
+
+class TestBernoulli:
+    def test_reproducible(self):
+        a = bernoulli_stream(0.5, 128, seed=3)
+        b = bernoulli_stream(0.5, 128, seed=3)
+        assert a == b
+
+    def test_value_close(self):
+        s = bernoulli_stream(0.3, 4096, seed=0)
+        assert abs(s.value - 0.3) < 0.03
+
+    def test_extremes(self):
+        assert bernoulli_stream(0.0, 64, seed=0).value == 0.0
+        assert bernoulli_stream(1.0, 64, seed=0).value == 1.0
+
+
+class TestCorrelatedPair:
+    @pytest.mark.parametrize("px,py", [(0.25, 0.75), (0.5, 0.5), (0.125, 0.875)])
+    def test_positive_pair(self, px, py):
+        x, y = correlated_pair(px, py, 64, scc=1)
+        assert x.value == px and y.value == py
+        assert scc(x.bits, y.bits) == 1.0
+
+    @pytest.mark.parametrize("px,py", [(0.25, 0.5), (0.5, 0.5), (0.75, 0.75)])
+    def test_negative_pair(self, px, py):
+        x, y = correlated_pair(px, py, 64, scc=-1)
+        assert x.value == px and y.value == py
+        assert scc(x.bits, y.bits) == -1.0
+
+    def test_negative_pair_with_forced_overlap(self):
+        x, y = correlated_pair(0.75, 0.75, 64, scc=-1)
+        assert scc(x.bits, y.bits) == -1.0
+
+    def test_uncorrelated_pair_near_zero(self):
+        values = []
+        for seed in range(20):
+            x, y = correlated_pair(0.5, 0.5, 256, scc=0, seed=seed)
+            values.append(scc(x.bits, y.bits))
+        assert abs(np.mean(values)) < 0.1
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            correlated_pair(0.5, 0.5, 16, scc=2)
+
+
+class TestRotations:
+    def test_count_and_values(self):
+        base = exact_stream(0.5, 16)
+        rots = rotations(base, 4)
+        assert len(rots) == 4
+        assert all(r.value == 0.5 for r in rots)
+
+    def test_first_rotation_is_identity(self):
+        base = exact_stream(0.375, 16)
+        assert rotations(base, 4)[0] == base
+
+    def test_rotations_decorrelate(self):
+        base = bernoulli_stream(0.5, 256, seed=5)
+        rots = rotations(base, 4)
+        assert abs(scc(rots[0].bits, rots[1].bits)) < 0.3

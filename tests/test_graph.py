@@ -1,0 +1,242 @@
+"""Unit tests for the dataflow graph layer (repro.graph)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Synchronizer
+from repro.exceptions import CircuitConfigurationError
+from repro.graph import (
+    OP_LIBRARY,
+    AutofixReport,
+    OpNode,
+    SCGraph,
+    SourceNode,
+    TransformNode,
+    autofix,
+)
+
+
+def correlated_multiply_graph():
+    """Two sources on one RNG (SCC=+1) feeding a multiply (needs SCC=0)."""
+    g = SCGraph()
+    g.source("a", 0.75, "vdc")
+    g.source("b", 0.5, "vdc")
+    g.op("prod", "mul", "a", "b")
+    return g
+
+
+def uncorrelated_subtract_graph():
+    """Two independent sources feeding a subtract (needs SCC=+1)."""
+    g = SCGraph()
+    g.source("a", 0.8, "vdc")
+    g.source("b", 0.3, "halton3")
+    g.op("diff", "sub", "a", "b")
+    return g
+
+
+class TestGraphConstruction:
+    def test_nodes_registered_in_order(self):
+        g = correlated_multiply_graph()
+        assert g.node_names == ["a", "b", "prod"]
+        assert len(g) == 3
+        assert "prod" in g
+
+    def test_duplicate_name_rejected(self):
+        g = SCGraph()
+        g.source("a", 0.5)
+        with pytest.raises(CircuitConfigurationError):
+            g.source("a", 0.6)
+
+    def test_unknown_input_rejected(self):
+        g = SCGraph()
+        with pytest.raises(CircuitConfigurationError):
+            g.op("z", "mul", "missing", "also_missing")
+
+    def test_unknown_op_rejected(self):
+        g = SCGraph()
+        g.source("a", 0.5)
+        g.source("b", 0.5)
+        with pytest.raises(CircuitConfigurationError):
+            g.op("z", "frobnicate", "a", "b")
+
+    def test_source_value_range(self):
+        g = SCGraph()
+        with pytest.raises(CircuitConfigurationError):
+            g.source("bad", 1.5)
+
+    def test_op_arity(self):
+        with pytest.raises(CircuitConfigurationError):
+            OpNode("z", "mul", ("a",))
+
+    def test_op_library_entries_complete(self):
+        for name, entry in OP_LIBRARY.items():
+            assert "emit" in entry and "expected" in entry and "required" in entry
+
+
+class TestGraphEvaluation:
+    def test_run_shapes(self):
+        streams = correlated_multiply_graph().run(128)
+        assert set(streams) == {"a", "b", "prod"}
+        assert all(s.shape == (128,) for s in streams.values())
+
+    def test_source_values_exact_with_vdc(self):
+        streams = correlated_multiply_graph().run(256)
+        assert streams["a"].mean() == 0.75
+        assert streams["b"].mean() == 0.5
+
+    def test_expected_values_propagate(self):
+        g = SCGraph()
+        g.source("a", 0.6)
+        g.source("b", 0.4, "halton3")
+        g.op("s", "scaled_add", "a", "b")
+        g.op("m", "min", "s", "a")
+        expected = g.expected_values()
+        assert expected["s"] == pytest.approx(0.5)
+        assert expected["m"] == pytest.approx(0.5)
+
+    def test_correlated_multiply_is_wrong(self):
+        # Shared-RNG sources: AND computes min, not the product.
+        streams = correlated_multiply_graph().run(256)
+        assert streams["prod"].mean() == pytest.approx(0.5, abs=0.02)  # min!
+
+    def test_scaled_add_runs_with_internal_select(self):
+        g = SCGraph()
+        g.source("a", 1.0)
+        g.source("b", 0.0, "halton3")
+        g.op("s", "scaled_add", "a", "b")
+        assert g.run(256)["s"].mean() == pytest.approx(0.5, abs=0.05)
+
+
+class TestAudit:
+    def test_detects_correlated_multiply(self):
+        audit = correlated_multiply_graph().audit(256)
+        assert len(audit.violations) == 1
+        entry = audit.violations[0]
+        assert entry.node == "prod"
+        assert entry.measured_scc > 0.9
+        assert entry.required_scc == 0.0
+
+    def test_detects_uncorrelated_subtract(self):
+        audit = uncorrelated_subtract_graph().audit(256)
+        assert [e.node for e in audit.violations] == ["diff"]
+
+    def test_no_false_positive(self):
+        g = SCGraph()
+        g.source("a", 0.75, "vdc")
+        g.source("b", 0.5, "halton3")
+        g.op("prod", "mul", "a", "b")
+        assert g.audit(256).violations == []
+
+    def test_value_error_attribution(self):
+        audit = correlated_multiply_graph().audit(256)
+        entry = audit.entries[0]
+        # min(0.75,0.5)=0.5 vs product 0.375: error ~0.125 at the op.
+        assert entry.value_error == pytest.approx(0.125, abs=0.03)
+
+    def test_total_output_error(self):
+        audit = correlated_multiply_graph().audit(256)
+        assert audit.total_output_error(["prod"]) == pytest.approx(0.125, abs=0.03)
+
+    def test_agnostic_ops_never_violate(self):
+        g = SCGraph()
+        g.source("a", 0.9, "vdc")
+        g.source("b", 0.9, "vdc")
+        g.op("s", "scaled_add", "a", "b")
+        assert g.audit(256).violations == []
+
+
+class TestAutofix:
+    def test_fixes_correlated_multiply_with_decorrelator(self):
+        result = autofix(correlated_multiply_graph())
+        assert result.insertion_count == 1
+        assert "decorrelator" in result.insertions[0]
+        assert result.error_after["prod"] < result.error_before["prod"] / 2
+
+    def test_fixes_uncorrelated_subtract_with_synchronizer(self):
+        result = autofix(uncorrelated_subtract_graph())
+        assert "synchronizer" in result.insertions[0]
+        assert result.error_after["diff"] < 0.02
+        assert result.error_before["diff"] > 0.05
+
+    def test_fixes_sat_add_with_desynchronizer(self):
+        g = SCGraph()
+        g.source("a", 0.4, "vdc")
+        g.source("b", 0.4, "vdc")  # correlated; OR would compute max
+        g.op("sum", "sat_add", "a", "b")
+        result = autofix(g)
+        assert "desynchronizer" in result.insertions[0]
+        assert result.error_after["sum"] < 0.03
+
+    def test_reports_hardware_cost(self):
+        result = autofix(uncorrelated_subtract_graph())
+        assert result.added_area_um2 > 40  # one synchronizer
+        assert result.added_power_uw > 4
+
+    def test_clean_graph_untouched(self):
+        g = SCGraph()
+        g.source("a", 0.75, "vdc")
+        g.source("b", 0.5, "halton3")
+        g.op("prod", "mul", "a", "b")
+        result = autofix(g)
+        assert result.insertion_count == 0
+        assert result.added_area_um2 == 0.0
+
+    def test_original_graph_not_modified(self):
+        g = correlated_multiply_graph()
+        names_before = g.node_names
+        autofix(g)
+        assert g.node_names == names_before
+
+    def test_iterative_composition_clears_residuals(self):
+        # A single decorrelator leaves residual correlation near the
+        # tolerance; iterating composes stages until the audit is clean.
+        g = correlated_multiply_graph()
+        result = autofix(g, iterations=4)
+        assert result.fixed_graph.audit(256).violations == []
+        assert result.mean_error_after() < 0.02
+
+    def test_iterations_stop_when_clean(self):
+        g = SCGraph()
+        g.source("a", 0.75, "vdc")
+        g.source("b", 0.5, "halton3")
+        g.op("prod", "mul", "a", "b")
+        result = autofix(g, iterations=5)
+        assert result.insertion_count == 0
+
+    def test_multi_op_chain(self):
+        # max(|a-b|, c) where a,b are uncorrelated (sub violated) and the
+        # max inputs end up weakly correlated (max violated too).
+        g = SCGraph()
+        g.source("a", 0.9, "vdc")
+        g.source("b", 0.2, "halton3")
+        g.source("c", 0.5, "halton5")
+        g.op("diff", "sub", "a", "b")
+        g.op("peak", "max", "diff", "c")
+        result = autofix(g)
+        assert result.insertion_count >= 1
+        assert result.mean_error_after() < result.mean_error_before()
+        # Final output correct: max(|0.9-0.2|, 0.5) = 0.7
+        fixed_values = result.fixed_graph.run(256)
+        assert fixed_values["peak"].mean() == pytest.approx(0.7, abs=0.05)
+
+
+class TestTransformNode:
+    def test_ports_share_one_transform_pass(self):
+        g = SCGraph()
+        g.source("a", 0.5, "vdc")
+        g.source("b", 0.7, "halton3")
+        shared = {}
+        sync = Synchronizer(1)
+        g.add(TransformNode("fx", sync, ("a", "b"), 0, shared))
+        g.add(TransformNode("fy", sync, ("a", "b"), 1, shared))
+        streams = g.run(256)
+        from repro.bitstream import scc
+        assert scc(streams["fx"], streams["fy"]) > 0.9
+
+    def test_port_validation(self):
+        with pytest.raises(CircuitConfigurationError):
+            TransformNode("t", Synchronizer(1), ("a", "b"), 2)
+
+    def test_expected_passthrough(self):
+        node = TransformNode("t", Synchronizer(1), ("a", "b"), 1)
+        assert node.expected([0.3, 0.8]) == 0.8

@@ -1,0 +1,185 @@
+"""Unit tests for the hardware cost model (repro.hardware)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import HardwareModelError
+from repro.hardware import (
+    EFFECTIVE_CYCLE_US,
+    CostReport,
+    Netlist,
+    NetlistEntry,
+    STDCELLS,
+    cell,
+    components,
+    report,
+)
+
+
+class TestGateLibrary:
+    def test_anchor_cells_present(self):
+        for name in ("INV", "NAND2", "AND2", "OR2", "XOR2", "MUX2", "DFF", "GATE"):
+            assert name in STDCELLS
+
+    def test_or2_anchor_matches_paper(self):
+        assert cell("OR2").area_um2 == 2.16
+        assert cell("OR2").power_uw == 0.26
+
+    def test_unknown_cell(self):
+        with pytest.raises(HardwareModelError):
+            cell("FLUX_CAPACITOR")
+
+    def test_all_cells_positive(self):
+        for spec in STDCELLS.values():
+            assert spec.area_um2 > 0 and spec.power_uw > 0
+
+    def test_dff_much_larger_than_gates(self):
+        assert cell("DFF").area_um2 > 4 * cell("NAND2").area_um2
+
+
+class TestNetlist:
+    def test_build_shorthand(self):
+        n = Netlist.build("test", DFF=2, GATE=3)
+        assert n.area_um2 == pytest.approx(2 * 12.0 + 3 * 2.16)
+
+    def test_power_with_activity(self):
+        n = Netlist("t", [NetlistEntry(cell("DFF"), 1, activity=2.0)])
+        assert n.power_uw == pytest.approx(2 * cell("DFF").power_uw)
+
+    def test_add_composes(self):
+        total = Netlist.build("a", OR2=1) + Netlist.build("b", AND2=1)
+        assert total.area_um2 == pytest.approx(4.32)
+
+    def test_multiply_scales(self):
+        n = Netlist.build("x", DFF=1) * 10
+        assert n.area_um2 == pytest.approx(120.0)
+        assert (3 * Netlist.build("x", DFF=1)).area_um2 == pytest.approx(36.0)
+
+    def test_multiply_rejects_negative(self):
+        with pytest.raises(HardwareModelError):
+            Netlist.build("x", DFF=1) * -1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(HardwareModelError):
+            NetlistEntry(cell("DFF"), -1)
+
+    def test_histogram(self):
+        n = Netlist.build("h", DFF=2, GATE=5) + Netlist.build("h2", DFF=1)
+        hist = n.cell_histogram()
+        assert hist["DFF"] == 3 and hist["GATE"] == 5
+
+    def test_gate_count(self):
+        assert Netlist.build("g", DFF=2, GATE=5).gate_count() == 7
+
+    def test_scaled_activity(self):
+        n = Netlist.build("s", GATE=10)
+        assert n.scaled_activity(2.0).power_uw == pytest.approx(2 * n.power_uw)
+
+    def test_with_entry(self):
+        n = Netlist("base").with_entry("OR2", 1)
+        assert n.area_um2 == pytest.approx(2.16)
+
+
+class TestCostReport:
+    def test_energy_convention(self):
+        # Energy = power x cycles x T_eff; the OR gate must land on the
+        # paper's 165 pJ at N=256.
+        r = report(components.or_gate())
+        assert r.energy_pj(256) == pytest.approx(165, rel=0.01)
+
+    def test_energy_nj(self):
+        r = CostReport("x", 1.0, 1000.0)
+        assert r.energy_nj(256) == pytest.approx(r.energy_pj(256) / 1000)
+
+    def test_energy_validates(self):
+        r = CostReport("x", 1.0, 1.0)
+        with pytest.raises(HardwareModelError):
+            r.energy_pj(0)
+        with pytest.raises(HardwareModelError):
+            r.energy_pj(10, cycle_us=-1)
+
+    def test_str(self):
+        assert "um2" in str(CostReport("x", 1.0, 2.0))
+
+
+class TestComponentAnchors:
+    """The calibration targets from the paper's Tables II/III/IV."""
+
+    def test_or_and_gates(self):
+        assert report(components.or_gate()).area_um2 == pytest.approx(2.16)
+        assert report(components.and_gate()).area_um2 == pytest.approx(2.16)
+
+    def test_sync_max_near_paper(self):
+        r = report(components.sync_max())
+        assert r.area_um2 == pytest.approx(48.6, rel=0.1)
+        assert r.power_uw == pytest.approx(4.89, rel=0.1)
+
+    def test_ca_max_near_paper(self):
+        r = report(components.ca_max())
+        assert r.area_um2 == pytest.approx(252.36, rel=0.1)
+        assert r.power_uw == pytest.approx(56.7, rel=0.1)
+
+    def test_ca_vs_sync_ratios(self):
+        ca = report(components.ca_max())
+        sync = report(components.sync_max())
+        assert ca.area_um2 / sync.area_um2 == pytest.approx(5.2, rel=0.2)
+        assert ca.energy_pj(256) / sync.energy_pj(256) == pytest.approx(11.6, rel=0.2)
+
+    def test_ca_adder_ratios(self):
+        ca = report(components.ca_adder())
+        mux = report(components.mux_adder())
+        assert ca.area_um2 / mux.area_um2 > 3
+        assert ca.power_uw / mux.power_uw == pytest.approx(10.7, rel=0.3)
+
+    def test_regenerator_matches_table4_increment(self):
+        # Table IV implies ~164 um^2 per regeneration unit.
+        assert report(components.regenerator()).area_um2 == pytest.approx(165, rel=0.05)
+
+    def test_converters_order_of_magnitude_above_gates(self):
+        # Paper Section II-A: converters cost 1-2 orders of magnitude more
+        # than SC arithmetic.
+        d2s = report(components.d2s_converter())
+        s2d = report(components.s2d_converter())
+        or_gate = report(components.or_gate())
+        assert d2s.area_um2 > 30 * or_gate.area_um2
+        assert s2d.power_uw > 10 * or_gate.power_uw
+
+    def test_synchronizer_depth_scaling(self):
+        areas = [report(components.synchronizer(d)).area_um2 for d in (1, 2, 4, 8)]
+        assert areas == sorted(areas)
+        assert areas[0] < areas[-1]
+
+    def test_desynchronizer_state_count(self):
+        # D=1 has 4 states -> 2 state bits, same as the synchronizer's 3
+        # states; both need 2 DFFs.
+        sync = components.synchronizer(1).cell_histogram()
+        desync = components.desynchronizer(1).cell_histogram()
+        assert sync["DFF"] == 2 and desync["DFF"] == 2
+
+    def test_shuffle_buffer_scales_with_depth(self):
+        shallow = report(components.shuffle_buffer(2)).area_um2
+        deep = report(components.shuffle_buffer(16)).area_um2
+        assert deep > 4 * shallow
+
+    def test_decorrelator_is_two_buffers(self):
+        assert report(components.decorrelator(4)).area_um2 == pytest.approx(
+            2 * report(components.shuffle_buffer(4)).area_um2
+        )
+
+    def test_tfm_larger_than_decorrelator(self):
+        # Paper Section V: TFMs are larger (binary-encoded parts).
+        assert report(components.tfm()).area_um2 > report(components.decorrelator()).area_um2
+
+    def test_isolator_is_one_dff(self):
+        assert report(components.isolator()).area_um2 == pytest.approx(12.0)
+
+    def test_lfsr_scales_with_width(self):
+        assert (
+            report(components.lfsr_rng(16)).area_um2
+            > report(components.lfsr_rng(8)).area_um2
+        )
+
+    def test_width_validation(self):
+        with pytest.raises(Exception):
+            components.lfsr_rng(0)

@@ -1,0 +1,127 @@
+"""Unit tests for the improved SC operators (paper Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import Bitstream, correlated_pair
+from repro.core import (
+    Desynchronizer,
+    DesyncSaturatingAdder,
+    SeriesPair,
+    Synchronizer,
+    SyncMax,
+    SyncMin,
+)
+from repro.exceptions import CircuitConfigurationError
+
+from tests.helpers import make_pair_batch
+from repro.rng import Halton, VanDerCorput
+
+
+@pytest.fixture
+def uncorrelated_sweep():
+    return make_pair_batch(VanDerCorput(8), Halton(3, 8), step=16)
+
+
+class TestSyncMax:
+    def test_accurate_on_uncorrelated_inputs(self, uncorrelated_sweep):
+        x, y, xs, ys = uncorrelated_sweep
+        z = SyncMax().compute(x, y)
+        err = np.abs(z.mean(axis=1) - np.maximum(xs, ys) / 256).mean()
+        assert err < 0.01
+
+    def test_beats_bare_or(self, uncorrelated_sweep):
+        x, y, xs, ys = uncorrelated_sweep
+        expected = np.maximum(xs, ys) / 256
+        sync_err = np.abs(SyncMax().compute(x, y).mean(axis=1) - expected).mean()
+        or_err = np.abs((x | y).mean(axis=1) - expected).mean()
+        assert sync_err < or_err / 5
+
+    def test_near_exact_on_positively_correlated_inputs(self):
+        # Nested-burst inputs: the synchronizer may hold one trailing saved
+        # bit, so the max is exact to within one bit of the stream.
+        x, y = correlated_pair(0.25, 0.625, 64, scc=1)
+        assert abs(SyncMax().compute(x, y).value - 0.625) <= 1 / 64
+
+    def test_accepts_custom_transform(self, uncorrelated_sweep):
+        x, y, xs, ys = uncorrelated_sweep
+        deep = SyncMax(transform=SeriesPair([Synchronizer(1), Synchronizer(1)]))
+        err = np.abs(deep.compute(x, y).mean(axis=1) - np.maximum(xs, ys) / 256).mean()
+        assert err < 0.01
+
+    def test_rejects_non_transform(self):
+        with pytest.raises(CircuitConfigurationError):
+            SyncMax(transform="synchronizer")
+
+    def test_expected(self):
+        assert SyncMax.expected(0.3, 0.8) == 0.8
+
+    def test_transform_property(self):
+        op = SyncMax(depth=2)
+        assert op.transform.depth == 2
+
+
+class TestSyncMin:
+    def test_accurate_on_uncorrelated_inputs(self, uncorrelated_sweep):
+        x, y, xs, ys = uncorrelated_sweep
+        z = SyncMin().compute(x, y)
+        err = np.abs(z.mean(axis=1) - np.minimum(xs, ys) / 256).mean()
+        assert err < 0.01
+
+    def test_beats_bare_and(self, uncorrelated_sweep):
+        x, y, xs, ys = uncorrelated_sweep
+        expected = np.minimum(xs, ys) / 256
+        sync_err = np.abs(SyncMin().compute(x, y).mean(axis=1) - expected).mean()
+        and_err = np.abs((x & y).mean(axis=1) - expected).mean()
+        assert sync_err < and_err / 5
+
+    def test_min_max_consistency(self, uncorrelated_sweep):
+        # max + min should equal x + y (both are value-preserving pairings).
+        x, y, xs, ys = uncorrelated_sweep
+        max_v = SyncMax().compute(x, y).mean(axis=1)
+        min_v = SyncMin().compute(x, y).mean(axis=1)
+        assert np.abs((max_v + min_v) - (xs + ys) / 256).mean() < 0.02
+
+    def test_expected(self):
+        assert SyncMin.expected(0.3, 0.8) == 0.3
+
+
+class TestDesyncSaturatingAdder:
+    def test_accurate_on_uncorrelated_inputs(self, uncorrelated_sweep):
+        x, y, xs, ys = uncorrelated_sweep
+        z = DesyncSaturatingAdder().compute(x, y)
+        expected = np.minimum(1.0, (xs + ys) / 256)
+        assert np.abs(z.mean(axis=1) - expected).mean() < 0.01
+
+    def test_beats_bare_or(self, uncorrelated_sweep):
+        x, y, xs, ys = uncorrelated_sweep
+        expected = np.minimum(1.0, (xs + ys) / 256)
+        improved = np.abs(DesyncSaturatingAdder().compute(x, y).mean(axis=1) - expected).mean()
+        bare = np.abs((x | y).mean(axis=1) - expected).mean()
+        assert improved < bare / 3
+
+    def test_saturates_at_one(self):
+        x, y = correlated_pair(0.75, 0.75, 64, scc=0, seed=0)
+        assert DesyncSaturatingAdder().compute(x, y).value > 0.95
+
+    def test_exact_on_negatively_correlated_inputs(self):
+        x, y = correlated_pair(0.25, 0.5, 64, scc=-1)
+        assert DesyncSaturatingAdder().compute(x, y).value == pytest.approx(0.75)
+
+    def test_custom_desynchronizer_depth(self, uncorrelated_sweep):
+        x, y, xs, ys = uncorrelated_sweep
+        deep = DesyncSaturatingAdder(transform=Desynchronizer(depth=4))
+        expected = np.minimum(1.0, (xs + ys) / 256)
+        assert np.abs(deep.compute(x, y).mean(axis=1) - expected).mean() < 0.01
+
+    def test_expected_clips(self):
+        assert DesyncSaturatingAdder.expected(0.8, 0.8) == 1.0
+
+
+class TestKindPreservation:
+    def test_streams_in_streams_out(self):
+        x = Bitstream("01100110")
+        y = Bitstream("00111100")
+        out = SyncMax().compute(x, y)
+        assert isinstance(out, Bitstream)
+        assert out.length == 8

@@ -1,0 +1,129 @@
+"""Integration tests: multi-module flows reproducing the paper's story."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AbsSubtractor,
+    Bitstream,
+    DigitalToStochastic,
+    Multiplier,
+    Regenerator,
+    ScaledAdder,
+    Synchronizer,
+    SyncMax,
+    scc,
+)
+from repro.analysis import generate_level_batch, pair_levels
+from repro.bitstream import scc_batch
+from repro.core import Decorrelator, Desynchronizer, SyncMax as CoreSyncMax, SyncMin
+from repro.rng import LFSR, Halton, VanDerCorput
+
+
+class TestEndToEndValueFlow:
+    """BE value -> SN -> arithmetic -> SN -> BE value round trips."""
+
+    def test_multiply_chain(self):
+        d2s_a = DigitalToStochastic(VanDerCorput(8))
+        d2s_b = DigitalToStochastic(Halton(3, 8))
+        a = d2s_a.convert_value(0.5)
+        b = d2s_b.convert_value(0.75)
+        product = Multiplier().compute(a, b)
+        assert abs(product.value - 0.375) < 0.02
+
+    def test_three_operand_dataflow(self):
+        # (a*b + c) / 2 with correlation managed at each step.
+        a = DigitalToStochastic(VanDerCorput(8)).convert_value(0.6)
+        b = DigitalToStochastic(Halton(3, 8)).convert_value(0.5)
+        c = DigitalToStochastic(Halton(5, 8)).convert_value(0.4)
+        ab = Multiplier().compute(a, b)  # 0.30, uncorrelated operands
+        result = ScaledAdder(select_rng=Halton(7, 8)).compute(ab, c)
+        assert abs(result.value - 0.35) < 0.04
+
+    def test_subtract_needs_sync_after_multiply(self):
+        # Products of shared-operand multiplies are partially correlated;
+        # a synchronizer restores the XOR subtractor's accuracy.
+        shared = DigitalToStochastic(VanDerCorput(8))
+        a = shared.convert_value(0.9)
+        b = DigitalToStochastic(Halton(3, 8)).convert_value(0.5)
+        c = DigitalToStochastic(Halton(5, 8)).convert_value(0.25)
+        ab = Multiplier().compute(a, b)   # 0.45
+        ac = Multiplier().compute(a, c)   # 0.225
+        plain = AbsSubtractor().compute(ab, ac).value
+        sx, sy = Synchronizer(1).process_pair(ab, ac)
+        synced = AbsSubtractor().compute(sx, sy).value
+        assert abs(synced - 0.225) <= abs(plain - 0.225)
+        assert abs(synced - 0.225) < 0.06
+
+
+class TestManipulationVsRegeneration:
+    """The paper's central trade: fix correlation in-stream vs re-encode."""
+
+    def test_sync_matches_regeneration_for_xor(self):
+        xs, ys = pair_levels(256, 16)
+        x = generate_level_batch(xs, VanDerCorput(8), 256)
+        y = generate_level_batch(ys, Halton(3, 8), 256)
+        expected = np.abs(xs - ys) / 256
+
+        # Regeneration through one shared RNG.
+        regen = Regenerator(Halton(5, 8))
+        counts_x = x.sum(axis=1)
+        counts_y = y.sum(axis=1)
+        seq = Halton(5, 8).sequence(256)
+        rx = (counts_x[:, None] > seq).astype(np.uint8)
+        ry = (counts_y[:, None] > seq).astype(np.uint8)
+        regen_err = np.abs((rx ^ ry).mean(axis=1) - expected).mean()
+
+        # In-stream synchronizer.
+        sx, sy = Synchronizer(1)._process_bits(x, y)
+        sync_err = np.abs((sx ^ sy).mean(axis=1) - expected).mean()
+
+        plain_err = np.abs((x ^ y).mean(axis=1) - expected).mean()
+        assert sync_err < plain_err / 4
+        assert regen_err < plain_err / 4
+        assert sync_err < 3 * regen_err + 0.01
+
+    def test_decorrelator_recovers_multiply(self):
+        # Two SNs from one RNG break AND-multiplication; the decorrelator
+        # restores it without leaving the SC domain.
+        xs, ys = pair_levels(256, 16)
+        shared = VanDerCorput(8)
+        x = generate_level_batch(xs, shared, 256)
+        y = generate_level_batch(ys, VanDerCorput(8), 256)
+        expected = (xs / 256) * (ys / 256)
+        plain_err = np.abs((x & y).mean(axis=1) - expected).mean()
+        deco = Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=8)
+        dx, dy = deco._process_bits(x, y)
+        deco_err = np.abs((dx & dy).mean(axis=1) - expected).mean()
+        assert deco_err < plain_err / 3
+
+    def test_sync_then_desync_roundtrip_values(self):
+        # Composing opposite manipulations must still conserve values.
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, (32, 128)).astype(np.uint8)
+        y = rng.integers(0, 2, (32, 128)).astype(np.uint8)
+        sx, sy = Synchronizer(1)._process_bits(x, y)
+        dx, dy = Desynchronizer(1)._process_bits(sx, sy)
+        assert np.abs(dx.mean(axis=1) - x.mean(axis=1)).max() < 0.05
+        assert np.abs(dy.mean(axis=1) - y.mean(axis=1)).max() < 0.05
+
+
+class TestMedianNetwork:
+    """A 3-element SC median built from SyncMax/SyncMin (the classic
+    exchange network), exercising composition of the improved operators."""
+
+    @staticmethod
+    def median3(a, b, c):
+        hi_ab = SyncMax().compute(a, b)
+        lo_ab = SyncMin().compute(a, b)
+        mid = SyncMin().compute(hi_ab, c)
+        return SyncMax().compute(lo_ab, mid)
+
+    def test_median_of_three(self):
+        cases = [(0.25, 0.5, 0.75), (0.9, 0.1, 0.5), (0.3, 0.3, 0.8)]
+        for pa, pb, pc in cases:
+            a = DigitalToStochastic(VanDerCorput(8)).convert_value(pa)
+            b = DigitalToStochastic(Halton(3, 8)).convert_value(pb)
+            c = DigitalToStochastic(Halton(5, 8)).convert_value(pc)
+            med = self.median3(a, b, c)
+            assert abs(med.value - sorted([pa, pb, pc])[1]) < 0.05

@@ -1,0 +1,146 @@
+"""Unit tests for repro.bitstream.metrics — above all the SCC definition."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import (
+    Bitstream,
+    autocorrelation,
+    bias,
+    mean_absolute_error,
+    overlap_counts,
+    scc,
+    scc_batch,
+    value_of_bits,
+)
+
+
+class TestOverlapCounts:
+    def test_basic(self):
+        a, b, c, d = overlap_counts("1100", "1010")
+        assert (a[0], b[0], c[0], d[0]) == (1, 1, 1, 1)
+
+    def test_sums_to_n(self):
+        x = "10101100"
+        y = "01100111"
+        a, b, c, d = overlap_counts(x, y)
+        assert a[0] + b[0] + c[0] + d[0] == 8
+
+    def test_batch_broadcast(self):
+        x = np.zeros((3, 4), dtype=np.uint8)
+        y = np.ones((1, 4), dtype=np.uint8)
+        a, b, c, d = overlap_counts(x, y)
+        assert a.shape == (3,)
+        assert (c == 4).all()
+
+
+class TestSCCDefinition:
+    """The paper's Section II-B definition, exercised on known cases."""
+
+    def test_paper_table1_positive(self):
+        assert scc("10101010", "10111011") == 1.0
+
+    def test_paper_table1_negative(self):
+        assert scc("10101010", "11011101") == -1.0
+
+    def test_paper_table1_uncorrelated(self):
+        assert scc("10101010", "11111100") == 0.0
+
+    def test_self_correlation_is_one(self):
+        assert scc("01101001", "01101001") == 1.0
+
+    def test_complement_is_minus_one(self):
+        x = Bitstream("01101001")
+        assert scc(x.bits, (~x).bits) == -1.0
+
+    def test_nested_ones_is_plus_one(self):
+        # Smaller 1-set strictly inside larger: maximal positive.
+        assert scc("01000100", "01100110") == 1.0
+
+    def test_disjoint_ones_is_minus_one(self):
+        assert scc("11000000", "00110000") == -1.0
+
+    def test_constant_streams_define_zero(self):
+        assert scc("0000", "0110") == 0.0
+        assert scc("1111", "0110") == 0.0
+        assert scc("1111", "1111") == 0.0
+        assert scc("0000", "0000") == 0.0
+
+    def test_range_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            x = rng.integers(0, 2, 32).astype(np.uint8)
+            y = rng.integers(0, 2, 32).astype(np.uint8)
+            value = scc(x, y)
+            assert -1.0 <= value <= 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            x = rng.integers(0, 2, 24).astype(np.uint8)
+            y = rng.integers(0, 2, 24).astype(np.uint8)
+            assert scc(x, y) == pytest.approx(scc(y, x))
+
+    def test_forced_overlap_case(self):
+        # px + py > 1 forces a >= px+py-1; the -1 extreme uses the
+        # max((a+b)+(a+c)-N, 0) clamp in the denominator.
+        x = "11110000"
+        y = "00011111"
+        assert scc(x, y) == -1.0
+
+
+class TestSCCBatch:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 2, (50, 32)).astype(np.uint8)
+        y = rng.integers(0, 2, (50, 32)).astype(np.uint8)
+        batch = scc_batch(x, y)
+        for i in range(50):
+            assert batch[i] == pytest.approx(scc(x[i], y[i]))
+
+    def test_shape(self):
+        x = np.zeros((7, 16), dtype=np.uint8)
+        y = np.zeros((7, 16), dtype=np.uint8)
+        assert scc_batch(x, y).shape == (7,)
+
+
+class TestBiasAndError:
+    def test_bias_zero_for_identical(self):
+        assert bias("0101", "0101") == 0.0
+
+    def test_bias_sign(self):
+        assert bias("0111", "0101") > 0
+        assert bias("0001", "0101") < 0
+
+    def test_mae_basic(self):
+        assert mean_absolute_error([0.0, 1.0], [0.5, 0.5]) == 0.5
+
+    def test_mae_empty(self):
+        assert mean_absolute_error([], []) == 0.0
+
+    def test_mae_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+    def test_value_of_bits(self):
+        assert value_of_bits("0110") == 0.5
+        out = value_of_bits(np.array([[1, 1, 0, 0], [1, 1, 1, 1]], dtype=np.uint8))
+        assert np.allclose(out, [0.5, 1.0])
+
+
+class TestAutocorrelation:
+    def test_constant_stream_zero(self):
+        assert autocorrelation("1111", lag=1) == 0.0
+
+    def test_alternating_negative(self):
+        assert autocorrelation("10101010", lag=1) < -0.9
+
+    def test_lag_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation("0101", lag=0)
+        with pytest.raises(ValueError):
+            autocorrelation("0101", lag=4)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.zeros((2, 4), dtype=np.uint8), lag=1)

@@ -1,0 +1,40 @@
+"""Unit tests for correlation propagation analysis."""
+
+import pytest
+
+from repro.analysis import correlation_propagation, propagation, run_experiment
+
+
+class TestCorrelationPropagation:
+    def test_entry_per_gate(self):
+        entries = correlation_propagation(step=16)
+        assert len(entries) == 4
+        gates = {e.gate.split()[0] for e in entries}
+        assert gates == {"AND", "OR", "XOR", "MUX"}
+
+    def test_setup_correlations(self):
+        entries = correlation_propagation(step=16)
+        e = entries[0]
+        assert e.scc_a_c > 0.85      # A shares C's RNG
+        assert abs(e.scc_b_c) < 0.25  # B independent
+
+    def test_retention_ordering(self):
+        entries = {e.gate.split()[0]: e for e in correlation_propagation(step=16)}
+        # XOR against an uncorrelated operand scrambles A's correlation the
+        # most; AND and OR keep most of it.
+        assert abs(entries["XOR"].retention) < abs(entries["AND"].retention)
+        assert abs(entries["XOR"].retention) < abs(entries["OR"].retention)
+
+    def test_rows_render(self):
+        row = correlation_propagation(step=32)[0].as_row()
+        assert len(row) == 5
+
+    def test_experiment_checks_pass(self):
+        result = run_experiment("propagation", step=16)
+        assert result.all_checks_pass
+
+    def test_power_breakdown_experiment(self):
+        result = run_experiment("power_breakdown")
+        assert result.all_checks_pass
+        variants = {row[0] for row in result.rows}
+        assert variants == {"none", "regeneration", "synchronizer"}

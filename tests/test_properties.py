@@ -1,0 +1,208 @@
+"""Property-based tests (hypothesis) for the library's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.arith import CAAdder, CAMax
+from repro.bitstream import Bitstream, correlated_pair, exact_stream, scc
+from repro.core import (
+    Decorrelator,
+    Desynchronizer,
+    ShuffleBuffer,
+    Synchronizer,
+)
+from repro.rng import LFSR, SystemRNG
+
+
+def bit_arrays(min_len=4, max_len=96):
+    return arrays(
+        dtype=np.uint8,
+        shape=st.integers(min_len, max_len),
+        elements=st.integers(0, 1),
+    )
+
+
+def bit_pairs(min_len=4, max_len=96):
+    """Two equal-length bit arrays."""
+    return st.integers(min_len, max_len).flatmap(
+        lambda n: st.tuples(
+            arrays(np.uint8, n, elements=st.integers(0, 1)),
+            arrays(np.uint8, n, elements=st.integers(0, 1)),
+        )
+    )
+
+
+class TestSCCProperties:
+    @given(bit_pairs())
+    @settings(max_examples=150, deadline=None)
+    def test_scc_bounded(self, pair):
+        x, y = pair
+        assert -1.0 <= scc(x, y) <= 1.0
+
+    @given(bit_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_scc_symmetric(self, pair):
+        x, y = pair
+        assert scc(x, y) == pytest.approx(scc(y, x), abs=1e-12)
+
+    @given(bit_arrays())
+    @settings(max_examples=100, deadline=None)
+    def test_scc_self_is_one_or_degenerate_zero(self, x):
+        value = scc(x, x)
+        if 0 < x.sum() < x.size:
+            assert value == 1.0
+        else:
+            assert value == 0.0
+
+    @given(bit_arrays())
+    @settings(max_examples=100, deadline=None)
+    def test_scc_complement_is_minus_one_or_degenerate(self, x):
+        value = scc(x, 1 - x)
+        if 0 < x.sum() < x.size:
+            assert value == -1.0
+        else:
+            assert value == 0.0
+
+
+class TestSynchronizerProperties:
+    @given(bit_pairs(), st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_never_creates_ones(self, pair, depth):
+        x, y = pair
+        ox, oy = Synchronizer(depth)._process_bits(x.reshape(1, -1), y.reshape(1, -1))
+        assert ox.sum() <= x.sum()
+        assert oy.sum() <= y.sum()
+
+    @given(bit_pairs(), st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_loss_bounded_by_depth(self, pair, depth):
+        x, y = pair
+        sync = Synchronizer(depth)
+        stuck = sync.stuck_bits(x, y)
+        assert 0 <= stuck[0] <= depth
+
+    @given(bit_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_never_decreases_overlap(self, pair):
+        # Pairing up 1s can only grow the 11-overlap count a.
+        x, y = pair
+        ox, oy = Synchronizer(1)._process_bits(x.reshape(1, -1), y.reshape(1, -1))
+        overlap_in = int((x & y).sum())
+        overlap_out = int((ox[0] & oy[0]).sum())
+        assert overlap_out >= overlap_in - 1  # the last stuck pair may linger
+
+    @given(bit_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_flush_never_loses_more_than_plain(self, pair):
+        x, y = pair
+        plain = Synchronizer(1).stuck_bits(x, y)
+        flushed = Synchronizer(1, flush=True).stuck_bits(x, y)
+        assert flushed[0] <= plain[0]
+        assert 0 <= flushed[0] <= 1
+
+    @given(bit_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_identical_inputs_pass_through(self, x):
+        ox, oy = Synchronizer(1)._process_bits(x.reshape(1, -1), x.reshape(1, -1))
+        assert np.array_equal(ox[0], x)
+        assert np.array_equal(oy[0], x)
+
+
+class TestDesynchronizerProperties:
+    @given(bit_pairs(), st.integers(1, 4))
+    @settings(max_examples=100, deadline=None)
+    def test_total_ones_conserved_up_to_depth(self, pair, depth):
+        x, y = pair
+        stuck = Desynchronizer(depth).stuck_bits(x, y)
+        assert 0 <= stuck[0] <= depth
+
+    @given(bit_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_never_increases_overlap(self, pair):
+        x, y = pair
+        ox, oy = Desynchronizer(1)._process_bits(x.reshape(1, -1), y.reshape(1, -1))
+        assert int((ox[0] & oy[0]).sum()) <= int((x & y).sum())
+
+    @given(bit_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_differing_bits_pass_through(self, pair):
+        x, y = pair
+        ox, oy = Desynchronizer(1)._process_bits(x.reshape(1, -1), y.reshape(1, -1))
+        differ = x != y
+        assert np.array_equal(ox[0][differ], x[differ])
+        assert np.array_equal(oy[0][differ], y[differ])
+
+
+class TestShuffleBufferProperties:
+    @given(bit_arrays(min_len=8), st.integers(1, 8), st.integers(0, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_bit_conservation(self, x, depth, seed):
+        buf = ShuffleBuffer(SystemRNG(8, seed=seed), depth=depth)
+        out = buf._process_stream_bits(x.reshape(1, -1))
+        drift = abs(int(out.sum()) - int(x.sum()))
+        assert drift <= depth
+
+    @given(bit_arrays(min_len=8), st.integers(2, 8), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_output_is_binary(self, x, depth, seed):
+        buf = ShuffleBuffer(SystemRNG(8, seed=seed), depth=depth)
+        out = buf._process_stream_bits(x.reshape(1, -1))
+        assert set(np.unique(out)).issubset({0, 1})
+
+
+class TestCAAdderProperties:
+    @given(bit_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_exact_floor_half_sum(self, pair):
+        x, y = pair
+        z = CAAdder().compute(x, y)
+        assert int(z.sum()) == (int(x.sum()) + int(y.sum())) // 2
+
+    @given(bit_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_camax_at_least_half_max(self, pair):
+        x, y = pair
+        z = CAMax().compute(x, y)
+        true_max = max(x.mean(), y.mean())
+        assert z.mean() >= true_max / 2 - 0.25
+
+
+class TestGenerationProperties:
+    @given(st.integers(0, 64), st.integers(0, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_correlated_pair_plus_one(self, kx, ky):
+        x, y = correlated_pair(kx / 64, ky / 64, 64, scc=1)
+        assert x.ones == kx and y.ones == ky
+        if 0 < kx < 64 and 0 < ky < 64:
+            assert scc(x.bits, y.bits) == 1.0
+
+    @given(st.integers(0, 64), st.integers(0, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_correlated_pair_minus_one(self, kx, ky):
+        x, y = correlated_pair(kx / 64, ky / 64, 64, scc=-1)
+        assert x.ones == kx and y.ones == ky
+        if 0 < kx < 64 and 0 < ky < 64:
+            assert scc(x.bits, y.bits) == -1.0
+
+    @given(st.integers(0, 32))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_stream_value(self, k):
+        assert exact_stream(k / 32, 32).ones == k
+
+
+class TestDecorrelatorProperties:
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_preserves_values_within_depth(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 2, (4, 64)).astype(np.uint8)
+        y = rng.integers(0, 2, (4, 64)).astype(np.uint8)
+        deco = Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=4)
+        ox, oy = deco._process_bits(x, y)
+        drift_x = ox.sum(axis=1, dtype=np.int64) - x.sum(axis=1, dtype=np.int64)
+        drift_y = oy.sum(axis=1, dtype=np.int64) - y.sum(axis=1, dtype=np.int64)
+        assert np.abs(drift_x).max() <= 4
+        assert np.abs(drift_y).max() <= 4

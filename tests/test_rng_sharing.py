@@ -1,0 +1,64 @@
+"""Unit tests for RNG sharing/rotation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import scc
+from repro.exceptions import RNGConfigurationError
+from repro.rng import LFSR, VanDerCorput
+from repro.rng.sharing import RNGBank, RotatedView
+
+
+class TestRotatedView:
+    def test_zero_phase_is_identity(self):
+        parent = LFSR(width=8)
+        view = RotatedView(parent, 0)
+        assert np.array_equal(view.sequence(100), parent.sequence(100))
+
+    def test_phase_rotates(self):
+        parent = LFSR(width=8)
+        view = RotatedView(parent, 5)
+        assert np.array_equal(view.sequence(50), parent.sequence(55)[5:])
+
+    def test_wraps_at_period(self):
+        parent = VanDerCorput(width=4)
+        view = RotatedView(parent, 3)
+        seq = view.sequence(32)
+        assert np.array_equal(seq[:16], seq[16:])
+
+    def test_name_mentions_phase(self):
+        assert ">>7" in RotatedView(LFSR(width=8), 7).name
+
+    def test_views_decorrelate_streams(self):
+        parent = LFSR(width=8)
+        a = RotatedView(parent, 0)
+        b = RotatedView(parent, 97)
+        x = (128 > a.sequence(256)).astype(np.uint8)
+        y = (128 > b.sequence(256)).astype(np.uint8)
+        assert abs(scc(x, y)) < 0.3
+
+
+class TestRNGBank:
+    def test_issues_distinct_phases(self):
+        bank = RNGBank(LFSR(width=8), stride=37)
+        views = bank.take_many(5)
+        assert [v.phase for v in views] == [0, 37, 74, 111, 148]
+        assert bank.issued == 5
+
+    def test_stride_collision_rejected(self):
+        # LFSR period 255 = 3*5*17; stride 15 shares factors.
+        with pytest.raises(RNGConfigurationError):
+            RNGBank(LFSR(width=8), stride=15)
+
+    def test_full_period_unique_phases(self):
+        bank = RNGBank(LFSR(width=4), stride=2)  # period 15, gcd(2,15)=1
+        phases = {bank.take().phase for _ in range(15)}
+        assert len(phases) == 15
+
+    def test_bank_streams_pairwise_weakly_correlated(self):
+        bank = RNGBank(LFSR(width=8), stride=37)
+        views = bank.take_many(4)
+        streams = [(100 > v.sequence(256)).astype(np.uint8) for v in views]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert abs(scc(streams[i], streams[j])) < 0.35

@@ -1,0 +1,216 @@
+"""Unit tests for the RNG zoo (repro.rng)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RNGConfigurationError
+from repro.rng import (
+    LFSR,
+    MAXIMAL_TAPS,
+    CounterRNG,
+    Halton,
+    Sobol,
+    SystemRNG,
+    VanDerCorput,
+    available_rngs,
+    make_rng,
+    radical_inverse,
+)
+
+
+class TestLFSR:
+    def test_full_period_covers_all_nonzero_states(self):
+        for width in (3, 4, 5, 8):
+            lfsr = LFSR(width=width)
+            seq = lfsr.sequence((1 << width) - 1)
+            # Mapped to state-1: every residue 0..2^w-2 exactly once.
+            assert sorted(seq.tolist()) == list(range((1 << width) - 1))
+
+    def test_period_property(self):
+        assert LFSR(width=8).period == 255
+
+    def test_deterministic_replay(self):
+        a = LFSR(width=8, seed=17).sequence(100)
+        b = LFSR(width=8, seed=17).sequence(100)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_are_rotations(self):
+        base = LFSR(width=4, seed=1).sequence(15)
+        other = LFSR(width=4, seed=7).sequence(15)
+        assert sorted(base.tolist()) == sorted(other.tolist())
+        assert not np.array_equal(base, other)
+
+    def test_phase_skips_outputs(self):
+        base = LFSR(width=8).sequence(20)
+        shifted = LFSR(width=8, phase=5).sequence(15)
+        assert np.array_equal(base[5:], shifted)
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(RNGConfigurationError):
+            LFSR(width=8, seed=0)
+
+    def test_seed_too_large_rejected(self):
+        with pytest.raises(RNGConfigurationError):
+            LFSR(width=4, seed=16)
+
+    def test_unknown_width_needs_taps(self):
+        with pytest.raises(RNGConfigurationError):
+            LFSR(width=99)
+
+    def test_custom_taps(self):
+        lfsr = LFSR(width=3, taps=(3, 2))
+        assert lfsr.sequence(7).size == 7
+
+    def test_taps_must_include_width(self):
+        with pytest.raises(RNGConfigurationError):
+            LFSR(width=4, taps=(3, 2))
+
+    def test_taps_table_covers_common_widths(self):
+        for width in range(2, 25):
+            assert width in MAXIMAL_TAPS
+
+
+class TestVanDerCorput:
+    def test_first_values_width3(self):
+        # Bit-reversal of 0,1,2,3,... in 3 bits: 0,4,2,6,1,5,3,7.
+        seq = VanDerCorput(width=3).sequence(8)
+        assert seq.tolist() == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_full_period_is_permutation(self):
+        seq = VanDerCorput(width=8).sequence(256)
+        assert sorted(seq.tolist()) == list(range(256))
+
+    def test_period_wraps(self):
+        v = VanDerCorput(width=3)
+        seq = v.sequence(16)
+        assert np.array_equal(seq[:8], seq[8:])
+
+    def test_phase(self):
+        base = VanDerCorput(width=4).sequence(16)
+        shifted = VanDerCorput(width=4, phase=3).sequence(13)
+        assert np.array_equal(base[3:], shifted)
+
+    def test_low_discrepancy_prefix(self):
+        # Every prefix of length 2^k hits each residue class mod 2^k once.
+        seq = VanDerCorput(width=8).sequence(16)
+        assert sorted((seq >> 4).tolist()) == list(range(16))
+
+
+class TestHalton:
+    def test_radical_inverse_base2(self):
+        out = radical_inverse(np.array([1, 2, 3, 4]), 2)
+        assert np.allclose(out, [0.5, 0.25, 0.75, 0.125])
+
+    def test_radical_inverse_base3(self):
+        out = radical_inverse(np.array([1, 2, 3]), 3)
+        assert np.allclose(out, [1 / 3, 2 / 3, 1 / 9])
+
+    def test_values_in_range(self):
+        seq = Halton(base=3, width=8).sequence(500)
+        assert seq.min() >= 0 and seq.max() <= 255
+
+    def test_base_must_be_at_least_two(self):
+        with pytest.raises(RNGConfigurationError):
+            Halton(base=1)
+
+    def test_distinct_bases_decorrelated(self):
+        a = Halton(base=3, width=8).fractions(512)
+        b = Halton(base=5, width=8).fractions(512)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
+
+    def test_approximate_uniformity(self):
+        seq = Halton(base=3, width=8).sequence(3**5)
+        hist, _ = np.histogram(seq, bins=4, range=(0, 256))
+        assert hist.max() - hist.min() <= 4
+
+
+class TestSobol:
+    def test_dimension_zero_is_vdc_family(self):
+        # Gray-code Sobol dimension 0 visits the same values as the Van der
+        # Corput sequence (it is the VDC net in Gray-code order), and every
+        # power-of-two prefix is balanced across halves like VDC.
+        sobol = Sobol(dimension=0, width=8).sequence(256)
+        vdc = VanDerCorput(width=8).sequence(256)
+        assert sorted(sobol.tolist()) == sorted(vdc.tolist())
+        assert sorted((sobol[:16] >> 4).tolist()) == list(range(16))
+
+    def test_full_period_is_permutation(self):
+        for dim in (1, 2, 3):
+            seq = Sobol(dimension=dim, width=6).sequence(64)
+            assert sorted(seq.tolist()) == list(range(64))
+
+    def test_dimensions_decorrelated(self):
+        a = Sobol(dimension=1, width=8).fractions(256)
+        b = Sobol(dimension=2, width=8).fractions(256)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.15
+
+    def test_dimension_out_of_range(self):
+        with pytest.raises(RNGConfigurationError):
+            Sobol(dimension=99)
+
+    def test_phase(self):
+        base = Sobol(dimension=1, width=6).sequence(20)
+        shifted = Sobol(dimension=1, width=6, phase=4).sequence(16)
+        assert np.array_equal(base[4:], shifted)
+
+
+class TestCounter:
+    def test_ramp(self):
+        assert CounterRNG(width=3).sequence(10).tolist() == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_offset(self):
+        assert CounterRNG(width=3, offset=6).sequence(4).tolist() == [6, 7, 0, 1]
+
+
+class TestSystemRNG:
+    def test_reproducible(self):
+        assert np.array_equal(
+            SystemRNG(width=8, seed=9).sequence(64), SystemRNG(width=8, seed=9).sequence(64)
+        )
+
+    def test_range(self):
+        seq = SystemRNG(width=4, seed=0).sequence(1000)
+        assert seq.min() >= 0 and seq.max() < 16
+
+
+class TestStreamRNGBase:
+    def test_fractions_in_unit_interval(self):
+        f = VanDerCorput(width=8).fractions(256)
+        assert f.min() >= 0.0 and f.max() < 1.0
+
+    def test_integers_rescale(self):
+        ints = VanDerCorput(width=8).integers(256, 4)
+        assert set(ints.tolist()) == {0, 1, 2, 3}
+        # Balanced: the VDC is exactly uniform over a full period.
+        assert np.bincount(ints).tolist() == [64, 64, 64, 64]
+
+    def test_next_value_streaming_matches_sequence(self):
+        rng = Halton(base=3, width=8)
+        streamed = [rng.next_value() for _ in range(300)]
+        assert streamed == rng.sequence(300).tolist()
+
+    def test_reset(self):
+        rng = LFSR(width=8)
+        first = [rng.next_value() for _ in range(5)]
+        rng.reset()
+        again = [rng.next_value() for _ in range(5)]
+        assert first == again
+
+
+class TestFactory:
+    def test_known_specs(self):
+        for spec in ("lfsr", "vdc", "halton3", "halton5", "sobol1", "counter", "system"):
+            rng = make_rng(spec)
+            assert rng.sequence(16).size == 16
+
+    def test_unknown_spec(self):
+        with pytest.raises(RNGConfigurationError):
+            make_rng("quantum")
+
+    def test_available_list(self):
+        names = available_rngs()
+        assert "lfsr" in names and "vdc" in names
+
+    def test_kwargs_forwarded(self):
+        rng = make_rng("lfsr", seed=33)
+        assert "seed=33" in rng.name

@@ -1,0 +1,168 @@
+"""Trace-equivalence between the RTL-style scalar models and the
+vectorised circuits — this reproduction's analogue of the paper's
+"cycle-level simulator ... verified against RTL simulation traces"."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.arith import CAAdder, CAMax, CorDiv
+from repro.core import (
+    Desynchronizer,
+    Isolator,
+    ShuffleBuffer,
+    Synchronizer,
+    TrackingForecastMemory,
+)
+from repro.rtl import (
+    CAAdderRTL,
+    CAMaxRTL,
+    CorDivRTL,
+    DesynchronizerRTL,
+    IsolatorRTL,
+    ShuffleBufferRTL,
+    SynchronizerRTL,
+    TFMRTL,
+)
+from repro.rng import LFSR, SystemRNG
+
+
+def bit_pairs(min_len=4, max_len=80):
+    return st.integers(min_len, max_len).flatmap(
+        lambda n: st.tuples(
+            arrays(np.uint8, n, elements=st.integers(0, 1)),
+            arrays(np.uint8, n, elements=st.integers(0, 1)),
+        )
+    )
+
+
+def bit_arrays(min_len=4, max_len=80):
+    return arrays(np.uint8, st.integers(min_len, max_len), elements=st.integers(0, 1))
+
+
+class TestSynchronizerEquivalence:
+    @given(bit_pairs(), st.integers(1, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_trace_equivalence(self, pair, depth):
+        x, y = pair
+        rtl = SynchronizerRTL(depth)
+        rtl_x, rtl_y = rtl.trace(x, y)
+        vec_x, vec_y = Synchronizer(depth)._process_bits(
+            x.reshape(1, -1), y.reshape(1, -1)
+        )
+        assert rtl_x == vec_x[0].tolist()
+        assert rtl_y == vec_y[0].tolist()
+
+    def test_fig3a_state_names(self):
+        rtl = SynchronizerRTL(1)
+        rtl.reset()
+        assert rtl.state == "S0"
+        rtl.step(1, 0)
+        assert rtl.state == "S1"
+        rtl.step(0, 1)
+        assert rtl.state == "S0"
+        rtl.step(0, 1)
+        assert rtl.state == "S2"
+
+    def test_bit_validation(self):
+        with pytest.raises(ValueError):
+            SynchronizerRTL(1).step(2, 0)
+
+
+class TestDesynchronizerEquivalence:
+    @given(bit_pairs(), st.integers(1, 4))
+    @settings(max_examples=150, deadline=None)
+    def test_trace_equivalence(self, pair, depth):
+        x, y = pair
+        rtl = DesynchronizerRTL(depth)
+        rtl_x, rtl_y = rtl.trace(x, y)
+        vec_x, vec_y = Desynchronizer(depth)._process_bits(
+            x.reshape(1, -1), y.reshape(1, -1)
+        )
+        assert rtl_x == vec_x[0].tolist()
+        assert rtl_y == vec_y[0].tolist()
+
+    def test_fig3b_state_names(self):
+        rtl = DesynchronizerRTL(1)
+        rtl.reset()
+        assert rtl.state == "E0"
+        rtl.step(1, 1)          # save X's 1
+        assert rtl.state == "HX"
+        rtl.step(0, 0)          # emit it
+        assert rtl.state == "E1"
+        rtl.step(1, 1)          # save Y's 1
+        assert rtl.state == "HY"
+        rtl.step(0, 0)
+        assert rtl.state == "E0"
+
+
+class TestShuffleBufferEquivalence:
+    @given(bit_arrays(), st.integers(1, 8), st.integers(0, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_trace_equivalence(self, x, depth, seed):
+        vec = ShuffleBuffer(SystemRNG(8, seed=seed), depth=depth)
+        out_vec = vec._process_stream_bits(x.reshape(1, -1))[0]
+        rtl = ShuffleBufferRTL(SystemRNG(8, seed=seed), depth=depth)
+        assert rtl.trace(x) == out_vec.tolist()
+
+    @given(bit_arrays(), st.sampled_from(["zeros", "ones", "half_ones"]))
+    @settings(max_examples=50, deadline=None)
+    def test_init_policies_match(self, x, init):
+        vec = ShuffleBuffer(SystemRNG(8, seed=9), depth=4, init=init)
+        rtl = ShuffleBufferRTL(SystemRNG(8, seed=9), depth=4, init=init)
+        assert rtl.trace(x) == vec._process_stream_bits(x.reshape(1, -1))[0].tolist()
+
+
+class TestCorDivEquivalence:
+    @given(bit_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_trace_equivalence(self, pair):
+        x, y = pair
+        rtl = CorDivRTL()
+        rtl_z = [rtl.step(int(a), int(b))[0] for a, b in zip(x, y)]
+        vec_z = CorDiv().compute(x, y)
+        assert rtl_z == vec_z.tolist()
+
+
+class TestCAAdderEquivalence:
+    @given(bit_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_trace_equivalence(self, pair):
+        x, y = pair
+        rtl = CAAdderRTL()
+        rtl.reset()
+        rtl_z = [rtl.step(int(a), int(b))[0] for a, b in zip(x, y)]
+        assert rtl_z == CAAdder().compute(x, y).tolist()
+
+
+class TestCAMaxEquivalence:
+    @given(bit_pairs(), st.integers(2, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_trace_equivalence(self, pair, bits):
+        x, y = pair
+        rtl = CAMaxRTL(counter_bits=bits)
+        rtl.reset()
+        rtl_z = [rtl.step(int(a), int(b))[0] for a, b in zip(x, y)]
+        assert rtl_z == CAMax(counter_bits=bits).compute(x, y).tolist()
+
+
+class TestTFMEquivalence:
+    @given(bit_arrays(), st.integers(0, 30), st.integers(0, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_trace_equivalence(self, x, seed, shift):
+        vec = TrackingForecastMemory(LFSR(8, seed=seed + 1), bits=8, shift=shift)
+        out_vec = vec._process_stream_bits(x.reshape(1, -1))[0]
+        rtl = TFMRTL(LFSR(8, seed=seed + 1), bits=8, shift=shift)
+        assert rtl.trace(x) == out_vec.tolist()
+
+
+class TestIsolatorEquivalence:
+    @given(bit_arrays(), st.integers(1, 6), st.integers(0, 1))
+    @settings(max_examples=100, deadline=None)
+    def test_trace_equivalence(self, x, delay, fill):
+        vec = Isolator(delay=delay, fill=fill)
+        out_vec = vec._process_stream_bits(x.reshape(1, -1))[0]
+        rtl = IsolatorRTL(delay=delay, fill=fill)
+        assert rtl.trace(x) == out_vec.tolist()

@@ -1,0 +1,165 @@
+"""Unit tests for the synchronizer FSM (paper Fig. 3a)."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import Bitstream, scc, scc_batch
+from repro.core import Synchronizer
+from repro.exceptions import CircuitConfigurationError, EncodingError
+
+from tests.helpers import make_pair_batch
+from repro.rng import Halton, LFSR, VanDerCorput
+
+
+def run(sync, x_str, y_str):
+    x, y = sync.process_pair(Bitstream(x_str), Bitstream(y_str))
+    return x.to01(), y.to01()
+
+
+class TestFig3aTransitions:
+    """Cycle-by-cycle checks of every edge in the paper's D=1 FSM."""
+
+    def test_equal_inputs_pass_through(self):
+        assert run(Synchronizer(1), "0101", "0101") == ("0101", "0101")
+        assert run(Synchronizer(1), "0000", "0000") == ("0000", "0000")
+
+    def test_save_unpaired_x_bit(self):
+        # S0 --(1,0)/(0,0)--> S1: X's surplus 1 is saved, outputs 0,0.
+        assert run(Synchronizer(1), "10", "00") == ("00", "00")
+
+    def test_save_unpaired_y_bit(self):
+        assert run(Synchronizer(1), "00", "10")[0] == "00"
+
+    def test_pair_saved_x_bit(self):
+        # (1,0) then (0,1): saved X 1 pairs with Y's 1 -> both emit (1,1).
+        assert run(Synchronizer(1), "10", "01") == ("01", "01")
+
+    def test_pair_saved_y_bit(self):
+        assert run(Synchronizer(1), "01", "10") == ("01", "01")
+
+    def test_saturation_passes_through(self):
+        # Two X-surplus 1s in a row with D=1: second passes unsynchronised.
+        x_out, y_out = run(Synchronizer(1), "110", "000")
+        assert x_out == "010"  # first saved (stuck), second passes
+        assert y_out == "000"
+
+    def test_paper_values_preserved_when_pairable(self):
+        # Same values, shifted phase: output values must match inputs.
+        x, y = run(Synchronizer(1), "10101010", "01010101")
+        assert Bitstream(x).value + Bitstream(y).value == pytest.approx(1.0)
+
+
+class TestCorrelationInduction:
+    def test_increases_scc_uncorrelated_inputs(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), Halton(3, 8), step=16)
+        out_x, out_y = Synchronizer(1)._process_bits(x, y)
+        assert scc_batch(out_x, out_y).mean() > scc_batch(x, y).mean() + 0.5
+
+    def test_output_scc_near_one(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), Halton(3, 8), step=16)
+        out_x, out_y = Synchronizer(1)._process_bits(x, y)
+        assert scc_batch(out_x, out_y).mean() > 0.85
+
+    def test_already_correlated_inputs_stay_correlated(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), VanDerCorput(8), step=16)
+        out_x, out_y = Synchronizer(1)._process_bits(x, y)
+        assert scc_batch(out_x, out_y).mean() >= scc_batch(x, y).mean() - 0.01
+
+    def test_deeper_depth_stronger(self):
+        x, y, _, _ = make_pair_batch(LFSR(8), VanDerCorput(8), step=16)
+        s1 = scc_batch(*Synchronizer(1)._process_bits(x, y)).mean()
+        s4 = scc_batch(*Synchronizer(4)._process_bits(x, y)).mean()
+        assert s4 >= s1 - 0.005
+
+
+class TestValueConservation:
+    def test_ones_never_created(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, (64, 128)).astype(np.uint8)
+        y = rng.integers(0, 2, (64, 128)).astype(np.uint8)
+        out_x, out_y = Synchronizer(2)._process_bits(x, y)
+        assert (out_x.sum(axis=1) <= x.sum(axis=1)).all()
+        assert (out_y.sum(axis=1) <= y.sum(axis=1)).all()
+
+    def test_loss_bounded_by_depth(self):
+        rng = np.random.default_rng(1)
+        for depth in (1, 2, 4):
+            x = rng.integers(0, 2, (32, 100)).astype(np.uint8)
+            y = rng.integers(0, 2, (32, 100)).astype(np.uint8)
+            out_x, out_y = Synchronizer(depth)._process_bits(x, y)
+            lost = (x.sum(axis=1) - out_x.sum(axis=1)) + (y.sum(axis=1) - out_y.sum(axis=1))
+            assert (lost <= depth).all()
+
+    def test_stuck_bits_diagnostic(self):
+        sync = Synchronizer(1)
+        x = np.array([[1, 0, 0, 0]], dtype=np.uint8)
+        y = np.array([[0, 0, 0, 0]], dtype=np.uint8)
+        assert sync.stuck_bits(x, y).tolist() == [1]
+
+    def test_bias_small_on_sweep(self):
+        x, y, _, _ = make_pair_batch(VanDerCorput(8), Halton(3, 8), step=16)
+        out_x, out_y = Synchronizer(1)._process_bits(x, y)
+        assert abs((out_x.mean(axis=1) - x.mean(axis=1)).mean()) < 0.01
+        assert abs((out_y.mean(axis=1) - y.mean(axis=1)).mean()) < 0.01
+
+
+class TestFlush:
+    def test_flush_emits_trailing_saved_bit(self):
+        # Without flush the saved X 1 is stuck; with flush it must drain.
+        plain_x, _ = run(Synchronizer(1), "1000", "0000")
+        flush_x, _ = run(Synchronizer(1, flush=True), "1000", "0000")
+        assert plain_x.count("1") == 0
+        assert flush_x.count("1") == 1
+
+    def test_flush_loss_never_worse_than_plain(self):
+        # Flush can't repay a saved bit when the tail cycle already carries
+        # a natural 1 (paper: flush *mitigates*, not eliminates, stuck
+        # bits) — but it must never lose more than the plain FSM.
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 2, (64, 64)).astype(np.uint8)
+        y = rng.integers(0, 2, (64, 64)).astype(np.uint8)
+        plain = Synchronizer(1).stuck_bits(x, y)
+        flushed = Synchronizer(1, flush=True).stuck_bits(x, y)
+        assert (flushed <= plain).all()
+        assert (flushed <= 1).all()
+
+    def test_flush_reduces_total_loss_at_depth(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 2, (64, 48)).astype(np.uint8)
+        y = rng.integers(0, 2, (64, 48)).astype(np.uint8)
+        plain = Synchronizer(4).stuck_bits(x, y).sum()
+        flushed = Synchronizer(4, flush=True).stuck_bits(x, y).sum()
+        assert flushed <= plain
+
+
+class TestConfiguration:
+    def test_depth_validated(self):
+        with pytest.raises(CircuitConfigurationError):
+            Synchronizer(0)
+
+    def test_initial_state_bounds(self):
+        with pytest.raises(ValueError):
+            Synchronizer(1, initial_state=2)
+
+    def test_initial_state_prepaid_bit(self):
+        # Starting in S1 (saved X bit) lets an early (0,1) pair immediately.
+        x, y = run(Synchronizer(1, initial_state=1), "00", "01")
+        assert (x, y) == ("01", "01")
+
+    def test_name_reflects_config(self):
+        assert "D=2" in Synchronizer(2).name
+        assert "flush" in Synchronizer(1, flush=True).name
+
+    def test_encoding_mismatch_raises(self):
+        with pytest.raises(EncodingError):
+            Synchronizer(1).process_pair(Bitstream("01"), Bitstream("01", "bipolar"))
+
+    def test_container_kind_preserved(self):
+        x = Bitstream("0110")
+        y = Bitstream("1010")
+        ox, oy = Synchronizer(1).process_pair(x, y)
+        assert isinstance(ox, Bitstream) and isinstance(oy, Bitstream)
+        arr_x, arr_y = Synchronizer(1)._process_bits(
+            np.array([[0, 1]], dtype=np.uint8), np.array([[1, 0]], dtype=np.uint8)
+        )
+        assert isinstance(arr_x, np.ndarray)
