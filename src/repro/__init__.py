@@ -4,8 +4,8 @@ Stochastic Computing* (V. T. Lee, A. Alaghi, L. Ceze — DATE 2018).
 The library implements the full stochastic-computing (SC) stack the paper
 builds on and contributes to:
 
-* :mod:`repro.bitstream` — stochastic numbers, batches, encodings, and the
-  SCC correlation metric;
+* :mod:`repro.bitstream` — stochastic numbers, batches (unpacked uint8 and
+  packed uint64-word fast path), encodings, and the SCC correlation metric;
 * :mod:`repro.rng` — LFSR / Van der Corput / Halton / Sobol / counter
   sequence generators;
 * :mod:`repro.convert` — D/S and S/D converters, APC, regeneration;
@@ -55,6 +55,7 @@ from .bitstream import (
     Bitstream,
     BitstreamBatch,
     Encoding,
+    PackedBitstreamBatch,
     bernoulli_stream,
     bias,
     correlated_pair,
@@ -62,6 +63,7 @@ from .bitstream import (
     mean_absolute_error,
     scc,
     scc_batch,
+    scc_batch_packed,
 )
 from .convert import (
     AccumulativeParallelCounter,
@@ -98,9 +100,11 @@ __all__ = [
     # bitstream
     "Bitstream",
     "BitstreamBatch",
+    "PackedBitstreamBatch",
     "Encoding",
     "scc",
     "scc_batch",
+    "scc_batch_packed",
     "bias",
     "mean_absolute_error",
     "exact_stream",

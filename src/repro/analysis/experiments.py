@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..arith import AndMin, CAMax, CorDiv, Multiplier, OrMax, ScaledAdder
-from ..bitstream import Bitstream, scc
+from ..bitstream import Bitstream, PackedBitstreamBatch, batch_mux, scc
 from ..core import (
     Decorrelator,
     Desynchronizer,
@@ -166,7 +166,8 @@ def fig2(n: int = 256, step: int = 4) -> ExperimentResult:
 
     "Right" and "wrong" operand correlations are produced the hardware way:
     shared RNG sequence (SCC=+1), complemented comparator (SCC=-1), or
-    independent low-discrepancy RNGs (SCC~0).
+    independent low-discrepancy RNGs (SCC~0). Gate sweeps run on the
+    packed backend; only CORDIV (sequential) stays on unpacked bits.
     """
     xs, ys = pair_levels(n, step)
     px, py = xs / n, ys / n
@@ -178,30 +179,38 @@ def fig2(n: int = 256, step: int = 4) -> ExperimentResult:
     y_p = generate_level_batch(ys, vdc(), n)           # shared sequence: SCC=+1
     seq = vdc().sequence(n)
     y_n = (ys[:, None] > (n - 1 - seq[None, :])).astype(np.uint8)  # complemented: SCC=-1
+    xq = PackedBitstreamBatch.pack(x_u)
+    yq_u = PackedBitstreamBatch.pack(y_u)
+    yq_p = PackedBitstreamBatch.pack(y_p)
+    yq_n = PackedBitstreamBatch.pack(y_n)
 
-    def mae(bits, expected):
-        return float(np.abs(bits.mean(axis=1) - expected).mean())
+    def mae(packed, expected):
+        return float(np.abs(packed.values - expected).mean())
 
     rows = []
     # (a) scaled add: select must be uncorrelated with data.
-    sel_good = generate_level_batch(np.full(1, n // 2), make_rng("halton5"), n)
-    sel_bad = generate_level_batch(np.full(1, n // 2), vdc(), n)  # = X's RNG
+    sel_good = PackedBitstreamBatch.pack(
+        generate_level_batch(np.full(1, n // 2), make_rng("halton5"), n)
+    )
+    sel_bad = PackedBitstreamBatch.pack(
+        generate_level_batch(np.full(1, n // 2), vdc(), n)  # = X's RNG
+    )
     expected = 0.5 * (px + py)
     rows.append(["(a) add (MUX)", "select uncorr",
-                 mae(np.where(sel_good == 1, y_u, x_u), expected),
-                 mae(np.where(sel_bad == 1, y_u, x_u), expected)])
+                 mae(batch_mux(sel_good, xq, yq_u), expected),
+                 mae(batch_mux(sel_bad, xq, yq_u), expected)])
     # (b) saturating add: needs SCC=-1.
     expected = np.minimum(1.0, px + py)
     rows.append(["(b) saturating add (OR)", "SCC=-1",
-                 mae(x_u | y_n, expected), mae(x_u | y_p, expected)])
+                 mae(xq | yq_n, expected), mae(xq | yq_p, expected)])
     # (c) subtract: needs SCC=+1.
     expected = np.abs(px - py)
     rows.append(["(c) subtract (XOR)", "SCC=+1",
-                 mae(x_u ^ y_p, expected), mae(x_u ^ y_u, expected)])
+                 mae(xq ^ yq_p, expected), mae(xq ^ yq_u, expected)])
     # (d) multiply: needs SCC=0.
     expected = px * py
     rows.append(["(d) multiply (AND)", "SCC=0",
-                 mae(x_u & y_u, expected), mae(x_u & y_p, expected)])
+                 mae(xq & yq_u, expected), mae(xq & yq_p, expected)])
     # (e) divide: needs SCC=+1 (evaluated where px <= py, py > 0).
     div = CorDiv()
     mask = (xs <= ys) & (ys > 0)
@@ -330,10 +339,16 @@ _TABLE3_PAPER = {
 
 def table3(n: int = 256, step: int = 1) -> ExperimentResult:
     """Accuracy + hardware cost of the max/min designs (VDC x Halton-3
-    exhaustive inputs, the paper's Table III protocol)."""
+    exhaustive inputs, the paper's Table III protocol).
+
+    Operands are handed to every design packed: the single-gate designs
+    (OR max / AND min) compute word-parallel, while the sequential CA and
+    synchronizer designs unpack at their input boundary and repack on the
+    way out (:mod:`repro.arith._coerce`). Values come from popcounts.
+    """
     xs, ys = pair_levels(n, step)
-    x = generate_level_batch(xs, make_rng("vdc"), n)
-    y = generate_level_batch(ys, make_rng("halton3"), n)
+    x = PackedBitstreamBatch.pack(generate_level_batch(xs, make_rng("vdc"), n))
+    y = PackedBitstreamBatch.pack(generate_level_batch(ys, make_rng("halton3"), n))
     exp_max = np.maximum(xs, ys) / n
     exp_min = np.minimum(xs, ys) / n
 
@@ -347,7 +362,7 @@ def table3(n: int = 256, step: int = 1) -> ExperimentResult:
     rows = []
     measured: Dict[str, tuple] = {}
     for name, op, expected, netlist in designs:
-        values = op.compute(x, y).mean(axis=1)
+        values = op.compute(x, y).values
         abs_err = float(np.abs(values - expected).mean())
         avg_bias = float((values - expected).mean())
         cost = report(netlist)

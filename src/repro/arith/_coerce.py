@@ -2,32 +2,51 @@
 
 Every circuit computes on raw ``(batch, N)`` uint8 matrices; the public
 ``compute`` methods accept :class:`~repro.bitstream.Bitstream`,
-:class:`~repro.bitstream.BitstreamBatch`, or plain arrays, and return the
-same kind they were given. These helpers implement that contract once.
+:class:`~repro.bitstream.BitstreamBatch`,
+:class:`~repro.bitstream.PackedBitstreamBatch`, or plain arrays, and
+return the same kind they were given. These helpers implement that
+contract once.
+
+Packed operands get one of two treatments:
+
+* Combinational circuits (multiply, max/min, scaled add, saturating add,
+  subtract) check :func:`packed_pair` first and stay in the word domain
+  end to end — no unpacking at all.
+* Sequential circuits (CORDIV, CA adder/max, every FSM in
+  :mod:`repro.core`) must walk bits in time order, so :func:`unwrap`
+  transparently unpacks a packed operand at the input boundary and
+  :func:`rewrap` repacks the result at the output boundary. Callers keep
+  their representation either way.
 """
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from .._validation import as_bit_matrix
-from ..bitstream import Bitstream, BitstreamBatch, Encoding
+from ..bitstream import Bitstream, BitstreamBatch, Encoding, PackedBitstreamBatch
+from ..exceptions import EncodingError
 
-StreamLike = Union[Bitstream, BitstreamBatch, np.ndarray]
+StreamLike = Union[Bitstream, BitstreamBatch, PackedBitstreamBatch, np.ndarray]
 
 
 def unwrap(operand: StreamLike, *, name: str = "operand") -> Tuple[np.ndarray, str, Encoding]:
     """Return ``(bits_2d, kind, encoding)`` for any stream-like input.
 
-    ``kind`` is one of ``"stream"``, ``"batch"``, ``"array1d"``,
-    ``"array2d"`` and drives :func:`rewrap`.
+    ``kind`` is one of ``"stream"``, ``"batch"``, ``"packed"``,
+    ``"array1d"``, ``"array2d"`` and drives :func:`rewrap`. Packed operands
+    are unpacked here — this is the explicit pack/unpack boundary the
+    sequential circuits rely on; combinational circuits avoid it via
+    :func:`packed_pair`.
     """
     if isinstance(operand, Bitstream):
         return operand.bits.reshape(1, -1), "stream", operand.encoding
     if isinstance(operand, BitstreamBatch):
         return operand.bits, "batch", operand.encoding
+    if isinstance(operand, PackedBitstreamBatch):
+        return operand.unpack().bits, "packed", operand.encoding
     arr = as_bit_matrix(operand, name=name)
     kind = "array1d" if np.asarray(operand).ndim == 1 else "array2d"
     return arr, kind, Encoding.UNIPOLAR
@@ -39,9 +58,32 @@ def rewrap(bits: np.ndarray, kind: str, encoding: Encoding) -> StreamLike:
         return Bitstream(bits[0], encoding)
     if kind == "batch":
         return BitstreamBatch(bits, encoding)
+    if kind == "packed":
+        return PackedBitstreamBatch.pack(bits, encoding=encoding)
     if kind == "array1d":
         return bits[0]
     return bits
+
+
+def packed_pair(
+    x: StreamLike, y: StreamLike, *, context: str = "operation"
+) -> Optional[Tuple[PackedBitstreamBatch, PackedBitstreamBatch]]:
+    """Return ``(x, y)`` when both operands are packed, else ``None``.
+
+    The combinational circuits call this before :func:`unwrap`: a hit
+    means the whole computation can stay word-parallel. Encoding mismatch
+    is rejected here with the same exception the unpacked path raises.
+    """
+    if not (
+        isinstance(x, PackedBitstreamBatch) and isinstance(y, PackedBitstreamBatch)
+    ):
+        return None
+    if x.encoding is not y.encoding:
+        raise EncodingError(
+            f"{context}: operands must share an encoding "
+            f"({x.encoding.value} vs {y.encoding.value})"
+        )
+    return x, y
 
 
 def broadcast_pair(x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -6,6 +6,17 @@ exactly the observation that *the same AND gate* computes ``min``,
 ``max(0, x+y-1)``, or ``x*y`` depending on input correlation. The classes
 in the sibling modules attach those semantics (and their correlation
 requirements) to the gates.
+
+These functions are the *unpacked* kernels (one uint8 byte per bit). Their
+word-parallel equivalents live on
+:class:`~repro.bitstream.PackedBitstreamBatch` (operators plus ``mux``/
+``xnor``), and the representation-agnostic ``batch_and``/``batch_or``/
+``batch_xor``/``batch_not``/``batch_mux`` dispatchers in
+:mod:`repro.bitstream` pick between the two. The circuit classes check
+:func:`repro.arith._coerce.packed_pair` before falling back here: when
+*both* operands are packed, ``compute`` stays word-parallel and these
+uint8 kernels are never touched; a mixed packed/unpacked pair is unpacked
+first and runs through them.
 """
 
 from __future__ import annotations

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import EncodingError
-from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from ._coerce import StreamLike, broadcast_pair, packed_pair, rewrap, unwrap
 from .gates import and_bits, or_bits
 
 __all__ = ["OrMax", "AndMin"]
@@ -27,11 +27,15 @@ class OrMax:
     """Single OR gate used as a maximum.
 
     Exact only for SCC = +1 inputs; biased high otherwise.
+    Combinational: packed operands stay word-parallel end to end.
     """
 
     REQUIRED_SCC = 1.0
 
     def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        packed = packed_pair(x, y, context="max")
+        if packed is not None:
+            return packed[0] | packed[1]
         xb, kind, enc_x = unwrap(x, name="x")
         yb, _, enc_y = unwrap(y, name="y")
         if enc_x is not enc_y:
@@ -48,11 +52,15 @@ class AndMin:
     """Single AND gate used as a minimum.
 
     Exact only for SCC = +1 inputs; biased low otherwise.
+    Combinational: packed operands stay word-parallel end to end.
     """
 
     REQUIRED_SCC = 1.0
 
     def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        packed = packed_pair(x, y, context="min")
+        if packed is not None:
+            return packed[0] & packed[1]
         xb, kind, enc_x = unwrap(x, name="x")
         yb, _, enc_y = unwrap(y, name="y")
         if enc_x is not enc_y:

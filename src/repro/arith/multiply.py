@@ -14,7 +14,7 @@ import numpy as np
 
 from ..bitstream import Encoding
 from ..exceptions import EncodingError
-from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from ._coerce import StreamLike, broadcast_pair, packed_pair, rewrap, unwrap
 from .gates import and_bits, xor_bits
 
 __all__ = ["Multiplier"]
@@ -24,12 +24,18 @@ class Multiplier:
     """AND-gate multiplier (unipolar) / XNOR multiplier (bipolar).
 
     Required operand correlation: **uncorrelated** (SCC = 0).
+
+    Combinational: packed operands stay word-parallel end to end.
     """
 
     REQUIRED_SCC = 0.0
 
     def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
         """Multiply two SNs. Encodings must match; bipolar uses XNOR."""
+        packed = packed_pair(x, y, context="multiplier")
+        if packed is not None:
+            px, py = packed
+            return px.xnor(py) if px.encoding is Encoding.BIPOLAR else px & py
         xb, kind, enc_x = unwrap(x, name="x")
         yb, _, enc_y = unwrap(y, name="y")
         if enc_x is not enc_y:

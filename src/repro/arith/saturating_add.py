@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import EncodingError
-from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from ._coerce import StreamLike, broadcast_pair, packed_pair, rewrap, unwrap
 from .gates import or_bits
 
 __all__ = ["SaturatingAdder"]
@@ -27,11 +27,15 @@ class SaturatingAdder:
     """OR-gate saturating adder.
 
     Required operand correlation: **negative** (SCC = -1).
+    Combinational: packed operands stay word-parallel end to end.
     """
 
     REQUIRED_SCC = -1.0
 
     def compute(self, x: StreamLike, y: StreamLike) -> StreamLike:
+        packed = packed_pair(x, y, context="saturating adder")
+        if packed is not None:
+            return packed[0] | packed[1]
         xb, kind, enc_x = unwrap(x, name="x")
         yb, _, enc_y = unwrap(y, name="y")
         if enc_x is not enc_y:

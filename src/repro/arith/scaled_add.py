@@ -14,10 +14,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..bitstream import Encoding
+from ..bitstream import Encoding, PackedBitstreamBatch
 from ..exceptions import CircuitConfigurationError, EncodingError
 from ..rng import StreamRNG
-from ._coerce import StreamLike, broadcast_pair, rewrap, unwrap
+from ._coerce import StreamLike, broadcast_pair, packed_pair, rewrap, unwrap
 from .gates import mux_bits
 
 __all__ = ["ScaledAdder"]
@@ -51,7 +51,21 @@ class ScaledAdder:
     def compute(
         self, x: StreamLike, y: StreamLike, select: Optional[StreamLike] = None
     ) -> StreamLike:
-        """Add two SNs with output scale 0.5."""
+        """Add two SNs with output scale 0.5.
+
+        Combinational: packed data operands run the mux word-parallel
+        (the select stream is packed on the fly if it isn't already).
+        """
+        packed = packed_pair(x, y, context="adder")
+        if packed is not None:
+            px, py = packed
+            if select is None:
+                sel = PackedBitstreamBatch.pack(self._select_bits(px.length, 1))
+            elif isinstance(select, PackedBitstreamBatch):
+                sel = select
+            else:
+                sel = PackedBitstreamBatch.pack(unwrap(select, name="select")[0])
+            return PackedBitstreamBatch.mux(sel, px, py)
         xb, kind, enc_x = unwrap(x, name="x")
         yb, _, enc_y = unwrap(y, name="y")
         if enc_x is not enc_y:

@@ -10,6 +10,22 @@ Gate operators return plain bit-level results; they do *not* interpret
 correlation. Interpreting an AND as a multiply (or a min, or a saturating
 subtract) is the job of the circuits in :mod:`repro.arith`, which document
 their correlation requirements.
+
+Single streams always compute on unpacked uint8 bits — at one stream the
+pack/unpack round trip costs more than it saves. The batched fast path is
+:class:`~repro.bitstream.packed.PackedBitstreamBatch`: its ``&``/``|``/
+``^``/``~`` run word-parallel on uint64 words and produce bit-identical
+results, as do its ``values`` and ``scc``. Sequential transforms
+(``delayed``, the FSM circuits in :mod:`repro.core`) have **no** packed
+form and always fall back to unpacked bits:
+
+    >>> from repro.bitstream import BitstreamBatch
+    >>> x = Bitstream("01010101")
+    >>> y = Bitstream("00110011")
+    >>> packed = BitstreamBatch.from_streams([x]).to_packed()
+    >>> other = BitstreamBatch.from_streams([y]).to_packed()
+    >>> (x & y).value == float((packed & other).values[0])
+    True
 """
 
 from __future__ import annotations

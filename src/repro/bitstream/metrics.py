@@ -28,6 +28,30 @@ the convention in the SC literature.
 
 All functions accept either 1-D streams or 2-D ``(batch, N)`` matrices and
 are fully vectorised over the batch dimension.
+
+Packed fast path
+----------------
+
+The unpacked kernels above burn one byte per bit. For the hot sweeps
+(65k+ pairs at N = 256) this module also ships *packed* kernels operating
+on ``(batch, words)`` uint64 matrices as produced by
+:func:`repro.bitstream.packed.pack_bits`: :func:`overlap_counts_packed`
+and :func:`scc_batch_packed` compute the same ``a``/``b``/``c``/``d``
+integers from word-parallel AND + popcount (``np.bitwise_count`` when
+available, a byte lookup table otherwise), so the resulting SCC values are
+bit-identical to the unpacked path:
+
+    >>> import numpy as np
+    >>> from repro.bitstream.metrics import scc, scc_batch_packed
+    >>> from repro.bitstream.packed import pack_bits
+    >>> x = np.array([[1, 0, 1, 0, 1, 0, 1, 0]], dtype=np.uint8)
+    >>> y = np.array([[1, 0, 1, 1, 1, 0, 1, 1]], dtype=np.uint8)
+    >>> scc(x[0], y[0]) == float(scc_batch_packed(pack_bits(x), pack_bits(y), 8)[0])
+    True
+
+Only the *combinational* counts have a packed form; :func:`autocorrelation`
+(lagged, element-order dependent) has no packed fast path and always runs
+on unpacked bits.
 """
 
 from __future__ import annotations
@@ -40,13 +64,41 @@ from .._validation import as_bit_array, as_bit_matrix, check_same_length
 
 __all__ = [
     "overlap_counts",
+    "overlap_counts_packed",
+    "popcount_words",
     "scc",
     "scc_batch",
+    "scc_batch_packed",
     "bias",
     "mean_absolute_error",
     "value_of_bits",
     "autocorrelation",
 ]
+
+# Byte-wise popcount lookup table: fallback for numpy < 2.0 (which lacks
+# ``np.bitwise_count``) and the reference the equivalence tests check the
+# intrinsic against.
+_POPCOUNT_LUT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _popcount_lut(words: np.ndarray) -> np.ndarray:
+    """Lookup-table popcount over the trailing axis (any integer dtype)."""
+    byte_view = np.ascontiguousarray(words).view(np.uint8)
+    return _POPCOUNT_LUT[byte_view].sum(axis=-1, dtype=np.int64)
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-row 1-counts of a packed ``(batch, words)`` uint64 matrix.
+
+    Uses the ``np.bitwise_count`` intrinsic when the running numpy has it
+    (>= 2.0), else a byte lookup table.
+    """
+    words = np.asarray(words)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    return _popcount_lut(words)
 
 
 def value_of_bits(bits: np.ndarray) -> Union[float, np.ndarray]:
@@ -107,8 +159,54 @@ def scc(x, y) -> float:
 
 
 def scc_batch(x, y) -> np.ndarray:
-    """Per-row SCC of two ``(batch, N)`` bit matrices."""
+    """Per-row SCC of two ``(batch, N)`` bit matrices.
+
+    This is the unpacked path (one byte per bit). For packed uint64 words
+    use :func:`scc_batch_packed`, which produces bit-identical results
+    ~an order of magnitude faster at the paper's N = 256.
+    """
     a, b, c, d = overlap_counts(x, y)
+    return _scc_from_counts(a, b, c, d)
+
+
+def overlap_counts_packed(
+    x_words: np.ndarray, y_words: np.ndarray, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Packed-word overlap counts ``(a, b, c, d)``.
+
+    Args:
+        x_words: ``(batch, words)`` uint64 matrix from
+            :func:`repro.bitstream.packed.pack_bits` (tail bits zero).
+        y_words: like ``x_words``; batch sizes must match or broadcast.
+        n: the logical stream length in bits.
+
+    One word-parallel AND plus three popcounts replace the four masked
+    int64 sums of :func:`overlap_counts`: ``a`` is counted directly and
+    ``b``, ``c``, ``d`` follow from the per-stream 1-counts and ``n``.
+    """
+    x_words = np.asarray(x_words)
+    y_words = np.asarray(y_words)
+    if x_words.shape[-1] != y_words.shape[-1]:
+        raise ValueError(
+            f"packed word counts differ ({x_words.shape[-1]} vs {y_words.shape[-1]})"
+        )
+    a = popcount_words(x_words & y_words)
+    ones_x = popcount_words(x_words)
+    ones_y = popcount_words(y_words)
+    b = ones_x - a
+    c = ones_y - a
+    d = n - a - b - c
+    return a, b, c, d
+
+
+def scc_batch_packed(x_words: np.ndarray, y_words: np.ndarray, n: int) -> np.ndarray:
+    """Per-row SCC of two packed ``(batch, words)`` uint64 matrices.
+
+    Bit-identical to :func:`scc_batch` on the corresponding unpacked
+    matrices (the integer overlap counts are the same, so the float math
+    is too).
+    """
+    a, b, c, d = overlap_counts_packed(x_words, y_words, n)
     return _scc_from_counts(a, b, c, d)
 
 

@@ -1,0 +1,302 @@
+"""Packed-bit backend: 64 stream bits per machine word.
+
+The unpacked :class:`~repro.bitstream.batch.BitstreamBatch` spends one byte
+per bit, so every gate op and SCC sweep moves 8x the memory the data needs.
+This module stores the same streams as ``(batch, words)`` uint64 matrices
+(``np.packbits`` little-endian at the boundaries) and runs the hot
+combinational kernels word-parallel:
+
+* gate ops ``&``/``|``/``^``/``~`` are single bitwise ops on 64-bit words;
+* values come from popcounts
+  (:func:`~repro.bitstream.metrics.popcount_words`);
+* SCC comes from the packed overlap-count kernel
+  (:func:`~repro.bitstream.metrics.overlap_counts_packed`).
+
+:class:`PackedBitstreamBatch` mirrors the
+:class:`~repro.bitstream.batch.BitstreamBatch` API so the two are
+interchangeable anywhere only combinational ops are involved. Sequential
+FSM circuits (synchronizer, desynchronizer, decorrelator, CORDIV, CA
+max/adder) must see individual bits in time order, so they accept packed
+operands only via explicit unpack -> process -> repack conversions (the
+:mod:`repro.arith._coerce` layer does this automatically).
+
+Bit layout: bit ``t`` of a stream lives at bit ``t % 64`` of word
+``t // 64`` (little-endian within and across words). Tail bits of the last
+word — positions >= N when N is not a multiple of 64 — are always zero;
+every kernel that could set them (``~``, XNOR) masks them back out.
+
+    >>> import numpy as np
+    >>> from repro.bitstream import BitstreamBatch, PackedBitstreamBatch
+    >>> batch = BitstreamBatch(np.eye(3, 100, dtype=np.uint8))
+    >>> packed = PackedBitstreamBatch.pack(batch)
+    >>> packed
+    PackedBitstreamBatch(batch=3, n=100, words=2, encoding=unipolar)
+    >>> bool(np.array_equal(packed.unpack().bits, batch.bits))
+    True
+    >>> (~packed).ones.tolist()    # NOT masks the 28 tail padding bits
+    [99, 99, 99]
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from .._validation import as_bit_matrix
+from ..exceptions import EncodingError, LengthMismatchError
+from .batch import BitstreamBatch
+from .bitstream import Bitstream
+from .encoding import Encoding, ones_to_value
+from .metrics import popcount_words, scc_batch_packed
+
+__all__ = [
+    "WORD_BITS",
+    "PackedBitstreamBatch",
+    "pack_bits",
+    "unpack_bits",
+    "words_per_stream",
+]
+
+WORD_BITS = 64
+
+# Explicit little-endian uint64 so pack/unpack round-trips are
+# byte-order-independent (the uint8 <-> uint64 reinterpretation below
+# otherwise changes meaning on big-endian hosts).
+_WORD_DTYPE = np.dtype("<u8")
+
+
+def words_per_stream(n: int) -> int:
+    """Number of 64-bit words needed for an ``n``-bit stream."""
+    if n <= 0:
+        raise EncodingError(f"stream length must be positive, got {n}")
+    return (n + WORD_BITS - 1) // WORD_BITS
+
+
+def _tail_mask(n: int) -> np.uint64:
+    """Mask of the valid bits in the last word (all-ones when 64 | n)."""
+    used = n % WORD_BITS
+    if used == 0:
+        return _WORD_DTYPE.type(0xFFFFFFFFFFFFFFFF)
+    return _WORD_DTYPE.type((1 << used) - 1)
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(batch, N)`` 0/1 matrix into ``(batch, ceil(N/64))`` words.
+
+    Bit ``t`` goes to bit ``t % 64`` of word ``t // 64``; tail bits of the
+    last word are zero. 1-D input is treated as a single-stream batch.
+    """
+    arr = as_bit_matrix(bits)
+    n = arr.shape[1]
+    byte_matrix = np.packbits(arr, axis=-1, bitorder="little")
+    want_bytes = words_per_stream(n) * (WORD_BITS // 8)
+    if byte_matrix.shape[1] != want_bytes:
+        pad = np.zeros(
+            (byte_matrix.shape[0], want_bytes - byte_matrix.shape[1]), dtype=np.uint8
+        )
+        byte_matrix = np.concatenate([byte_matrix, pad], axis=1)
+    return np.ascontiguousarray(byte_matrix).view(_WORD_DTYPE)
+
+
+def unpack_bits(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: words back to a ``(batch, n)`` uint8 matrix."""
+    words = np.asarray(words, dtype=_WORD_DTYPE)
+    if words.ndim == 1:
+        words = words.reshape(1, -1)
+    if words.shape[1] != words_per_stream(n):
+        raise LengthMismatchError(
+            f"packed matrix has {words.shape[1]} words, "
+            f"but n={n} needs {words_per_stream(n)}"
+        )
+    byte_matrix = np.ascontiguousarray(words).view(np.uint8)
+    return np.unpackbits(byte_matrix, axis=-1, bitorder="little", count=n)
+
+
+class PackedBitstreamBatch:
+    """A batch of stochastic numbers stored 64 bits per uint64 word.
+
+    Mirrors :class:`~repro.bitstream.batch.BitstreamBatch` (values, SCC,
+    gate operators) but runs everything word-parallel. Build one with
+    :meth:`pack` or :meth:`~repro.bitstream.batch.BitstreamBatch.to_packed`;
+    get bits back with :meth:`unpack`.
+    """
+
+    __slots__ = ("_words", "_length", "_encoding")
+
+    def __init__(
+        self,
+        words: np.ndarray,
+        length: int,
+        encoding: Union[Encoding, str] = Encoding.UNIPOLAR,
+    ) -> None:
+        words = np.asarray(words, dtype=_WORD_DTYPE)
+        if words.ndim == 1:
+            words = words.reshape(1, -1)
+        if words.ndim != 2 or words.size == 0:
+            raise EncodingError("PackedBitstreamBatch needs a non-empty (batch, words) matrix")
+        if words.shape[1] != words_per_stream(length):
+            raise LengthMismatchError(
+                f"{words.shape[1]} words cannot hold n={length} "
+                f"(need {words_per_stream(length)})"
+            )
+        mask = _tail_mask(length)
+        if (words[:, -1] & ~mask).any():
+            words = words.copy()
+            words[:, -1] &= mask
+        self._words = words
+        self._length = int(length)
+        self._encoding = Encoding.coerce(encoding)
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def pack(
+        cls,
+        source: Union[BitstreamBatch, Bitstream, np.ndarray, Iterable],
+        encoding: Union[Encoding, str, None] = None,
+    ) -> "PackedBitstreamBatch":
+        """Pack a :class:`BitstreamBatch`, :class:`Bitstream`, or bit matrix.
+
+        ``encoding`` overrides the source's encoding; raw arrays default to
+        unipolar, matching the rest of the library.
+        """
+        if isinstance(source, cls):
+            if encoding is None or Encoding.coerce(encoding) is source.encoding:
+                return source
+            return cls(source._words, source._length, encoding)
+        if isinstance(source, (BitstreamBatch, Bitstream)):
+            if encoding is None:
+                encoding = source.encoding
+            bits = source.bits
+        else:
+            bits = source
+        if encoding is None:
+            encoding = Encoding.UNIPOLAR
+        arr = as_bit_matrix(bits)
+        if arr.size == 0:
+            raise EncodingError("PackedBitstreamBatch cannot be empty")
+        return cls(pack_bits(arr), arr.shape[1], encoding)
+
+    def unpack(self) -> BitstreamBatch:
+        """Expand back into an unpacked :class:`BitstreamBatch`."""
+        return BitstreamBatch(unpack_bits(self._words, self._length), self._encoding)
+
+    def stream(self, index: int) -> Bitstream:
+        """Extract one row as an (unpacked) :class:`Bitstream`."""
+        return Bitstream(
+            unpack_bits(self._words[index], self._length)[0], self._encoding
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def words(self) -> np.ndarray:
+        """The underlying ``(batch, words)`` little-endian uint64 matrix."""
+        return self._words
+
+    @property
+    def encoding(self) -> Encoding:
+        return self._encoding
+
+    @property
+    def batch_size(self) -> int:
+        return int(self._words.shape[0])
+
+    @property
+    def length(self) -> int:
+        """Logical stream length N in bits (not the word count)."""
+        return self._length
+
+    @property
+    def ones(self) -> np.ndarray:
+        """Per-stream 1-counts via word popcount."""
+        return popcount_words(self._words)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Per-stream encoded values as a ``float64`` vector."""
+        return ones_to_value(self.ones, self._length, self._encoding)
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __iter__(self):
+        for i in range(self.batch_size):
+            yield self.stream(i)
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+
+    def scc(self, other: "PackedBitstreamBatch") -> np.ndarray:
+        """Row-wise SCC against another packed batch (word-parallel)."""
+        self._check_compatible(other, context="packed SCC")
+        return scc_batch_packed(self._words, other._words, self._length)
+
+    # ------------------------------------------------------------------ #
+    # Gate operators (word-parallel)
+    # ------------------------------------------------------------------ #
+
+    def _check_compatible(self, other: "PackedBitstreamBatch", *, context: str) -> None:
+        if self._length != other._length:
+            raise LengthMismatchError(
+                f"{context}: bitstream lengths differ ({self._length} vs {other._length})"
+            )
+        if self._encoding is not other._encoding:
+            raise EncodingError(f"{context} requires matching encodings")
+
+    def _binary_op(self, other: "PackedBitstreamBatch", op) -> "PackedBitstreamBatch":
+        if not isinstance(other, PackedBitstreamBatch):
+            return NotImplemented
+        self._check_compatible(other, context="packed bitwise operation")
+        return PackedBitstreamBatch(
+            op(self._words, other._words), self._length, self._encoding
+        )
+
+    def __and__(self, other: "PackedBitstreamBatch") -> "PackedBitstreamBatch":
+        return self._binary_op(other, np.bitwise_and)
+
+    def __or__(self, other: "PackedBitstreamBatch") -> "PackedBitstreamBatch":
+        return self._binary_op(other, np.bitwise_or)
+
+    def __xor__(self, other: "PackedBitstreamBatch") -> "PackedBitstreamBatch":
+        return self._binary_op(other, np.bitwise_xor)
+
+    def __invert__(self) -> "PackedBitstreamBatch":
+        inverted = ~self._words
+        inverted[:, -1] &= _tail_mask(self._length)
+        return PackedBitstreamBatch(inverted, self._length, self._encoding)
+
+    def xnor(self, other: "PackedBitstreamBatch") -> "PackedBitstreamBatch":
+        """Word-parallel XNOR (the bipolar multiplier's gate), tail-masked."""
+        return ~(self ^ other)
+
+    @staticmethod
+    def mux(
+        select: "PackedBitstreamBatch",
+        x: "PackedBitstreamBatch",
+        y: "PackedBitstreamBatch",
+    ) -> "PackedBitstreamBatch":
+        """Word-parallel 2:1 mux: emits ``y`` where select=1, else ``x``.
+
+        Tail bits stay zero without masking: the select's tail is zero, so
+        the tail picks ``x``'s (zero) tail bits.
+        """
+        x._check_compatible(y, context="packed mux data inputs")
+        if select._length != x._length:
+            raise LengthMismatchError(
+                f"packed mux select length {select._length} != data length {x._length}"
+            )
+        words = (select._words & y._words) | (~select._words & x._words)
+        return PackedBitstreamBatch(words, x._length, x._encoding)
+
+    def __repr__(self) -> str:
+        return (
+            f"PackedBitstreamBatch(batch={self.batch_size}, n={self._length}, "
+            f"words={self._words.shape[1]}, encoding={self._encoding.value})"
+        )
