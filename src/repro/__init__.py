@@ -24,6 +24,9 @@ builds on and contributes to:
   equivalence-tested against the vectorised circuits;
 * :mod:`repro.graph` — dataflow graphs with correlation audit and
   automatic manipulation-circuit insertion;
+* :mod:`repro.engine` — compiled, packed-domain execution of SC dataflow
+  graphs: levelized plans, a structure-keyed plan cache, and batched
+  multi-configuration sweeps (``engine.compile(g).run_batch(...)``);
 * :mod:`repro.apps` — rank-order networks (median filters, bitonic
   sorters) built from the improved operators;
 * :mod:`repro.faults` — bit-flip injection (SC vs binary error
@@ -93,7 +96,10 @@ from .faults import fault_sweep, flip_binary_words, flip_bits
 from .graph import AutofixReport, SCGraph, autofix
 from .rng import LFSR, CounterRNG, Halton, Sobol, StreamRNG, SystemRNG, VanDerCorput, make_rng
 
-__version__ = "1.0.0"
+# Imported last: the engine consumes the graph layer above.
+from . import engine
+
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -154,6 +160,8 @@ __all__ = [
     "SCGraph",
     "autofix",
     "AutofixReport",
+    # execution engine
+    "engine",
     # fault injection
     "flip_bits",
     "flip_binary_words",

@@ -12,6 +12,14 @@ sweeps exhaustive operand values and reports ``SCC(op(A, B), C)`` as a
 function of ``SCC(A, C)``. The resulting table quantifies how much of A's
 correlation to the rest of the computation survives each operator — the
 data a designer needs to decide *where* manipulation circuits must go.
+
+The sweep routes through :mod:`repro.engine` by default: the four gates
+are one compiled :class:`~repro.graph.graph.SCGraph` evaluated against
+the whole exhaustive level batch in a single packed-domain pass, and the
+output-vs-reference SCCs run through the packed overlap kernels. The MUX
+row therefore uses the graph layer's scaled-add select (halton base 7);
+``backend="interpreter"`` keeps the pre-engine unpacked path with its
+halton-5 select for reference.
 """
 
 from __future__ import annotations
@@ -21,7 +29,9 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
-from ..bitstream.metrics import scc_batch
+from ..bitstream.metrics import scc_batch, scc_batch_packed
+from ..bitstream.packed import pack_bits
+from ..graph.graph import SCGraph
 from ..rng import make_rng
 from .sweeps import generate_level_batch, pair_levels
 
@@ -32,6 +42,14 @@ _GATES: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "OR (sat add)": lambda a, b: a | b,
     "XOR (subtract)": lambda a, b: a ^ b,
     "MUX (scaled add)": None,  # handled specially (needs a select stream)
+}
+
+# Gate label -> the OP_LIBRARY op realising it in the engine-routed graph.
+_GATE_OPS = {
+    "AND (multiply)": "mul",
+    "OR (sat add)": "sat_add",
+    "XOR (subtract)": "sub",
+    "MUX (scaled add)": "scaled_add",
 }
 
 
@@ -55,17 +73,44 @@ class PropagationEntry:
         ]
 
 
-def correlation_propagation(n: int = 256, step: int = 4) -> List[PropagationEntry]:
-    """Measure SCC propagation through each gate.
+def _propagation_engine(n: int, step: int) -> List[PropagationEntry]:
+    """Engine route: one compiled graph, one batched packed pass."""
+    from ..engine import compile_graph
 
-    Setup: A and C share an RNG (SCC(A, C) ~ +1), B is independent of
-    both. The question each row answers: after ``out = gate(A, B)``, how
-    correlated is ``out`` with C still?
-    """
+    xs, ys = pair_levels(n, step)
+    graph = SCGraph()
+    graph.source("a", 0.5, "vdc")
+    graph.source("b", 0.5, "halton3")
+    for gate, op in _GATE_OPS.items():
+        graph.op(gate, op, "a", "b")
+    result = compile_graph(graph).run_batch(n, levels={"a": xs, "b": ys})
+
+    # Reference stream: mid-value stream from A's RNG -> SCC(A, C) ~ +1.
+    c_words = pack_bits(generate_level_batch(np.array([n // 2]), make_rng("vdc"), n))
+
+    scc_ac = float(scc_batch_packed(result.words("a"), c_words, n).mean())
+    scc_bc = float(scc_batch_packed(result.words("b"), c_words, n).mean())
+    entries: List[PropagationEntry] = []
+    for gate in _GATES:
+        scc_oc = float(scc_batch_packed(result.words(gate), c_words, n).mean())
+        entries.append(
+            PropagationEntry(
+                gate=gate,
+                scc_a_c=scc_ac,
+                scc_b_c=scc_bc,
+                scc_out_c=scc_oc,
+                retention=scc_oc / scc_ac if scc_ac else 0.0,
+            )
+        )
+    return entries
+
+
+def _propagation_interpreter(n: int, step: int) -> List[PropagationEntry]:
+    """Reference route: unpacked gate sweeps (pre-engine behaviour,
+    including the original halton-5 MUX select)."""
     xs, ys = pair_levels(n, step)
     a = generate_level_batch(xs, make_rng("vdc"), n)
     b = generate_level_batch(ys, make_rng("halton3"), n)
-    # Reference stream: mid-value stream from A's RNG -> SCC(A, C) ~ +1.
     c_row = generate_level_batch(np.array([n // 2]), make_rng("vdc"), n)
     c = np.broadcast_to(c_row, a.shape)
 
@@ -92,3 +137,19 @@ def correlation_propagation(n: int = 256, step: int = 4) -> List[PropagationEntr
             )
         )
     return entries
+
+
+def correlation_propagation(
+    n: int = 256, step: int = 4, *, backend: str = "engine"
+) -> List[PropagationEntry]:
+    """Measure SCC propagation through each gate.
+
+    Setup: A and C share an RNG (SCC(A, C) ~ +1), B is independent of
+    both. The question each row answers: after ``out = gate(A, B)``, how
+    correlated is ``out`` with C still?
+    """
+    if backend == "engine":
+        return _propagation_engine(n, step)
+    if backend == "interpreter":
+        return _propagation_interpreter(n, step)
+    raise ValueError(f"backend must be 'engine' or 'interpreter', got {backend!r}")

@@ -6,10 +6,16 @@ Commands:
 * ``run <experiment> [--step N] [--out FILE]`` — run one experiment and
   print its paper-vs-measured table;
 * ``all [--step N] [--out-dir DIR]`` — run every experiment;
-* ``costs`` — print the hardware component cost landscape.
+* ``costs`` — print the hardware component cost landscape;
+* ``engine <graph>`` — compile a named graph through
+  :mod:`repro.engine` and print its execution plan (levels, packed vs
+  FSM nodes, plan-cache hits/misses) next to the audit table;
+* ``audit <graph> [--fix]`` — engine-backed correlation audit of a
+  named graph, optionally with the autofix pass applied.
 
 The step flag trades sweep resolution for speed (1 = the paper's
-exhaustive setting; tests and quick looks use 8-32).
+exhaustive setting; tests and quick looks use 8-32). Named graphs come
+from :data:`repro.engine.library.GRAPH_LIBRARY`.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import sys
 from typing import List, Optional
 
 from .analysis import ALL_EXPERIMENTS, render_table, run_experiment
+from .engine import GRAPH_LIBRARY
 from .hardware import components, report
 
 __all__ = ["main", "build_parser"]
@@ -50,6 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--out-dir", type=pathlib.Path, default=None)
 
     sub.add_parser("costs", help="print the hardware cost landscape")
+
+    engine_p = sub.add_parser(
+        "engine", help="compile a named graph and show its execution plan"
+    )
+    engine_p.add_argument("graph", choices=sorted(GRAPH_LIBRARY))
+    engine_p.add_argument("--length", type=int, default=256,
+                          help="stream length N for the audit")
+    engine_p.add_argument("--tolerance", type=float, default=0.35)
+
+    audit_p = sub.add_parser(
+        "audit", help="engine-backed correlation audit of a named graph"
+    )
+    audit_p.add_argument("graph", choices=sorted(GRAPH_LIBRARY))
+    audit_p.add_argument("--length", type=int, default=256)
+    audit_p.add_argument("--tolerance", type=float, default=0.35)
+    audit_p.add_argument("--fix", action="store_true",
+                         help="also run autofix and re-audit the fixed graph")
     return parser
 
 
@@ -88,6 +112,62 @@ def _cmd_all(step: int, out_dir: Optional[pathlib.Path]) -> int:
     return status
 
 
+def _audit_table(audit, title: str) -> str:
+    rows = [
+        [e.node, e.op,
+         "-" if e.required_scc is None else e.required_scc,
+         round(e.measured_scc, 3), round(e.expected_value, 3),
+         round(e.measured_value, 3), "VIOLATED" if e.violated else "ok"]
+        for e in audit.entries
+    ]
+    return render_table(
+        ["node", "op", "req SCC", "meas SCC", "expected", "measured", "status"],
+        rows, title=title,
+    )
+
+
+def _cmd_engine(graph_name: str, length: int, tolerance: float) -> int:
+    from .engine import build_graph, cache_info, compile_graph
+
+    graph = build_graph(graph_name)
+    before = cache_info()
+    plan = compile_graph(graph)
+    after = cache_info()
+    outcome = "hit" if after["hits"] > before["hits"] else "miss"
+    print(plan.describe())
+    print(f"plan cache: {outcome} (total {after['hits']} hits / "
+          f"{after['misses']} misses, {after['size']} plans cached)")
+    print()
+    audit = plan.audit(length, tolerance=tolerance)
+    print(_audit_table(audit, f"Engine audit — {graph_name} (N={length})"))
+    print(f"violations: {len(audit.violations)}/{len(audit.entries)}")
+    return 0
+
+
+def _cmd_audit(graph_name: str, length: int, tolerance: float, fix: bool) -> int:
+    from .engine import build_graph
+    from .graph import autofix
+
+    graph = build_graph(graph_name)
+    audit = graph.audit(length, tolerance=tolerance)
+    print(_audit_table(audit, f"Correlation audit — {graph_name} (N={length})"))
+    print(f"violations: {len(audit.violations)}/{len(audit.entries)}")
+    if fix:
+        report_ = autofix(graph, length=length, tolerance=tolerance, iterations=4)
+        print()
+        if report_.insertions:
+            for insertion in report_.insertions:
+                print(f"  inserted {insertion}")
+        else:
+            print("  nothing to fix")
+        print(f"added hardware: {report_.added_area_um2:.1f} um2, "
+              f"{report_.added_power_uw:.2f} uW")
+        fixed_audit = report_.fixed_graph.audit(length, tolerance=tolerance)
+        print(_audit_table(fixed_audit, "After autofix"))
+        return 0 if not fixed_audit.violations else 1
+    return 0 if not audit.violations else 1
+
+
 def _cmd_costs() -> int:
     rows = []
     for name in ("and_gate", "or_gate", "xor_gate", "mux_adder", "ca_adder",
@@ -112,6 +192,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args.experiment, args.step, args.out)
     if args.command == "all":
         return _cmd_all(args.step, args.out_dir)
+    if args.command == "engine":
+        return _cmd_engine(args.graph, args.length, args.tolerance)
+    if args.command == "audit":
+        return _cmd_audit(args.graph, args.length, args.tolerance, args.fix)
     return _cmd_costs()
 
 

@@ -1,0 +1,71 @@
+"""repro.engine — compiled, packed-domain execution of SC dataflow graphs.
+
+The graph interpreter (:meth:`SCGraph.run <repro.graph.graph.SCGraph.run>`)
+evaluates node by node on unpacked uint8 streams. This subsystem instead
+**compiles** a graph once into a levelized execution plan and evaluates it
+end-to-end in the packed uint64-word domain, against a whole *batch of
+input configurations* at once:
+
+* :mod:`repro.engine.plan` — the compile pass: topological levelization,
+  packed-vs-FSM domain classification, transform-port pairing, buffer
+  lifetime assignment, and a structural-signature plan cache (the
+  autofix audit → splice → re-audit loop recompiles nothing it has seen);
+* :mod:`repro.engine.executor` — batched evaluation: word-parallel gate
+  kernels, pack/unpack boundaries only around sequential FSM steps, and
+  audit paths whose SCC measurements run through the packed overlap
+  kernels of :mod:`repro.bitstream.metrics`;
+* :mod:`repro.engine.library` — named example graphs for the CLI and
+  benchmarks.
+
+Single-configuration results are bit-identical to the interpreter — the
+engine is a faster schedule for the same circuit, not a different
+circuit. Typical use::
+
+    from repro import SCGraph, engine
+
+    g = SCGraph()
+    g.source("a", 0.8, "vdc")
+    g.source("b", 0.3, "halton3")
+    g.op("diff", "sub", "a", "b")
+
+    plan = engine.compile(g)               # cached by graph structure
+    sweep = plan.run_batch(256, values={"a": my_1024_values})
+    sweep.values("diff")                   # (1024,) popcount-based values
+"""
+
+from .executor import (
+    BatchAudit,
+    BatchAuditEntry,
+    EngineRun,
+    clear_sequence_cache,
+)
+from .library import GRAPH_LIBRARY, build_graph, depth_chain_graph
+from .plan import (
+    ExecutionPlan,
+    PlanStep,
+    cache_info,
+    clear_cache,
+    compile_graph,
+    graph_signature,
+)
+
+# ``engine.compile(graph)`` is the documented spelling; ``compile_graph``
+# is the import-safe alias (no builtin shadowing at definition site).
+compile = compile_graph
+
+__all__ = [
+    "compile",
+    "compile_graph",
+    "graph_signature",
+    "ExecutionPlan",
+    "PlanStep",
+    "EngineRun",
+    "BatchAudit",
+    "BatchAuditEntry",
+    "cache_info",
+    "clear_cache",
+    "clear_sequence_cache",
+    "GRAPH_LIBRARY",
+    "build_graph",
+    "depth_chain_graph",
+]

@@ -1,0 +1,491 @@
+"""Batched packed-domain evaluation of compiled execution plans.
+
+One :func:`run_batch` call evaluates a plan against a whole *batch of
+input configurations* at once: every source becomes a ``(batch, words)``
+uint64 matrix (comparator D/S conversion vectorised over the batch, then
+``np.packbits``), every combinational operator is a word-parallel gate,
+and only the sequential FSM steps unpack — process — repack at the
+boundaries the plan marked. A 1k-point design sweep is therefore one
+engine call instead of 1k graph interpretations.
+
+Bit-exactness contract: for any graph the engine accepts,
+
+* ``run(plan, n)`` returns streams **bit-identical** to
+  ``SCGraph.run(n, backend="interpreter")``;
+* ``audit(plan, n)`` returns a :class:`~repro.graph.graph.GraphAudit`
+  whose entries are **float-identical** to the interpreter's (the packed
+  overlap kernels in :mod:`repro.bitstream.metrics` produce the same
+  integer counts, hence the same SCC floats, and popcount values equal
+  byte-sum means).
+
+``tests/test_engine.py`` enforces both across odd lengths, both
+encodings, and every FSM node type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..arith._coerce import broadcast_pair
+from ..bitstream.encoding import Encoding, ones_to_value
+from ..bitstream.metrics import popcount_words, scc_batch_packed
+from ..bitstream.packed import PackedBitstreamBatch, pack_bits, unpack_bits
+from ..exceptions import GraphCompilationError
+from ..graph.graph import AuditEntry, GraphAudit
+from ..graph.nodes import OP_LIBRARY, mux_select_bits
+from ..rng import make_rng
+from .plan import ExecutionPlan, PlanStep
+
+__all__ = [
+    "EngineRun",
+    "BatchAuditEntry",
+    "BatchAudit",
+    "run",
+    "run_batch",
+    "audit",
+    "audit_batch",
+    "mux_words",
+    "clear_sequence_cache",
+]
+
+# ---------------------------------------------------------------------- #
+# Shared-sequence memos (deterministic, so caching is free speedup for
+# the audit -> splice -> re-audit loop, which replays the same RNGs).
+# ---------------------------------------------------------------------- #
+
+_SEQ_CACHE_MAX = 128
+_SEQ_CACHE: Dict[tuple, np.ndarray] = {}
+# The MUX scaled adder's 0.5 select stream, packed, keyed by length —
+# the bits come from the interpreter's own mux_select_bits helper.
+_SELECT_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _rng_sequence(spec: str, kwargs: Tuple[Tuple[str, object], ...], length: int) -> np.ndarray:
+    key = (spec, kwargs, length)
+    seq = _SEQ_CACHE.get(key)
+    if seq is None:
+        if len(_SEQ_CACHE) >= _SEQ_CACHE_MAX:
+            _SEQ_CACHE.clear()
+        seq = make_rng(spec, **dict(kwargs)).sequence(length)
+        _SEQ_CACHE[key] = seq
+    return seq
+
+
+def _select_words(length: int) -> np.ndarray:
+    words = _SELECT_CACHE.get(length)
+    if words is None:
+        if len(_SELECT_CACHE) >= _SEQ_CACHE_MAX:
+            _SELECT_CACHE.clear()
+        words = pack_bits(mux_select_bits(length).reshape(1, -1))
+        _SELECT_CACHE[length] = words
+    return words
+
+
+def clear_sequence_cache() -> None:
+    """Drop the memoised RNG/select sequences (test isolation hook)."""
+    _SEQ_CACHE.clear()
+    _SELECT_CACHE.clear()
+
+
+# ---------------------------------------------------------------------- #
+# Word-domain operator kernels (one entry per OP_LIBRARY op)
+# ---------------------------------------------------------------------- #
+
+def mux_words(select: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Word-domain 2:1 mux: emits ``y`` where select=1, else ``x``.
+
+    Tail bits stay zero: the select's tail is zero, so the tail takes
+    ``x``'s (zero) tail bits — same argument as
+    :meth:`PackedBitstreamBatch.mux`. Public because the image pipeline's
+    engine-routed detector reuses it on raw word matrices.
+    """
+    return (select & y) | (~select & x)
+
+
+_OP_KERNELS = {
+    "mul": lambda a, b, sel: a & b,
+    "sat_add": lambda a, b, sel: a | b,
+    "sub": lambda a, b, sel: a ^ b,
+    "max": lambda a, b, sel: a | b,
+    "min": lambda a, b, sel: a & b,
+    "scaled_add": lambda a, b, sel: mux_words(sel, a, b),
+}
+
+
+def _batch_expected(op: str, inputs: List[np.ndarray]) -> np.ndarray:
+    """Vectorised exact semantics (the scalar OP_LIBRARY ``expected``
+    entries use python ``min``/``max``/``abs``, which reject arrays)."""
+    fn = OP_LIBRARY[op].get("expected_batch")
+    if fn is not None:
+        return fn(inputs)
+    return OP_LIBRARY[op]["expected"](inputs)
+
+
+# ---------------------------------------------------------------------- #
+# Batch override resolution
+# ---------------------------------------------------------------------- #
+
+def _resolve_levels(
+    plan: ExecutionPlan,
+    length: int,
+    values: Optional[Dict[str, Union[float, np.ndarray]]],
+    levels: Optional[Dict[str, Union[int, np.ndarray]]],
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], int]:
+    """Per-source binary levels and nominal float values.
+
+    Returns ``(levels, nominal_values, batch_size)`` where each entry is
+    a 1-D int64/float64 array of size 1 (configuration-independent) or
+    the common batch size.
+    """
+    values = dict(values or {})
+    levels = dict(levels or {})
+    sources = set(plan.source_names)
+    for key in set(values) | set(levels):
+        if key not in sources:
+            raise GraphCompilationError(f"override for unknown source {key!r}")
+        if key in values and key in levels:
+            raise GraphCompilationError(
+                f"source {key!r} given both a value and a level override"
+            )
+
+    resolved_levels: Dict[str, np.ndarray] = {}
+    nominal: Dict[str, np.ndarray] = {}
+    batch = 1
+    for step in plan.steps:
+        if step.kind != "source":
+            continue
+        name = step.name
+        if name in levels:
+            lv = np.atleast_1d(np.asarray(levels[name]))
+            if not np.issubdtype(lv.dtype, np.integer):
+                raise GraphCompilationError(
+                    f"level override for {name!r} must be integer, got {lv.dtype}"
+                )
+            lv = lv.astype(np.int64)
+            if lv.size and (lv.min() < 0 or lv.max() > length):
+                raise GraphCompilationError(
+                    f"level override for {name!r} must lie in [0, {length}]"
+                )
+            val = lv / float(length)
+        else:
+            v = np.atleast_1d(np.asarray(values.get(name, step.value), dtype=np.float64))
+            # Written so NaN fails too (NaN comparisons are all False).
+            if not np.all((v >= 0.0) & (v <= 1.0)):
+                raise GraphCompilationError(
+                    f"value override for {name!r} must lie in [0, 1]"
+                )
+            # Same rounding as SourceNode.emit's int(round(value * length)):
+            # np.rint and python round() are both IEEE round-half-even.
+            lv = np.rint(v * length).astype(np.int64)
+            val = v
+        if lv.ndim != 1:
+            raise GraphCompilationError(
+                f"override for {name!r} must be a scalar or 1-D array"
+            )
+        if lv.size > 1:
+            if batch > 1 and lv.size != batch:
+                raise GraphCompilationError(
+                    f"override batch sizes disagree ({batch} vs {lv.size})"
+                )
+            batch = int(lv.size)
+        resolved_levels[name] = lv
+        nominal[name] = np.asarray(val, dtype=np.float64)
+    return resolved_levels, nominal, batch
+
+
+# ---------------------------------------------------------------------- #
+# Core evaluation walk
+# ---------------------------------------------------------------------- #
+
+def _execute(
+    plan: ExecutionPlan,
+    length: int,
+    *,
+    levels: Dict[str, np.ndarray],
+    keep: Optional[Iterable[str]],
+    want_values: bool,
+    want_op_scc: bool,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Walk the schedule; returns ``(kept_words, values, op_scc)``.
+
+    ``keep=None`` keeps every node's words; otherwise intermediate
+    buffers are freed as soon as their last consumer has run.
+    """
+    keep_set = None if keep is None else set(keep)
+    if keep_set is not None:
+        unknown = keep_set - set(plan.node_order)
+        if unknown:
+            raise GraphCompilationError(f"keep names not in graph: {sorted(unknown)}")
+    words: Dict[str, np.ndarray] = {}
+    kept: Dict[str, np.ndarray] = {}
+    node_values: Dict[str, np.ndarray] = {}
+    op_scc: Dict[str, np.ndarray] = {}
+    group_out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    select = None
+
+    for step in plan.steps:
+        if step.kind == "source":
+            seq = _rng_sequence(step.rng_spec, step.rng_kwargs, length)
+            bits = (levels[step.name][:, None] > seq[None, :]).astype(np.uint8)
+            out = pack_bits(bits)
+        elif step.kind == "op":
+            a, b = (words[d] for d in step.inputs)
+            if step.op == "scaled_add" and select is None:
+                select = _select_words(length)
+            if want_op_scc:
+                op_scc[step.name] = scc_batch_packed(a, b, length)
+            out = _OP_KERNELS[step.op](a, b, select)
+        else:  # transform
+            if step.group not in group_out:
+                xw, yw = (words[d] for d in step.inputs)
+                xb = unpack_bits(xw, length)
+                yb = unpack_bits(yw, length)
+                xb, yb = broadcast_pair(xb, yb)
+                ox, oy = step.transform._process_bits(xb, yb)
+                group_out[step.group] = (pack_bits(ox), pack_bits(oy))
+            out = group_out[step.group][step.port]
+
+        words[step.name] = out
+        if want_values:
+            node_values[step.name] = popcount_words(out) / float(length)
+        if keep_set is None or step.name in keep_set:
+            kept[step.name] = out
+        for dead in step.free_after:
+            if keep_set is not None and dead not in keep_set:
+                words.pop(dead, None)
+    return kept, node_values, op_scc
+
+
+# ---------------------------------------------------------------------- #
+# Public entry points
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class EngineRun:
+    """Result of one batched engine evaluation.
+
+    ``packed`` maps node name → ``(rows, words)`` uint64 matrix, where
+    ``rows`` is 1 for configuration-independent nodes and ``batch_size``
+    for nodes downstream of an overridden source.
+    """
+
+    length: int
+    batch_size: int
+    encoding: Encoding
+    packed: Dict[str, np.ndarray]
+
+    @property
+    def names(self) -> List[str]:
+        return list(self.packed)
+
+    def words(self, name: str) -> np.ndarray:
+        return self.packed[name]
+
+    def stream_batch(self, name: str) -> PackedBitstreamBatch:
+        """One node's streams as a :class:`PackedBitstreamBatch`."""
+        return PackedBitstreamBatch(self.packed[name], self.length, self.encoding)
+
+    def bits(self, name: str) -> np.ndarray:
+        """One node's streams unpacked to a ``(rows, length)`` uint8 matrix."""
+        return unpack_bits(self.packed[name], self.length)
+
+    def values(self, name: str) -> np.ndarray:
+        """Per-configuration encoded values of one node."""
+        return ones_to_value(
+            popcount_words(self.packed[name]), self.length, self.encoding
+        )
+
+
+def run_batch(
+    plan: ExecutionPlan,
+    length: int = 256,
+    *,
+    values: Optional[Dict[str, Union[float, np.ndarray]]] = None,
+    levels: Optional[Dict[str, Union[int, np.ndarray]]] = None,
+    keep: Optional[Iterable[str]] = None,
+    encoding: Union[Encoding, str] = Encoding.UNIPOLAR,
+) -> EngineRun:
+    """Evaluate one plan against a batch of input configurations.
+
+    Args:
+        plan: a compiled :class:`ExecutionPlan`.
+        length: stream length N.
+        values: per-source value overrides — scalar or ``(batch,)``
+            float arrays in [0, 1]; sources not named keep their graph
+            value. Row ``i`` of the result is bit-identical to
+            interpreting the graph with configuration ``i``.
+        levels: per-source *binary level* overrides (integers compared
+            directly against the RNG sequence); mutually exclusive with
+            ``values`` per source.
+        keep: node names whose streams to retain (default: all).
+            Intermediate buffers are freed at their last use.
+        encoding: value interpretation of the returned streams.
+    """
+    check_positive_int(length, name="length")
+    resolved, _, batch = _resolve_levels(plan, length, values, levels)
+    kept, _, _ = _execute(
+        plan, length, levels=resolved, keep=keep,
+        want_values=False, want_op_scc=False,
+    )
+    return EngineRun(
+        length=length,
+        batch_size=batch,
+        encoding=Encoding.coerce(encoding),
+        packed=kept,
+    )
+
+
+def run(plan: ExecutionPlan, length: int = 256) -> Dict[str, np.ndarray]:
+    """Single-configuration evaluation, interpreter-shaped output:
+    name → ``(length,)`` uint8 bit array, bit-identical to
+    ``SCGraph.run(length, backend="interpreter")``."""
+    result = run_batch(plan, length)
+    return {name: result.bits(name)[0] for name in plan.node_order}
+
+
+def audit(plan: ExecutionPlan, length: int = 256, *, tolerance: float = 0.35) -> GraphAudit:
+    """Engine-backed audit, float-identical to the interpreter's.
+
+    Per-op SCC goes through :func:`scc_batch_packed` (same integer
+    overlap counts as the unpacked kernel), values through popcounts.
+    """
+    check_positive_int(length, name="length")
+    resolved, _, _ = _resolve_levels(plan, length, None, None)
+    _, node_values, op_scc = _execute(
+        plan, length, levels=resolved, keep=(),
+        want_values=True, want_op_scc=True,
+    )
+    expected = plan.expected_values()
+    values = {name: float(v[0]) for name, v in node_values.items()}
+    entries: List[AuditEntry] = []
+    for step in plan.steps:
+        if step.kind != "op":
+            continue
+        required = OP_LIBRARY[step.op]["required"]
+        measured = float(op_scc[step.name][0])
+        violated = required is not None and abs(measured - required) > tolerance
+        entries.append(
+            AuditEntry(
+                node=step.name,
+                op=step.op,
+                required_scc=required,
+                measured_scc=measured,
+                expected_value=expected[step.name],
+                measured_value=values[step.name],
+                violated=violated,
+            )
+        )
+    return GraphAudit(entries=entries, values=values, expected=expected)
+
+
+@dataclass(frozen=True)
+class BatchAuditEntry:
+    """Vectorised audit record for one operator across a config batch."""
+
+    node: str
+    op: str
+    required_scc: Optional[float]
+    measured_scc: np.ndarray      # (batch,)
+    expected_value: np.ndarray    # (batch,)
+    measured_value: np.ndarray    # (batch,)
+    violated: np.ndarray          # (batch,) bool
+
+    @property
+    def value_error(self) -> np.ndarray:
+        return np.abs(self.measured_value - self.expected_value)
+
+    @property
+    def violation_rate(self) -> float:
+        return float(np.mean(self.violated))
+
+
+@dataclass
+class BatchAudit:
+    """Full-graph audit across a batch of input configurations."""
+
+    entries: List[BatchAuditEntry]
+    values: Dict[str, np.ndarray]
+    expected: Dict[str, np.ndarray]
+    batch_size: int
+
+    def entry(self, node: str) -> BatchAuditEntry:
+        for e in self.entries:
+            if e.node == node:
+                return e
+        raise KeyError(node)
+
+    def mean_value_error(self, node: str) -> float:
+        return float(np.mean(np.abs(self.values[node] - self.expected[node])))
+
+
+def _expected_batch(plan: ExecutionPlan, nominal: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    expected: Dict[str, np.ndarray] = {}
+    for step in plan.steps:
+        if step.kind == "source":
+            expected[step.name] = nominal[step.name]
+        elif step.kind == "op":
+            expected[step.name] = np.asarray(
+                _batch_expected(step.op, [expected[d] for d in step.inputs]),
+                dtype=np.float64,
+            )
+        else:
+            expected[step.name] = expected[step.inputs[step.port]]
+    return expected
+
+
+def audit_batch(
+    plan: ExecutionPlan,
+    length: int = 256,
+    *,
+    values: Optional[Dict[str, Union[float, np.ndarray]]] = None,
+    levels: Optional[Dict[str, Union[int, np.ndarray]]] = None,
+    tolerance: float = 0.35,
+) -> BatchAudit:
+    """Audit a whole configuration batch in one pass.
+
+    Row ``i`` of every entry equals the interpreter's scalar audit of
+    configuration ``i``; the SCC measurements run through the packed
+    overlap kernels once per operator instead of once per (operator,
+    configuration) pair.
+    """
+    check_positive_int(length, name="length")
+    resolved, nominal, batch = _resolve_levels(plan, length, values, levels)
+    _, node_values, op_scc = _execute(
+        plan, length, levels=resolved, keep=(),
+        want_values=True, want_op_scc=True,
+    )
+    expected = _expected_batch(plan, nominal)
+    # .copy(): np.broadcast_to returns read-only views, and callers get
+    # writable arrays from every other analysis API in the repo.
+    broadcast = lambda a: np.broadcast_to(np.atleast_1d(a), (batch,)).copy()  # noqa: E731
+    entries: List[BatchAuditEntry] = []
+    for step in plan.steps:
+        if step.kind != "op":
+            continue
+        required = OP_LIBRARY[step.op]["required"]
+        measured = broadcast(op_scc[step.name])
+        if required is None:
+            violated = np.zeros(batch, dtype=bool)
+        else:
+            violated = np.abs(measured - required) > tolerance
+        entries.append(
+            BatchAuditEntry(
+                node=step.name,
+                op=step.op,
+                required_scc=required,
+                measured_scc=measured,
+                expected_value=broadcast(expected[step.name]),
+                measured_value=broadcast(node_values[step.name]),
+                violated=violated,
+            )
+        )
+    return BatchAudit(
+        entries=entries,
+        values={k: broadcast(v) for k, v in node_values.items()},
+        expected={k: broadcast(v) for k, v in expected.items()},
+        batch_size=batch,
+    )

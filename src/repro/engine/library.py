@@ -1,0 +1,130 @@
+"""Named example graphs for the CLI, benchmarks, and equivalence tests.
+
+Each builder returns a fresh :class:`~repro.graph.graph.SCGraph`; the CLI
+``engine`` / ``audit`` subcommands and ``benchmarks/bench_engine.py``
+resolve graphs by name through :func:`build_graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core import Decorrelator, Desynchronizer, IsolatorPair, Synchronizer, TFMPair
+from ..graph.graph import SCGraph
+from ..graph.nodes import TransformNode
+from ..rng import LFSR
+
+__all__ = ["GRAPH_LIBRARY", "build_graph", "depth_chain_graph"]
+
+
+def correlated_multiply_graph() -> SCGraph:
+    """Two same-RNG sources (SCC=+1) feeding a multiply (needs SCC=0)."""
+    g = SCGraph()
+    g.source("a", 0.75, "vdc")
+    g.source("b", 0.5, "vdc")
+    g.op("prod", "mul", "a", "b")
+    return g
+
+
+def uncorrelated_subtract_graph() -> SCGraph:
+    """Two independent sources feeding a subtract (needs SCC=+1)."""
+    g = SCGraph()
+    g.source("a", 0.8, "vdc")
+    g.source("b", 0.3, "halton3")
+    g.op("diff", "sub", "a", "b")
+    return g
+
+
+def mixed_pipeline_graph() -> SCGraph:
+    """A small heterogeneous pipeline: sub -> max chain plus a scaled add."""
+    g = SCGraph()
+    g.source("a", 0.9, "vdc")
+    g.source("b", 0.2, "halton3")
+    g.source("c", 0.5, "halton5")
+    g.op("diff", "sub", "a", "b")
+    g.op("peak", "max", "diff", "c")
+    g.op("avg", "scaled_add", "peak", "a")
+    return g
+
+
+def _splice(g: SCGraph, transform, a: str, b: str, stem: str) -> List[str]:
+    """Insert one pair transform (both ports share one FSM pass)."""
+    shared: dict = {}
+    g.add(TransformNode(f"{stem}_x", transform, (a, b), 0, shared))
+    g.add(TransformNode(f"{stem}_y", transform, (a, b), 1, shared))
+    return [f"{stem}_x", f"{stem}_y"]
+
+
+def fsm_zoo_graph() -> SCGraph:
+    """Every FSM transform type in one graph: synchronizer,
+    desynchronizer, decorrelator, isolator, and TFM nodes feeding ops —
+    the engine's pack/unpack boundary stress test."""
+    g = SCGraph()
+    g.source("a", 0.7, "vdc")
+    g.source("b", 0.4, "halton3")
+    g.source("c", 0.6, "vdc")
+    g.source("d", 0.5, "vdc")
+    sx, sy = _splice(g, Synchronizer(depth=1), "a", "b", "sync")
+    g.op("diff", "sub", sx, sy)
+    dx, dy = _splice(g, Desynchronizer(depth=1), "a", "c", "desync")
+    g.op("sat", "sat_add", dx, dy)
+    kx, ky = _splice(
+        g, Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=4), "c", "d", "deco"
+    )
+    g.op("prod", "mul", kx, ky)
+    ix, iy = _splice(g, IsolatorPair(delay=1), "diff", "sat", "iso")
+    g.op("peak", "max", ix, iy)
+    tx, ty = _splice(g, TFMPair(LFSR(8, seed=77)), "prod", "peak", "tfm")
+    g.op("out", "scaled_add", tx, ty)
+    return g
+
+
+def depth_chain_graph(depth: int = 8, values=None) -> SCGraph:
+    """A depth-``depth`` combinational chain over ``depth + 1`` sources.
+
+    The benchmark workload: every level consumes the previous level's
+    output plus a fresh source, cycling through the correlation-sensitive
+    operator zoo. ``src0..src<depth>`` are the sweepable inputs;
+    ``values`` optionally fixes their source values (defaults to 0.5
+    everywhere — the engine's batched sweeps override them per
+    configuration instead of rebuilding the graph).
+    """
+    ops = ["mul", "scaled_add", "max", "sat_add", "min", "sub"]
+    specs = ["vdc", "halton3", "halton5", "halton7", "lfsr"]
+    if values is None:
+        values = [0.5] * (depth + 1)
+    if len(values) != depth + 1:
+        raise ValueError(f"need {depth + 1} source values, got {len(values)}")
+    g = SCGraph()
+    g.source("src0", float(values[0]), specs[0])
+    prev = "src0"
+    for i in range(1, depth + 1):
+        src = f"src{i}"
+        g.source(src, float(values[i]), specs[i % len(specs)])
+        node = f"n{i}"
+        g.op(node, ops[(i - 1) % len(ops)], prev, src)
+        prev = node
+    return g
+
+
+def depth8_graph() -> SCGraph:
+    """The benchmark's depth-8 chain (see :func:`depth_chain_graph`)."""
+    return depth_chain_graph(8)
+
+
+GRAPH_LIBRARY: Dict[str, Callable[[], SCGraph]] = {
+    "correlated_multiply": correlated_multiply_graph,
+    "uncorrelated_subtract": uncorrelated_subtract_graph,
+    "mixed_pipeline": mixed_pipeline_graph,
+    "fsm_zoo": fsm_zoo_graph,
+    "depth8": depth8_graph,
+}
+
+
+def build_graph(name: str) -> SCGraph:
+    """Build a named example graph (fresh instance per call)."""
+    if name not in GRAPH_LIBRARY:
+        raise KeyError(
+            f"unknown graph {name!r}; available: {', '.join(sorted(GRAPH_LIBRARY))}"
+        )
+    return GRAPH_LIBRARY[name]()

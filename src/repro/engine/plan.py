@@ -1,0 +1,342 @@
+"""Compilation of :class:`~repro.graph.graph.SCGraph` into execution plans.
+
+The interpreter in :meth:`SCGraph.run` walks the DAG node by node on
+unpacked uint8 streams — correct, but it re-derives everything on every
+call and never touches the packed backend. :func:`compile_graph` instead
+runs a one-time *compile* pass per graph structure:
+
+1. **Levelize** — nodes are grouped into topological levels (sources are
+   level 0, every other node sits one past its deepest input), so the
+   schedule and the pack/unpack boundaries are explicit.
+2. **Classify** — every node is assigned a *domain*: ``packed`` for
+   sources and combinational operators (evaluated word-parallel on
+   uint64 words), ``fsm`` for sequential transform nodes (synchronizer /
+   desynchronizer / decorrelator / isolator / TFM), which must see bits
+   in time order. Unpack→FSM→repack boundaries exist *only* around fsm
+   steps; everything else stays in the word domain end to end.
+3. **Pair** — the two :class:`~repro.graph.nodes.TransformNode` ports of
+   one circuit insertion are grouped so the FSM runs once per evaluation
+   (exactly like the interpreter's shared-cache contract).
+4. **Assign buffers** — each step records which operand buffers die with
+   it (``free_after``), so a batched sweep that keeps only selected
+   outputs releases intermediate words as soon as their last consumer
+   has run.
+
+Plans are cached in a module-level LRU keyed by the *structural
+signature* of the graph (node kinds, names, wiring, source specs, and
+transform identities), so audit → splice → re-audit loops — the
+:func:`repro.graph.autofix.autofix` hot path — recompile nothing they
+have already seen. :func:`cache_info` exposes hit/miss counters; the CLI
+prints them next to the plan.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import GraphCompilationError
+from ..graph.graph import SCGraph
+from ..graph.nodes import OP_LIBRARY, OpNode, SourceNode, TransformNode
+
+__all__ = [
+    "PlanStep",
+    "ExecutionPlan",
+    "graph_signature",
+    "compile_graph",
+    "cache_info",
+    "clear_cache",
+    "PLAN_CACHE_MAXSIZE",
+]
+
+PLAN_CACHE_MAXSIZE = 256
+
+_PLAN_CACHE: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One scheduled node evaluation.
+
+    ``domain`` is ``"packed"`` (word-parallel) or ``"fsm"`` (sequential,
+    unpack → process → repack). ``group`` pairs the two ports of one
+    transform insertion; ``free_after`` lists buffers whose last consumer
+    is this step.
+    """
+
+    name: str
+    kind: str                      # "source" | "op" | "transform"
+    domain: str                    # "packed" | "fsm"
+    level: int
+    inputs: Tuple[str, ...] = ()
+    # source fields
+    value: Optional[float] = None
+    rng_spec: Optional[str] = None
+    rng_kwargs: Tuple[Tuple[str, object], ...] = ()
+    # op fields
+    op: Optional[str] = None
+    # transform fields
+    transform: object = None
+    port: Optional[int] = None
+    group: Optional[int] = None
+    # buffer liveness
+    free_after: Tuple[str, ...] = ()
+
+
+def _freeze(value):
+    """Hashable twin of an RNG constructor argument (lists of taps and
+    the like become tuples; sequence semantics are unchanged for the
+    generators, which only iterate them)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def graph_signature(graph: SCGraph) -> tuple:
+    """Structural signature of a graph: equal signatures mean the same
+    plan produces the same bits.
+
+    Transform nodes are keyed by the *identity* of their circuit
+    instance (the plan holds a reference, so the id cannot be recycled
+    while the plan is cached); everything else is keyed by value.
+
+    Raises:
+        GraphCompilationError: the graph contains a node kind the engine
+            does not know how to schedule, or source RNG kwargs it cannot
+            hash into a cache key (``backend="auto"`` falls back to the
+            interpreter in both cases).
+    """
+    sig = []
+    for name in graph.node_names:
+        node = graph.node(name)
+        if isinstance(node, SourceNode):
+            sig.append(
+                ("src", node.name, node.value, node.rng_spec,
+                 _freeze(node.rng_kwargs))
+            )
+        elif isinstance(node, OpNode):
+            sig.append(("op", node.name, node.op, node.inputs))
+        elif isinstance(node, TransformNode):
+            sig.append(("fsm", node.name, node.inputs, node.port, id(node.transform)))
+        else:
+            raise GraphCompilationError(
+                f"engine cannot compile node {name!r} of kind "
+                f"{type(node).__name__}; use backend='interpreter'"
+            )
+    signature = tuple(sig)
+    try:
+        hash(signature)
+    except TypeError as exc:
+        raise GraphCompilationError(
+            f"engine cannot hash the graph structure into a plan-cache key "
+            f"({exc}); use backend='interpreter'"
+        ) from None
+    return signature
+
+
+@dataclass
+class ExecutionPlan:
+    """A levelized, batched execution schedule for one graph structure.
+
+    Self-contained: holds every parameter (source specs, op names,
+    transform references) needed to evaluate, so a cached plan outlives
+    the :class:`SCGraph` it was compiled from. The run/audit entry
+    points live in :mod:`repro.engine.executor`; the methods here
+    delegate to them.
+    """
+
+    steps: Tuple[PlanStep, ...]
+    levels: List[List[str]]
+    signature: tuple = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_order(self) -> List[str]:
+        return [s.name for s in self.steps]
+
+    @property
+    def packed_nodes(self) -> List[str]:
+        return [s.name for s in self.steps if s.domain == "packed"]
+
+    @property
+    def fsm_nodes(self) -> List[str]:
+        return [s.name for s in self.steps if s.domain == "fsm"]
+
+    @property
+    def boundary_count(self) -> int:
+        """Pack/unpack boundary crossings per evaluation: each transform
+        group unpacks its two operands and repacks its two outputs."""
+        groups = {s.group for s in self.steps if s.group is not None}
+        return 4 * len(groups)
+
+    @property
+    def source_names(self) -> List[str]:
+        return [s.name for s in self.steps if s.kind == "source"]
+
+    def step(self, name: str) -> PlanStep:
+        for s in self.steps:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def describe(self) -> str:
+        """Human-readable schedule: one line per level, nodes annotated
+        with their domain (the CLI's ``engine`` subcommand prints this)."""
+        lines = [
+            f"execution plan: {len(self.steps)} nodes, {len(self.levels)} levels, "
+            f"{len(self.fsm_nodes)} fsm, {self.boundary_count} pack/unpack boundaries"
+        ]
+        for depth, names in enumerate(self.levels):
+            rendered = []
+            for name in names:
+                s = self.step(name)
+                if s.kind == "source":
+                    rendered.append(f"{name} [source:{s.rng_spec} -> packed]")
+                elif s.kind == "op":
+                    rendered.append(f"{name} [op:{s.op} packed]")
+                else:
+                    rendered.append(f"{name} [fsm:{s.transform.name} port {s.port}]")
+            lines.append(f"  level {depth}: " + ", ".join(rendered))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation entry points (delegate to the executor)
+    # ------------------------------------------------------------------ #
+
+    def run(self, length: int = 256) -> Dict[str, "np.ndarray"]:  # noqa: F821
+        from .executor import run as _run
+        return _run(self, length)
+
+    def run_batch(self, length: int = 256, **kwargs):
+        from .executor import run_batch as _run_batch
+        return _run_batch(self, length, **kwargs)
+
+    def audit(self, length: int = 256, *, tolerance: float = 0.35):
+        from .executor import audit as _audit
+        return _audit(self, length, tolerance=tolerance)
+
+    def audit_batch(self, length: int = 256, **kwargs):
+        from .executor import audit_batch as _audit_batch
+        return _audit_batch(self, length, **kwargs)
+
+    def expected_values(self) -> Dict[str, float]:
+        """Exact float semantics per node — same loop, and therefore the
+        same floats, as :meth:`SCGraph.expected_values`."""
+        values: Dict[str, float] = {}
+        for s in self.steps:
+            if s.kind == "source":
+                values[s.name] = s.value
+            elif s.kind == "op":
+                values[s.name] = OP_LIBRARY[s.op]["expected"](
+                    [values[d] for d in s.inputs]
+                )
+            else:
+                values[s.name] = values[s.inputs[s.port]]
+        return values
+
+
+def _build_plan(graph: SCGraph, signature: tuple) -> ExecutionPlan:
+    """The compile pass: levelize, classify, pair transforms, assign
+    buffer lifetimes."""
+    order = graph.node_names
+    level_of: Dict[str, int] = {}
+    group_of: Dict[tuple, int] = {}
+    raw_steps: List[dict] = []
+    for name in order:
+        node = graph.node(name)
+        level = (
+            0 if not node.inputs
+            else 1 + max(level_of[d] for d in node.inputs)
+        )
+        level_of[name] = level
+        if isinstance(node, SourceNode):
+            raw_steps.append(dict(
+                name=name, kind="source", domain="packed", level=level,
+                value=node.value, rng_spec=node.rng_spec,
+                rng_kwargs=_freeze(node.rng_kwargs),
+            ))
+        elif isinstance(node, OpNode):
+            raw_steps.append(dict(
+                name=name, kind="op", domain="packed", level=level,
+                inputs=node.inputs, op=node.op,
+            ))
+        else:  # TransformNode (graph_signature already rejected others)
+            key = (id(node.transform), node.inputs)
+            group = group_of.setdefault(key, len(group_of))
+            raw_steps.append(dict(
+                name=name, kind="transform", domain="fsm", level=level,
+                inputs=node.inputs, transform=node.transform,
+                port=node.port, group=group,
+            ))
+
+    # Buffer liveness: a node's words can be released after its last
+    # consumer runs (or immediately, for sinks nobody reads).
+    last_use = {name: i for i, name in enumerate(order)}
+    for i, raw in enumerate(raw_steps):
+        for dep in raw.get("inputs", ()):
+            last_use[dep] = max(last_use[dep], i)
+    free_at: Dict[int, List[str]] = {}
+    for name, i in last_use.items():
+        free_at.setdefault(i, []).append(name)
+    for i, raw in enumerate(raw_steps):
+        raw["free_after"] = tuple(free_at.get(i, ()))
+
+    depth = 1 + max(level_of.values()) if level_of else 0
+    levels: List[List[str]] = [[] for _ in range(depth)]
+    for name in order:
+        levels[level_of[name]].append(name)
+
+    return ExecutionPlan(
+        steps=tuple(PlanStep(**raw) for raw in raw_steps),
+        levels=levels,
+        signature=signature,
+    )
+
+
+def compile_graph(graph: SCGraph, *, use_cache: bool = True) -> ExecutionPlan:
+    """Compile ``graph`` into an :class:`ExecutionPlan` (cached).
+
+    Two graphs with equal :func:`graph_signature` share one plan — the
+    autofix loop's repeated audits of the same fixed graph hit the cache
+    and recompile nothing.
+    """
+    if len(graph) == 0:
+        raise GraphCompilationError("cannot compile an empty graph")
+    signature = graph_signature(graph)
+    if use_cache:
+        cached = _PLAN_CACHE.get(signature)
+        if cached is not None:
+            _CACHE_STATS["hits"] += 1
+            _PLAN_CACHE.move_to_end(signature)
+            return cached
+        _CACHE_STATS["misses"] += 1
+    plan = _build_plan(graph, signature)
+    if use_cache:
+        _PLAN_CACHE[signature] = plan
+        while len(_PLAN_CACHE) > PLAN_CACHE_MAXSIZE:
+            _PLAN_CACHE.popitem(last=False)
+    return plan
+
+
+def cache_info() -> Dict[str, int]:
+    """Plan-cache statistics: ``hits``, ``misses``, ``size``, ``maxsize``."""
+    return {
+        "hits": _CACHE_STATS["hits"],
+        "misses": _CACHE_STATS["misses"],
+        "size": len(_PLAN_CACHE),
+        "maxsize": PLAN_CACHE_MAXSIZE,
+    }
+
+
+def clear_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    _PLAN_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0

@@ -33,3 +33,10 @@ class HardwareModelError(ReproError, ValueError):
 
 class PipelineError(ReproError, ValueError):
     """The image-processing pipeline was configured or driven incorrectly."""
+
+
+class GraphCompilationError(ReproError, ValueError):
+    """An SC dataflow graph cannot be compiled by the execution engine
+    (unknown node kind, malformed batch overrides, ...). ``SCGraph.run``
+    falls back to the interpreter when it catches this under
+    ``backend="auto"``."""

@@ -13,6 +13,12 @@ operands violate its correlation requirement splice the matching circuit —
 
 The returned report prices the inserted hardware with the cost model and
 re-audits, so the accuracy-vs-area trade is explicit.
+
+Every audit in the loop routes through :mod:`repro.engine` by default:
+the audit → splice → re-audit sequence compiles each distinct graph
+structure once, and repeated audits of the same fixed graph are plan
+cache hits (no recompilation, shared RNG sequence memos). Pass
+``backend="interpreter"`` to force the reference path.
 """
 
 from __future__ import annotations
@@ -108,6 +114,7 @@ def autofix(
     tolerance: float = 0.35,
     depth: int = 1,
     iterations: int = 1,
+    backend: str = "auto",
 ) -> AutofixReport:
     """Audit ``graph`` and return a rebuilt graph with circuits inserted.
 
@@ -116,8 +123,11 @@ def autofix(
     repeats on the fixed graph, *composing* additional stages in front of
     operators that are still violated — the paper's Section III-B series
     composition, applied only where the first stage wasn't enough.
+    ``backend`` selects the audit evaluation path (see
+    :meth:`SCGraph.audit`); the default engine route caches one
+    execution plan per distinct graph structure across the loop.
     """
-    audit_before = graph.audit(length, tolerance=tolerance)
+    audit_before = graph.audit(length, tolerance=tolerance, backend=backend)
     seed_counter = [0]
     total_netlist = Netlist("autofix")
     all_insertions: List[str] = []
@@ -131,9 +141,12 @@ def autofix(
         )
         total_netlist = total_netlist + netlist
         all_insertions.extend(insertions)
-        violated = {e.node for e in current.audit(length, tolerance=tolerance).violations}
+        violated = {
+            e.node
+            for e in current.audit(length, tolerance=tolerance, backend=backend).violations
+        }
 
-    audit_after = current.audit(length, tolerance=tolerance)
+    audit_after = current.audit(length, tolerance=tolerance, backend=backend)
     cost = report(total_netlist)
     return AutofixReport(
         fixed_graph=current,

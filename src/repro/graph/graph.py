@@ -10,6 +10,15 @@
 
 The audit output feeds :func:`repro.graph.autofix.autofix`, which splices
 in the paper's circuits where requirements are violated.
+
+Both entry points are *backend-routed*: by default they compile the graph
+through :mod:`repro.engine` (levelized packed-domain execution, plan
+cached by graph structure) and fall back to the node-by-node interpreter
+only for node kinds the engine cannot schedule. ``backend="interpreter"``
+forces the reference path; the two produce bit-identical streams and
+float-identical audits (enforced by ``tests/test_engine.py``). Batched
+multi-configuration sweeps should call the engine directly:
+``engine.compile(g).run_batch(...)``.
 """
 
 from __future__ import annotations
@@ -119,9 +128,40 @@ class SCGraph:
     # Evaluation
     # ------------------------------------------------------------------ #
 
-    def run(self, length: int = 256) -> Dict[str, np.ndarray]:
-        """Simulate all streams; returns name -> (length,) bit array."""
+    _BACKENDS = ("auto", "engine", "interpreter")
+
+    def _engine_plan(self, backend: str):
+        """Compile through the engine; ``None`` means fall back (only
+        allowed under ``backend="auto"``)."""
+        from ..engine import compile_graph  # deferred: engine imports this module
+        from ..exceptions import GraphCompilationError
+
+        try:
+            return compile_graph(self)
+        except GraphCompilationError:
+            if backend == "engine":
+                raise
+            return None
+
+    def _check_backend(self, backend: str) -> None:
+        if backend not in self._BACKENDS:
+            raise CircuitConfigurationError(
+                f"unknown backend {backend!r}; expected one of {self._BACKENDS}"
+            )
+
+    def run(self, length: int = 256, *, backend: str = "auto") -> Dict[str, np.ndarray]:
+        """Simulate all streams; returns name -> (length,) bit array.
+
+        ``backend="auto"`` (default) compiles through :mod:`repro.engine`
+        and runs in the packed word domain; ``"interpreter"`` forces the
+        node-by-node reference path. Both return bit-identical streams.
+        """
         check_positive_int(length, name="length")
+        self._check_backend(backend)
+        if backend != "interpreter":
+            plan = self._engine_plan(backend)
+            if plan is not None:
+                return plan.run(length)
         streams: Dict[str, np.ndarray] = {}
         for name in self._order:
             node = self._nodes[name]
@@ -137,14 +177,28 @@ class SCGraph:
             values[name] = node.expected([values[dep] for dep in node.inputs])
         return values
 
-    def audit(self, length: int = 256, *, tolerance: float = 0.35) -> GraphAudit:
+    def audit(
+        self, length: int = 256, *, tolerance: float = 0.35, backend: str = "auto"
+    ) -> GraphAudit:
         """Measure operand SCC at every operator against its requirement.
 
         An operator is *violated* when its operands' measured SCC is more
         than ``tolerance`` away from the required value (requirement
         ``None`` never violates).
+
+        Under the default engine backend, per-op SCC and node values run
+        through the packed overlap/popcount kernels
+        (:mod:`repro.bitstream.metrics`) — the same integer counts, hence
+        float-identical entries to the interpreter path.
         """
-        streams = self.run(length)
+        self._check_backend(backend)
+        if backend != "interpreter":
+            plan = self._engine_plan(backend)
+            if plan is not None:
+                from ..engine.executor import audit as _engine_audit
+
+                return _engine_audit(plan, length, tolerance=tolerance)
+        streams = self.run(length, backend="interpreter")
         expected = self.expected_values()
         values = {k: float(v.mean()) for k, v in streams.items()}
         entries: List[AuditEntry] = []

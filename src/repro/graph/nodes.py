@@ -27,7 +27,7 @@ from ..core.fsm import PairTransform
 from ..exceptions import CircuitConfigurationError
 from ..rng import make_rng
 
-__all__ = ["Node", "SourceNode", "OpNode", "TransformNode", "OP_LIBRARY"]
+__all__ = ["Node", "SourceNode", "OpNode", "TransformNode", "OP_LIBRARY", "mux_select_bits"]
 
 
 class Node:
@@ -82,9 +82,22 @@ class SourceNode(Node):
 # Operator registry: name -> (op factory, expected fn, required SCC).
 # ``required`` is +1 / -1 / 0 / None (agnostic); the MUX adder's select
 # requirement is handled inside its emit (fresh low-discrepancy select).
-def _mux_add_emit(bits: List[np.ndarray], length: int) -> np.ndarray:
+# ``expected`` is the scalar exact-float semantics the interpreter uses;
+# ``expected_batch`` is the vectorised twin the execution engine applies
+# to whole configuration batches (python min/max/abs reject arrays).
+def mux_select_bits(length: int) -> np.ndarray:
+    """The scaled adder's 0.5 select stream (fresh low-discrepancy RNG).
+
+    Single source of truth: the interpreter's emit below and the engine's
+    packed mux kernel (:mod:`repro.engine.executor`) both call this, so
+    the two backends cannot drift apart on select bits.
+    """
     select_rng = make_rng("halton7")
-    select = (select_rng.sequence(length) < select_rng.modulus // 2).astype(np.uint8)
+    return (select_rng.sequence(length) < select_rng.modulus // 2).astype(np.uint8)
+
+
+def _mux_add_emit(bits: List[np.ndarray], length: int) -> np.ndarray:
+    select = mux_select_bits(length)
     return np.where(select == 1, bits[1], bits[0]).astype(np.uint8)
 
 
@@ -92,31 +105,37 @@ OP_LIBRARY: Dict[str, dict] = {
     "mul": {
         "emit": lambda bits, n: (bits[0] & bits[1]).astype(np.uint8),
         "expected": lambda v: v[0] * v[1],
+        "expected_batch": lambda v: v[0] * v[1],
         "required": 0.0,
     },
     "scaled_add": {
         "emit": _mux_add_emit,
         "expected": lambda v: 0.5 * (v[0] + v[1]),
+        "expected_batch": lambda v: 0.5 * (v[0] + v[1]),
         "required": None,  # data inputs may be arbitrarily correlated
     },
     "sat_add": {
         "emit": lambda bits, n: (bits[0] | bits[1]).astype(np.uint8),
         "expected": lambda v: min(1.0, v[0] + v[1]),
+        "expected_batch": lambda v: np.minimum(1.0, v[0] + v[1]),
         "required": -1.0,
     },
     "sub": {
         "emit": lambda bits, n: (bits[0] ^ bits[1]).astype(np.uint8),
         "expected": lambda v: abs(v[0] - v[1]),
+        "expected_batch": lambda v: np.abs(v[0] - v[1]),
         "required": 1.0,
     },
     "max": {
         "emit": lambda bits, n: (bits[0] | bits[1]).astype(np.uint8),
         "expected": lambda v: max(v[0], v[1]),
+        "expected_batch": lambda v: np.maximum(v[0], v[1]),
         "required": 1.0,
     },
     "min": {
         "emit": lambda bits, n: (bits[0] & bits[1]).astype(np.uint8),
         "expected": lambda v: min(v[0], v[1]),
+        "expected_batch": lambda v: np.minimum(v[0], v[1]),
         "required": 1.0,
     },
 }

@@ -20,6 +20,16 @@ paper tabulates it (converters + kernels + RNGs + manipulation circuits).
 A "frame" in the energy report is one tile-engine pass of ``N`` cycles —
 the granularity at which the paper's nJ/frame numbers are mutually
 consistent; whole-image energy scales by the tile count.
+
+Evaluation is backend-routed like the graph layer: the default engine
+path batches **every tile of the image into one vectorised pass**
+(convert → blur → detect across all tiles at once) and reduces edge
+values through the packed popcount kernels, following the engine's
+boundary rule — combinational stages word-parallel, FSM stages (the
+synchronizer variant's pair transforms) on unpacked bits only. Pass
+``backend="interpreter"`` for the per-tile reference loop; the two
+produce identical outputs (``tests/test_engine.py`` asserts exact float
+equality).
 """
 
 from __future__ import annotations
@@ -42,6 +52,12 @@ from .roberts_sc import SCRobertsCross
 __all__ = ["VARIANTS", "AcceleratorConfig", "AcceleratorResult", "SCAccelerator"]
 
 VARIANTS = ("none", "regeneration", "synchronizer")
+
+# Transient-allocation budget for one batched engine pass: the blur's
+# (chunk, bt, bt, 9, N) neighbourhood gather is the peak consumer, so the
+# engine path processes tiles in chunks sized to stay under this many
+# bytes — large images keep the vectorisation win at bounded memory.
+_ENGINE_CHUNK_BYTES = 64 << 20
 
 
 @dataclass(frozen=True)
@@ -146,34 +162,47 @@ class SCAccelerator:
     # ------------------------------------------------------------------ #
 
     def _convert_tile(self, tile_values: np.ndarray) -> np.ndarray:
-        """D/S conversion through one LFSR with row-group rotated taps.
+        """D/S conversion of one tile (see :meth:`_convert_tiles`)."""
+        return self._convert_tiles(tile_values[None])[0]
+
+    def _convert_tiles(self, tiles_values: np.ndarray) -> np.ndarray:
+        """D/S conversion through one LFSR with row-group rotated taps,
+        vectorised over a ``(T, H, W)`` tile batch.
 
         All converters in an ``input_row_group``-row band compare against
         the same LFSR phase (those streams are mutually SCC = +1); bands
         use rotated phases (streams across bands are decorrelated). This
         is the paper's RNG amortisation with rotated outputs
         (Section II-B) and the source of the *partial* correlation the
-        no-manipulation variant suffers from.
+        no-manipulation variant suffers from. The phase schedule depends
+        only on the in-tile row, so every tile shares one comparator
+        matrix and the batch is bit-identical to per-tile conversion.
         """
         n = self._n
-        h, w = tile_values.shape
-        levels = np.rint(tile_values.reshape(-1) * n).astype(np.int64)
+        tiles, h, w = tiles_values.shape
+        levels = np.rint(tiles_values.reshape(tiles, -1) * n).astype(np.int64)
         period = self._lfsr_period_seq.size
         rows = np.repeat(np.arange(h, dtype=np.int64), w)
         phases = ((rows // self._config.input_row_group) * self._config.input_phase_step) % period
         idx = (phases[:, None] + np.arange(n)[None, :]) % period
-        r = self._lfsr_period_seq[idx]
-        bits = (levels[:, None] > r).astype(np.uint8)
-        return bits.reshape(h, w, n)
+        r = self._lfsr_period_seq[idx]                       # (pixels, N)
+        bits = (levels[:, :, None] > r[None, :, :]).astype(np.uint8)
+        return bits.reshape(tiles, h, w, n)
 
     def _regenerate(self, blurred: np.ndarray) -> np.ndarray:
-        """Shared-RNG regeneration of every blurred-pixel stream."""
-        h, w, n = blurred.shape
+        """Shared-RNG regeneration of one tile (see :meth:`_regenerate_tiles`)."""
+        return self._regenerate_tiles(blurred[None])[0]
+
+    def _regenerate_tiles(self, blurred: np.ndarray) -> np.ndarray:
+        """Shared-RNG regeneration of every blurred-pixel stream in a
+        ``(T, H, W, N)`` batch (one regeneration RNG in hardware, so all
+        tiles compare against the same sequence)."""
+        tiles, h, w, n = blurred.shape
         flat = blurred.reshape(-1, n)
         counts = flat.sum(axis=1, dtype=np.int64)
         seq = self._regen_rng.sequence(n)
         out = (counts[:, None] > seq[None, :]).astype(np.uint8)
-        return out.reshape(h, w, n)
+        return out.reshape(tiles, h, w, n)
 
     def process_tile(self, tile_values: np.ndarray) -> np.ndarray:
         """Process one ``tile x tile`` value patch; returns the
@@ -190,8 +219,31 @@ class SCAccelerator:
         edges = self._detector.detect_tile(blurred)
         return edges.mean(axis=2)
 
-    def process(self, image: np.ndarray) -> AcceleratorResult:
-        """Run the full tiled pipeline over an image and score it."""
+    def _process_tiles(self, patches: np.ndarray) -> np.ndarray:
+        """Engine-routed batched tile processing.
+
+        One vectorised convert → blur → (regenerate) → detect pass over a
+        ``(T, tile, tile)`` patch stack, with the detector's value
+        reduction running in the packed word domain
+        (:meth:`SCRobertsCross.detect_tiles_values`). Returns
+        ``(T, output_tile, output_tile)`` edge values, float-identical to
+        mapping :meth:`process_tile` over the stack.
+        """
+        input_bits = self._convert_tiles(patches)
+        blurred = self._blur.blur_tiles(input_bits)
+        if self._config.variant == "regeneration":
+            blurred = self._regenerate_tiles(blurred)
+        return self._detector.detect_tiles_values(blurred)
+
+    def process(self, image: np.ndarray, *, backend: str = "auto") -> AcceleratorResult:
+        """Run the full tiled pipeline over an image and score it.
+
+        ``backend="auto"`` (default) batches all tiles into one
+        engine-routed pass; ``"interpreter"`` runs the per-tile reference
+        loop. Outputs are identical.
+        """
+        if backend not in ("auto", "engine", "interpreter"):
+            raise PipelineError(f"unknown backend {backend!r}")
         image = np.asarray(image, dtype=np.float64)
         if image.ndim != 2:
             raise PipelineError(f"expected a 2-D image, got ndim={image.ndim}")
@@ -203,12 +255,25 @@ class SCAccelerator:
         stride = cfg.output_tile
         origins_r = tile_origins(h, cfg.tile, stride)
         origins_c = tile_origins(w, cfg.tile, stride)
-        tiles = 0
-        for r in origins_r:
-            for c in origins_c:
+        origins = [(r, c) for r in origins_r for c in origins_c]
+        tiles = len(origins)
+        if backend == "interpreter":
+            for r, c in origins:
                 patch = image[r : r + cfg.tile, c : c + cfg.tile]
                 out[r : r + stride, c : c + stride] = self.process_tile(patch)
-                tiles += 1
+        else:
+            per_tile_bytes = cfg.blur_tile**2 * 9 * cfg.stream_length
+            chunk = max(1, _ENGINE_CHUNK_BYTES // per_tile_bytes)
+            for start in range(0, tiles, chunk):
+                batch = origins[start : start + chunk]
+                patches = np.stack(
+                    [image[r : r + cfg.tile, c : c + cfg.tile] for r, c in batch]
+                )
+                tile_values = self._process_tiles(patches)
+                # Same write order as the reference loop, so overlapping
+                # clamped-edge tiles resolve identically.
+                for (r, c), values in zip(batch, tile_values):
+                    out[r : r + stride, c : c + stride] = values
         reference = pipeline_reference(image)
         mae = image_mae(out, reference)
         cost = self.cost_breakdown()

@@ -86,17 +86,39 @@ class SCGaussianBlur:
         tile_bits = np.asarray(tile_bits, dtype=np.uint8)
         if tile_bits.ndim != 3:
             raise PipelineError(f"expected (H, W, N) streams, got ndim={tile_bits.ndim}")
-        h, w, n = tile_bits.shape
+        return self.blur_tiles(tile_bits[None])[0]
+
+    def blur_tiles(self, tiles_bits: np.ndarray) -> np.ndarray:
+        """Blur a whole batch of tiles in one vectorised pass.
+
+        The select sequence (and its per-kernel phase rotation) is shared
+        by every tile — there is one physical select RNG — so the batched
+        result is bit-identical to mapping :meth:`blur_tile` over the
+        batch. This is the blur stage of the engine-routed accelerator
+        path.
+
+        Args:
+            tiles_bits: ``(T, H, W, N)`` uint8 array of pixel SNs.
+
+        Returns:
+            ``(T, H-2, W-2, N)`` uint8 array of blurred-pixel SNs.
+        """
+        tiles_bits = np.asarray(tiles_bits, dtype=np.uint8)
+        if tiles_bits.ndim != 4:
+            raise PipelineError(
+                f"expected (T, H, W, N) streams, got ndim={tiles_bits.ndim}"
+            )
+        tiles, h, w, n = tiles_bits.shape
         if h < 3 or w < 3:
             raise PipelineError(f"tile too small for a 3x3 blur: {(h, w)}")
         check_positive_int(n, name="stream length")
 
-        # Gather 3x3 neighbourhoods: (H-2, W-2, 9, N).
-        neigh = np.empty((h - 2, w - 2, 9, n), dtype=np.uint8)
+        # Gather 3x3 neighbourhoods: (T, H-2, W-2, 9, N).
+        neigh = np.empty((tiles, h - 2, w - 2, 9, n), dtype=np.uint8)
         k = 0
         for dy in range(3):
             for dx in range(3):
-                neigh[:, :, k, :] = tile_bits[dy : dy + h - 2, dx : dx + w - 2, :]
+                neigh[:, :, :, k, :] = tiles_bits[:, dy : dy + h - 2, dx : dx + w - 2, :]
                 k += 1
 
         # One shared select sequence per tile (one select RNG in hardware),
@@ -105,11 +127,11 @@ class SCGaussianBlur:
         time_index = np.arange(n)
         if self._select_phase_step == 0:
             chosen = WEIGHT_SLOTS[slots]  # (N,) neighbour index per cycle
-            return neigh[:, :, chosen, time_index]
+            return neigh[:, :, :, chosen, time_index]
         kernels = (h - 2) * (w - 2)
         phases = (np.arange(kernels, dtype=np.int64) * self._select_phase_step) % n
         idx = (phases[:, None] + time_index[None, :]) % n  # (kernels, N)
         chosen = WEIGHT_SLOTS[slots[idx]]  # (kernels, N)
-        flat = neigh.reshape(kernels, 9, n)
-        out = flat[np.arange(kernels)[:, None], chosen, time_index[None, :]]
-        return out.reshape(h - 2, w - 2, n)
+        flat = neigh.reshape(tiles, kernels, 9, n)
+        out = flat[:, np.arange(kernels)[:, None], chosen, time_index[None, :]]
+        return out.reshape(tiles, h - 2, w - 2, n)

@@ -49,3 +49,45 @@ class TestCommands:
     def test_run_fault_tolerance(self, capsys):
         assert main(["run", "fault_tolerance"]) == 0
         assert "Error tolerance" in capsys.readouterr().out
+
+
+class TestEngineCommands:
+    def test_engine_requires_known_graph(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["engine", "no_such_graph"])
+
+    def test_engine_prints_plan_and_audit(self, capsys):
+        assert main(["engine", "fsm_zoo"]) == 0
+        out = capsys.readouterr().out
+        assert "execution plan" in out
+        assert "level 0" in out
+        assert "fsm:" in out and "packed" in out
+        assert "plan cache" in out and ("hit" in out or "miss" in out)
+        assert "Engine audit" in out
+
+    def test_engine_cache_hit_on_second_compile(self, capsys):
+        from repro import engine
+
+        engine.clear_cache()
+        main(["engine", "correlated_multiply"])
+        capsys.readouterr()
+        # Same structure compiles to the same cached plan the second time.
+        assert main(["engine", "correlated_multiply"]) == 0
+        assert "hit" in capsys.readouterr().out
+
+    def test_audit_reports_violation_status(self, capsys):
+        assert main(["audit", "correlated_multiply"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out and "violations: 1/1" in out
+        assert main(["audit", "fsm_zoo"]) == 0
+        assert "violations: 0/" in capsys.readouterr().out
+
+    def test_audit_fix_inserts_and_clears(self, capsys):
+        assert main(["audit", "correlated_multiply", "--fix"]) == 0
+        out = capsys.readouterr().out
+        assert "inserted prod: decorrelator" in out
+        assert "After autofix" in out
+
+    def test_audit_length_flag(self, capsys):
+        assert main(["audit", "uncorrelated_subtract", "--length", "128"]) in (0, 1)
+        assert "N=128" in capsys.readouterr().out
