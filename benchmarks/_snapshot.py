@@ -1,0 +1,95 @@
+"""Machine-readable perf snapshots: ``benchmarks/results/BENCH_<name>.json``.
+
+The rendered ``.txt`` tables under ``benchmarks/results/`` are for humans;
+these JSON twins are for tooling — each bench module leaves one
+``BENCH_<name>.json`` whose entries carry ``(op, config, wall_ms,
+speedup)``, so the perf trajectory can be diffed across PRs and uploaded
+as a CI artifact without scraping text tables.
+
+Two feeders populate the store:
+
+* benches with explicit timing tables (``bench_engine``,
+  ``bench_packed_backend``, ``bench_fsm_kernels``) call
+  :func:`add_entry` / :func:`write` themselves — this also covers direct
+  ``python benchmarks/bench_x.py`` runs;
+* the pytest hooks in ``benchmarks/conftest.py`` record every bench
+  test's call duration, so even the pure-table benches (Tables I–IV,
+  figures) leave a wall-time trace.
+
+Entries are keyed per bench module; :func:`write` rewrites the whole
+file, so repeated runs replace rather than append.
+"""
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+SCHEMA_VERSION = 1
+
+_STORE: Dict[str, List[dict]] = {}
+
+
+def bench_name(path) -> Optional[str]:
+    """``benchmarks/bench_engine.py`` -> ``engine`` (None if not a bench)."""
+    stem = pathlib.Path(str(path)).stem
+    if not stem.startswith("bench_"):
+        return None
+    return stem[len("bench_"):]
+
+
+def add_entry(
+    bench: str,
+    op: str,
+    wall_ms: float,
+    *,
+    config: Optional[dict] = None,
+    speedup: Optional[float] = None,
+) -> dict:
+    """Record one measurement row for ``bench``; replaces a same-``op``
+    row from an earlier run in this process (best-of semantics stay with
+    the caller)."""
+    entry = {
+        "op": op,
+        "config": dict(config or {}),
+        "wall_ms": round(float(wall_ms), 3),
+        "speedup": None if speedup is None else round(float(speedup), 2),
+    }
+    rows = _STORE.setdefault(bench, [])
+    for i, existing in enumerate(rows):
+        if existing["op"] == op:
+            rows[i] = entry
+            return entry
+    rows.append(entry)
+    return entry
+
+
+def write(bench: str) -> pathlib.Path:
+    """Write ``BENCH_<bench>.json``, merging with any existing file.
+
+    Rows recorded in this process replace same-``op`` rows on disk;
+    rows this run did not produce are kept — so a partial pytest run
+    (``-k``, ``--lf``, a single test id) refreshes what it measured
+    without destroying the rest of an archived snapshot.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{bench}.json"
+    entries = list(_STORE.get(bench, []))
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text()).get("entries", [])
+        except (ValueError, OSError):
+            previous = []
+        fresh_ops = {entry["op"] for entry in entries}
+        entries.extend(e for e in previous if e.get("op") not in fresh_ops)
+    payload = {
+        "bench": bench,
+        "schema": SCHEMA_VERSION,
+        "entries": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def write_all() -> List[pathlib.Path]:
+    return [write(bench) for bench in sorted(_STORE)]

@@ -24,6 +24,7 @@ import time
 import numpy as np
 import pytest
 
+import _snapshot
 from repro import engine
 from repro.engine.library import depth_chain_graph
 
@@ -102,6 +103,12 @@ def _run_and_archive():
     text = _render(rows)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "engine.txt").write_text(text + "\n")
+    config = {"depth": DEPTH, "configs": CONFIGS, "n": N}
+    for name, ms, speedup in rows:
+        _snapshot.add_entry(
+            "engine", op=name, wall_ms=ms, config=config, speedup=speedup,
+        )
+    _snapshot.write("engine")
     print("\n" + text)
     return rows, values, plan, text
 

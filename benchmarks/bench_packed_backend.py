@@ -22,6 +22,7 @@ import time
 import numpy as np
 import pytest
 
+import _snapshot
 from repro.bitstream import BitstreamBatch, PackedBitstreamBatch
 from repro.bitstream.metrics import scc_batch, scc_batch_packed
 from repro.bitstream.packed import pack_bits
@@ -95,6 +96,15 @@ def _run_and_archive(backends):
     text = _render(rows)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "packed_backend.txt").write_text(text + "\n")
+    config = {"n": N, "batch": BATCH}
+    for name, tu, tp, speedup in rows:
+        _snapshot.add_entry(
+            "packed_backend", op=name, wall_ms=tp, config=config, speedup=speedup,
+        )
+        _snapshot.add_entry(
+            "packed_backend", op=f"{name} [unpacked]", wall_ms=tu, config=config,
+        )
+    _snapshot.write("packed_backend")
     print("\n" + text)
     return rows, text
 

@@ -4,13 +4,39 @@ Every benchmark regenerates one of the paper's tables/figures (full
 resolution — the paper's exhaustive sweeps) inside the timed region, then
 archives the rendered comparison table under ``benchmarks/results/`` and
 echoes it to stdout (run with ``-s`` to see tables inline).
+
+Additionally, every bench test's wall time is recorded into the
+machine-readable ``BENCH_<name>.json`` snapshots (see ``_snapshot.py``)
+at session end, so the perf trajectory is tracked across PRs even for
+benches without explicit timing tables.
 """
 
 import pathlib
 
 import pytest
 
+import _snapshot
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_runtest_logreport(report):
+    """Record each passing bench test's call duration as a snapshot row."""
+    if report.when != "call" or not report.passed:
+        return
+    path = report.nodeid.split("::", 1)[0]
+    bench = _snapshot.bench_name(path)
+    if bench is None:
+        return
+    _snapshot.add_entry(
+        bench,
+        op=report.nodeid.split("::", 1)[1],
+        wall_ms=report.duration * 1e3,
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _snapshot.write_all()
 
 
 @pytest.fixture

@@ -96,8 +96,9 @@ from .faults import fault_sweep, flip_binary_words, flip_bits
 from .graph import AutofixReport, SCGraph, autofix
 from .rng import LFSR, CounterRNG, Halton, Sobol, StreamRNG, SystemRNG, VanDerCorput, make_rng
 
-# Imported last: the engine consumes the graph layer above.
-from . import engine
+# Imported last: the engine consumes the graph layer above; the kernel
+# layer compiles the core/arith circuits it is imported after.
+from . import engine, kernels
 
 __version__ = "1.1.0"
 
@@ -160,8 +161,9 @@ __all__ = [
     "SCGraph",
     "autofix",
     "AutofixReport",
-    # execution engine
+    # execution engine + time-parallel sequential kernels
     "engine",
+    "kernels",
     # fault injection
     "flip_bits",
     "flip_binary_words",

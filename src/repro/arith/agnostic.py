@@ -15,6 +15,11 @@ than their equivalent correlation sensitive counterparts").
   far and steers a mux to pass the bit of the current leader. Accurate for
   any input correlation (Table III row "CA Max."), but it needs a wide
   counter, comparator, and mux.
+
+Both are bounded-state FSMs, so their per-bit loops route through the
+transition-table kernels of :mod:`repro.kernels` (the loops below remain
+as the bit-identical reference implementation; counters too wide to
+tabulate fall back to them).
 """
 
 from __future__ import annotations
@@ -45,6 +50,16 @@ class CAAdder:
         if enc_x is not enc_y:
             raise EncodingError("adder operands must share an encoding")
         xb, yb = broadcast_pair(xb, yb)
+        from ..kernels import dispatch
+
+        out = dispatch.op_kernel(self, xb, yb)
+        if out is None:
+            out = self._reference_compute_bits(xb, yb)
+        return rewrap(out, kind, enc_x)
+
+    def _reference_compute_bits(self, xb: np.ndarray, yb: np.ndarray) -> np.ndarray:
+        """Per-cycle accumulator loop — the bit-identical reference for
+        the compiled transition-table kernel (``repro.kernels``)."""
         batch, length = xb.shape
         acc = np.zeros(batch, dtype=np.int64)
         out = np.empty_like(xb)
@@ -53,7 +68,7 @@ class CAAdder:
             emit = acc >= 2
             out[:, t] = emit.astype(np.uint8)
             acc = acc - 2 * emit
-        return rewrap(out, kind, enc_x)
+        return out
 
     @staticmethod
     def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:
@@ -88,6 +103,19 @@ class CAMax:
         if enc_x is not enc_y:
             raise EncodingError("max operands must share an encoding")
         xb, yb = broadcast_pair(xb, yb)
+        from ..kernels import dispatch
+
+        out = dispatch.op_kernel(self, xb, yb)
+        if out is None:
+            out = self._reference_compute_bits(xb, yb)
+        return rewrap(out, kind, enc_x)
+
+    def _reference_compute_bits(self, xb: np.ndarray, yb: np.ndarray) -> np.ndarray:
+        """Per-cycle counter loop — the bit-identical reference for the
+        compiled transition-table kernel (``repro.kernels``). Counters
+        wider than ``MAX_TABLE_STATES`` states stay on this loop (the
+        dispatcher declines them), so its cost is bounded by the caller's
+        choice of ``counter_bits``, not by the kernel layer."""
         batch, length = xb.shape
         counter = np.full(batch, self._mid, dtype=np.int64)
         out = np.empty_like(xb)
@@ -96,7 +124,7 @@ class CAMax:
             yt = yb[:, t].astype(np.int64)
             out[:, t] = np.where(counter >= self._mid, xt, yt).astype(np.uint8)
             counter = np.clip(counter + xt - yt, 0, self._limit)
-        return rewrap(out, kind, enc_x)
+        return out
 
     @staticmethod
     def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:

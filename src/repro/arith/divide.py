@@ -42,6 +42,16 @@ class CorDiv:
         if enc_x is not enc_y:
             raise EncodingError("divider operands must share an encoding")
         xb, yb = broadcast_pair(xb, yb)
+        from ..kernels import dispatch
+
+        out = dispatch.op_kernel(self, xb, yb)
+        if out is None:
+            out = self._reference_compute_bits(xb, yb)
+        return rewrap(out, kind, enc_x)
+
+    def _reference_compute_bits(self, xb: np.ndarray, yb: np.ndarray) -> np.ndarray:
+        """Per-cycle flip-flop loop — the bit-identical reference for the
+        compiled transition-table kernel (``repro.kernels``)."""
         batch, length = xb.shape
         held = np.full(batch, self._initial, dtype=np.uint8)
         out = np.empty_like(xb)
@@ -51,7 +61,7 @@ class CorDiv:
             zt = np.where(yt == 1, xt, held)
             held = np.where(yt == 1, xt, held)
             out[:, t] = zt
-        return rewrap(out, kind, enc_x)
+        return out
 
     @staticmethod
     def expected(px: np.ndarray, py: np.ndarray) -> np.ndarray:

@@ -84,6 +84,18 @@ class Desynchronizer(PairTransform):
         return self._flush
 
     def _process_bits(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        from ..kernels import dispatch
+
+        out = dispatch.pair_kernel(self, x, y)
+        if out is not None:
+            return out
+        return self._reference_process_bits(x, y)
+
+    def _reference_process_bits(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The per-cycle masked-update loop — the bit-identical reference
+        for the compiled transition-table kernel (``repro.kernels``)."""
         batch, length = x.shape
         depth = self._depth
         count = np.zeros(batch, dtype=np.int64)

@@ -74,6 +74,16 @@ class ShuffleBuffer(StreamTransform):
         return np.tile(row, (batch, 1))
 
     def _process_stream_bits(self, bits: np.ndarray) -> np.ndarray:
+        from ..kernels import dispatch
+
+        out = dispatch.shuffle_kernel(self, bits)
+        if out is not None:
+            return out
+        return self._reference_process_stream_bits(bits)
+
+    def _reference_process_stream_bits(self, bits: np.ndarray) -> np.ndarray:
+        """The per-cycle read/write loop — the bit-identical reference for
+        the gather kernel (``repro.kernels.dispatch.shuffle_kernel``)."""
         batch, length = bits.shape
         buffer = self._initial_buffer(batch)
         addresses = self._rng.integers(length, self._depth)

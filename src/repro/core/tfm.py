@@ -67,6 +67,16 @@ class TrackingForecastMemory(StreamTransform):
         return self._bits
 
     def _process_stream_bits(self, stream: np.ndarray) -> np.ndarray:
+        from ..kernels import dispatch
+
+        out = dispatch.tfm_kernel(self, stream)
+        if out is not None:
+            return out
+        return self._reference_process_stream_bits(stream)
+
+    def _reference_process_stream_bits(self, stream: np.ndarray) -> np.ndarray:
+        """The per-cycle EMA loop — the bit-identical reference for the
+        compiled estimate-trajectory kernel (``repro.kernels``)."""
         batch, length = stream.shape
         estimate = np.full(batch, self._initial, dtype=np.int64)
         # Rescale the auxiliary sequence to the register's full scale.

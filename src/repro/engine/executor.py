@@ -4,9 +4,13 @@ One :func:`run_batch` call evaluates a plan against a whole *batch of
 input configurations* at once: every source becomes a ``(batch, words)``
 uint64 matrix (comparator D/S conversion vectorised over the batch, then
 ``np.packbits``), every combinational operator is a word-parallel gate,
-and only the sequential FSM steps unpack — process — repack at the
-boundaries the plan marked. A 1k-point design sweep is therefore one
-engine call instead of 1k graph interpretations.
+and only the sequential steps unpack — process — repack at the
+boundaries the plan marked. Sequential steps in the ``kernel`` domain
+stay batched *and* time-parallel: their ``_process_bits`` dispatches to
+the compiled transition-table / gather kernels of :mod:`repro.kernels`,
+so no per-bit python loop runs anywhere in the schedule; ``fsm``-domain
+steps fall back to the per-cycle reference loop. A 1k-point design sweep
+is therefore one engine call instead of 1k graph interpretations.
 
 Bit-exactness contract: for any graph the engine accepts,
 
@@ -239,7 +243,9 @@ def _execute(
             if want_op_scc:
                 op_scc[step.name] = scc_batch_packed(a, b, length)
             out = _OP_KERNELS[step.op](a, b, select)
-        else:  # transform
+        else:  # transform (kernel or fsm domain; both unpack -> step -> repack,
+               # kernel-domain circuits dispatch to repro.kernels inside
+               # _process_bits and keep the whole batch time-parallel)
             if step.group not in group_out:
                 xw, yw = (words[d] for d in step.inputs)
                 xb = unpack_bits(xw, length)

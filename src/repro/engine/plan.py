@@ -10,10 +10,13 @@ runs a one-time *compile* pass per graph structure:
    schedule and the pack/unpack boundaries are explicit.
 2. **Classify** — every node is assigned a *domain*: ``packed`` for
    sources and combinational operators (evaluated word-parallel on
-   uint64 words), ``fsm`` for sequential transform nodes (synchronizer /
-   desynchronizer / decorrelator / isolator / TFM), which must see bits
-   in time order. Unpack→FSM→repack boundaries exist *only* around fsm
-   steps; everything else stays in the word domain end to end.
+   uint64 words); ``kernel`` for sequential transform nodes that
+   :mod:`repro.kernels` executes time-parallel (table-compiled FSMs,
+   gather-kernel shuffle buffers / TFMs / isolators — the batch axis
+   stays intact and no per-bit python loop runs); ``fsm`` for the
+   remaining sequential nodes, which step the per-cycle reference loop.
+   Unpack→step→repack boundaries exist *only* around kernel/fsm steps;
+   everything else stays in the word domain end to end.
 3. **Pair** — the two :class:`~repro.graph.nodes.TransformNode` ports of
    one circuit insertion are grouped so the FSM runs once per evaluation
    (exactly like the interpreter's shared-cache contract).
@@ -39,6 +42,7 @@ from typing import Dict, List, Optional, Tuple
 from ..exceptions import GraphCompilationError
 from ..graph.graph import SCGraph
 from ..graph.nodes import OP_LIBRARY, OpNode, SourceNode, TransformNode
+from ..kernels import is_kernelized
 
 __all__ = [
     "PlanStep",
@@ -60,15 +64,16 @@ _CACHE_STATS = {"hits": 0, "misses": 0}
 class PlanStep:
     """One scheduled node evaluation.
 
-    ``domain`` is ``"packed"`` (word-parallel) or ``"fsm"`` (sequential,
-    unpack → process → repack). ``group`` pairs the two ports of one
-    transform insertion; ``free_after`` lists buffers whose last consumer
-    is this step.
+    ``domain`` is ``"packed"`` (word-parallel), ``"kernel"`` (sequential
+    but time-parallel via :mod:`repro.kernels`, unpack → kernel →
+    repack), or ``"fsm"`` (sequential, unpack → per-cycle reference loop
+    → repack). ``group`` pairs the two ports of one transform insertion;
+    ``free_after`` lists buffers whose last consumer is this step.
     """
 
     name: str
     kind: str                      # "source" | "op" | "transform"
-    domain: str                    # "packed" | "fsm"
+    domain: str                    # "packed" | "kernel" | "fsm"
     level: int
     inputs: Tuple[str, ...] = ()
     # source fields
@@ -166,8 +171,19 @@ class ExecutionPlan:
         return [s.name for s in self.steps if s.domain == "packed"]
 
     @property
+    def kernel_nodes(self) -> List[str]:
+        """Sequential nodes executed time-parallel by :mod:`repro.kernels`."""
+        return [s.name for s in self.steps if s.domain == "kernel"]
+
+    @property
     def fsm_nodes(self) -> List[str]:
+        """Sequential nodes stepped by their per-cycle reference loop."""
         return [s.name for s in self.steps if s.domain == "fsm"]
+
+    @property
+    def sequential_nodes(self) -> List[str]:
+        """All transform nodes (kernel + fsm domains)."""
+        return [s.name for s in self.steps if s.domain in ("kernel", "fsm")]
 
     @property
     def boundary_count(self) -> int:
@@ -191,7 +207,8 @@ class ExecutionPlan:
         with their domain (the CLI's ``engine`` subcommand prints this)."""
         lines = [
             f"execution plan: {len(self.steps)} nodes, {len(self.levels)} levels, "
-            f"{len(self.fsm_nodes)} fsm, {self.boundary_count} pack/unpack boundaries"
+            f"{len(self.kernel_nodes)} kernel, {len(self.fsm_nodes)} fsm, "
+            f"{self.boundary_count} pack/unpack boundaries"
         ]
         for depth, names in enumerate(self.levels):
             rendered = []
@@ -202,7 +219,7 @@ class ExecutionPlan:
                 elif s.kind == "op":
                     rendered.append(f"{name} [op:{s.op} packed]")
                 else:
-                    rendered.append(f"{name} [fsm:{s.transform.name} port {s.port}]")
+                    rendered.append(f"{name} [{s.domain}:{s.transform.name} port {s.port}]")
             lines.append(f"  level {depth}: " + ", ".join(rendered))
         return "\n".join(lines)
 
@@ -270,8 +287,9 @@ def _build_plan(graph: SCGraph, signature: tuple) -> ExecutionPlan:
         else:  # TransformNode (graph_signature already rejected others)
             key = (id(node.transform), node.inputs)
             group = group_of.setdefault(key, len(group_of))
+            domain = "kernel" if is_kernelized(node.transform) else "fsm"
             raw_steps.append(dict(
-                name=name, kind="transform", domain="fsm", level=level,
+                name=name, kind="transform", domain=domain, level=level,
                 inputs=node.inputs, transform=node.transform,
                 port=node.port, group=group,
             ))

@@ -1,0 +1,354 @@
+"""Time-parallel execution of compiled transition tables.
+
+The reference FSM loops run one numpy masked-update pass *per stream bit*
+— ``O(length)`` python-level iterations, each touching only ``batch``
+elements. Given a :class:`~repro.kernels.tables.CompiledFSM`, the steppers
+here recover the state trajectory with far fewer, far fatter numpy calls:
+
+* **chunked-LUT stepper** — pre-composes the per-symbol transition
+  functions over every possible ``k``-symbol window into one LUT
+  ``(symbol-chunk code, state) -> state`` (``n_symbols**k * n_states``
+  entries, cached per FSM). The time loop then advances ``k`` cycles per
+  fancy-indexed gather: ``length/k + 2k`` python iterations, each over the
+  whole batch.
+* **log-doubling scan stepper** — materialises each cycle's transition
+  function as a ``(batch, length, n_states)`` state-map tensor and
+  composes prefixes associatively by Hillis–Steele doubling:
+  ``O(log length)`` python iterations of ``O(batch * length * n_states)``
+  gathers. Wins when the batch is small and the stream long (the chunked
+  stepper's per-call overhead dominates there).
+
+Both produce the exact state sequence of the reference loop — the
+trajectory is defined by the tables, and the tables are exact — so the
+outputs gathered from them are bit-identical. ``strategy="auto"`` picks
+per ``(length, batch, n_states)`` with a simple cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tables import CompiledFSM
+
+__all__ = [
+    "state_trajectory",
+    "chunked_outputs",
+    "choose_chunk",
+    "choose_strategy",
+    "STRATEGIES",
+]
+
+STRATEGIES = ("auto", "chunked", "scan", "step")
+
+# Composed chunk LUTs are capped at this many entries (~2 MB of int16).
+_CHUNK_TABLE_LIMIT = 1 << 20
+_MAX_CHUNK = 16
+
+# Rough element-equivalent cost of one python-level numpy dispatch; used
+# only to pick a strategy, so the exact value is uncritical.
+_CALL_OVERHEAD = 4096
+
+# The scan tensor is (batch, length, n_states) int16; refuse to build one
+# beyond this many elements (auto falls back to chunked).
+_SCAN_ELEMENT_LIMIT = 1 << 27
+
+
+def choose_chunk(n_symbols: int, n_states: int) -> int:
+    """Largest ``k`` whose composed chunk LUT stays within the size cap."""
+    k = 1
+    while (
+        k < _MAX_CHUNK
+        and n_symbols ** (k + 1) * n_states <= _CHUNK_TABLE_LIMIT
+    ):
+        k += 1
+    return k
+
+
+def choose_strategy(batch: int, length: int, n_states: int, n_symbols: int) -> str:
+    """Cost-model pick between the chunked and scan steppers."""
+    if length <= 1:
+        return "step"
+    k = choose_chunk(n_symbols, n_states)
+    chunks = length // k
+    chunk_cost = (
+        batch * length                      # intra-chunk expansion gathers
+        + batch * chunks                    # chunk-entry gathers
+        + _CALL_OVERHEAD * (chunks + k + (length - chunks * k))
+    )
+    rounds = max(1, math.ceil(math.log2(length)))
+    scan_elements = batch * length * n_states
+    scan_cost = scan_elements * (rounds + 1) + _CALL_OVERHEAD * (rounds + 2)
+    if scan_cost < chunk_cost and scan_elements <= _SCAN_ELEMENT_LIMIT:
+        return "scan"
+    return "chunked"
+
+
+def _composed_table(fsm: CompiledFSM, k: int, fused: bool) -> np.ndarray:
+    """The k-step composition LUT, cached per ``(k, fused)``.
+
+    Chunk codes pack symbols little-endian: ``code = sum_j sym_j *
+    n_symbols**j`` where step ``j`` is applied ``j``-th.
+
+    * ``fused=False`` — the plain state map: ``comp[code, s]`` is the
+      state after the k steps (trajectory steppers).
+    * ``fused=True`` — a uint32 LUT whose low 16 bits hold that state and
+      whose high 16 bits pack the k per-step output bits: bit
+      ``16 + 2j`` is step ``j``'s ``out_x``, bit ``16 + 2j + 1`` its
+      ``out_y`` (single-output circuits use bit ``16 + j``). One gather
+      per chunk then yields both the state advance and the output bits.
+      Requires ``stride * k <= 16`` (the caller caps k).
+    """
+    key = (k, fused)
+    cached = fsm._composed.get(key)
+    if cached is None:
+        n_codes = fsm.n_symbols ** k
+        comp = np.broadcast_to(
+            np.arange(fsm.n_states, dtype=fsm.steady.next_state.dtype),
+            (n_codes, fsm.n_states),
+        ).copy()
+        out_words = np.zeros((n_codes, fsm.n_states), dtype=np.uint32) if fused else None
+        codes = np.arange(n_codes, dtype=np.int64)
+        stride = 2 if fsm.steady.out_y is not None else 1
+        for j in range(k):
+            digit = (codes // fsm.n_symbols ** j) % fsm.n_symbols
+            if fused:
+                bits_x = fsm.steady.out_x[digit[:, None], comp]
+                out_words |= bits_x.astype(np.uint32) << np.uint32(stride * j)
+                if stride == 2:
+                    bits_y = fsm.steady.out_y[digit[:, None], comp]
+                    out_words |= bits_y.astype(np.uint32) << np.uint32(2 * j + 1)
+            comp = fsm.steady.next_state[digit[:, None], comp]
+        if fused:
+            cached = comp.astype(np.uint32) | (out_words << np.uint32(16))
+        else:
+            cached = comp
+        fsm._composed[key] = cached
+    return cached
+
+
+def _chunk_codes(sym3: np.ndarray, n_symbols: int, k: int) -> np.ndarray:
+    """Pack each row of k symbols into one chunk code, ``(batch, chunks)``.
+
+    Symbol alphabets here are powers of two (4 for pair circuits, 2 for
+    single-input ones), so the pack is a shift-accumulate over uint32;
+    the general multiply-sum is kept for completeness.
+    """
+    bits = n_symbols.bit_length() - 1
+    if n_symbols == 1 << bits:
+        codes = sym3[:, :, 0].astype(np.uint32)
+        for j in range(1, k):
+            codes |= sym3[:, :, j].astype(np.uint32) << np.uint32(bits * j)
+        return codes
+    powers = n_symbols ** np.arange(k, dtype=np.int64)
+    return (sym3.astype(np.int64) * powers).sum(axis=2)
+
+
+_MORTON_LUT: Optional[np.ndarray] = None
+
+
+def _morton_lut() -> np.ndarray:
+    """byte -> uint32 with bit j spread to bit 2j (build once)."""
+    global _MORTON_LUT
+    if _MORTON_LUT is None:
+        b = np.arange(256, dtype=np.uint32)
+        spread = np.zeros(256, dtype=np.uint32)
+        for j in range(8):
+            spread |= ((b >> np.uint32(j)) & np.uint32(1)) << np.uint32(2 * j)
+        _MORTON_LUT = spread
+    return _MORTON_LUT
+
+
+def _pair_chunk_codes(
+    x: np.ndarray, y: np.ndarray, chunks: int, k: int,
+) -> np.ndarray:
+    """Chunk codes for a 4-symbol pair circuit straight from the two bit
+    planes: ``code = sum_j (2 x_j + y_j) 4^j``.
+
+    For the byte-aligned case (k = 8) this is one ``np.packbits`` per
+    plane plus a Morton-spread LUT gather — no per-symbol python loop at
+    all; other k fall back to the shift-accumulate over the symbol array.
+    """
+    batch = x.shape[0]
+    if k == 8:
+        xb = np.packbits(x[:, : chunks * 8], axis=1, bitorder="little")
+        yb = np.packbits(y[:, : chunks * 8], axis=1, bitorder="little")
+        lut = _morton_lut()
+        return (lut[xb] << np.uint32(1)) | lut[yb]
+    span = chunks * k
+    sym3 = (
+        ((x[:, :span] << np.uint8(1)) | y[:, :span]).reshape(batch, chunks, k)
+    )
+    return _chunk_codes(sym3, 4, k)
+
+
+def _step_trajectory(
+    next_state: np.ndarray, symbols: np.ndarray, state: np.ndarray,
+    states: np.ndarray, start: int, stop: int,
+) -> np.ndarray:
+    """Reference per-cycle stepping over ``[start, stop)`` (also the tail
+    helper for the chunked stepper's sub-chunk remainder)."""
+    for t in range(start, stop):
+        states[:, t] = state
+        state = next_state[symbols[:, t], state]
+    return state
+
+
+def _chunked_trajectory(
+    fsm: CompiledFSM, symbols: np.ndarray, state: np.ndarray, states: np.ndarray,
+) -> np.ndarray:
+    next_state = fsm.steady.next_state
+    batch, length = symbols.shape
+    k = choose_chunk(fsm.n_symbols, fsm.n_states)
+    chunks = length // k
+    if chunks:
+        comp = _composed_table(fsm, k, fused=False)
+        sym3 = symbols[:, : chunks * k].reshape(batch, chunks, k)
+        codes = _chunk_codes(sym3, fsm.n_symbols, k)
+        entry = np.empty((batch, chunks), dtype=next_state.dtype)
+        for c in range(chunks):
+            entry[:, c] = state
+            state = comp[codes[:, c], state]
+        # Expand intra-chunk states: k gathers over (batch, chunks).
+        traj = np.empty((batch, chunks, k), dtype=next_state.dtype)
+        st = entry
+        for j in range(k):
+            traj[:, :, j] = st
+            if j + 1 < k:
+                st = next_state[sym3[:, :, j], st]
+        states[:, : chunks * k] = traj.reshape(batch, chunks * k)
+    return _step_trajectory(next_state, symbols, state, states, chunks * k, length)
+
+
+def chunked_outputs(
+    fsm: CompiledFSM, x: np.ndarray, y: np.ndarray, state: np.ndarray,
+) -> Tuple[np.ndarray, Optional[np.ndarray], np.ndarray]:
+    """Chunked-LUT execution of a 4-symbol pair circuit, emitting output
+    bits directly from the input bit planes.
+
+    The fused chunk LUT carries, next to the k-step state map, the k
+    packed per-step output bits — so the hot loop is a *single* flat
+    ``take`` per chunk over the batch axis and the state trajectory is
+    never materialised. Chunk codes come straight from the bit planes
+    (:func:`_pair_chunk_codes`), and the packed output words are split
+    into bit matrices with one ``np.unpackbits`` pass. Returns
+    ``(out_x, out_y, final_state)`` over the inputs' full extent
+    (``out_y`` is ``None`` for single-output circuits).
+    """
+    next_state = fsm.steady.next_state
+    batch, length = x.shape
+    two = fsm.steady.out_y is not None
+    stride = 2 if two else 1
+    out_x = np.empty((batch, length), dtype=np.uint8)
+    out_y = np.empty((batch, length), dtype=np.uint8) if two else None
+    # The fused LUT spends 16 bits on the state and 16 on output bits.
+    k = min(choose_chunk(fsm.n_symbols, fsm.n_states), 16 // stride)
+    chunks = length // k
+    if chunks:
+        fused = _composed_table(fsm, k, fused=True).ravel()
+        n_states = np.uint32(fsm.n_states)
+        state_mask = np.uint32(0xFFFF)
+        codes = _pair_chunk_codes(x, y, chunks, k)
+        words = np.empty((batch, chunks), dtype=np.uint32)
+        st = state.astype(np.uint32)
+        for c in range(chunks):
+            # Flat index fits uint32: n_codes * n_states <= the table cap.
+            f = fused.take(codes[:, c] * n_states + st)
+            words[:, c] = f >> np.uint32(16)
+            st = f & state_mask
+        state = st.astype(next_state.dtype)
+        # Split the packed words into bits: little-endian byte view ->
+        # one unpackbits pass -> strided slices per output.
+        byte_view = words.astype("<u4", copy=False).view(np.uint8)
+        allbits = np.unpackbits(byte_view, axis=1, bitorder="little")
+        allbits = allbits.reshape(batch, chunks, 32)
+        out_x[:, : chunks * k] = (
+            allbits[:, :, 0 : stride * k : stride].reshape(batch, chunks * k)
+        )
+        if two:
+            out_y[:, : chunks * k] = (
+                allbits[:, :, 1 : 2 * k : 2].reshape(batch, chunks * k)
+            )
+    # Sub-chunk remainder: per-cycle gathers, at most k - 1 iterations.
+    for t in range(chunks * k, length):
+        sym_t = (x[:, t] << np.uint8(1)) | y[:, t]
+        out_x[:, t] = fsm.steady.out_x[sym_t, state]
+        if two:
+            out_y[:, t] = fsm.steady.out_y[sym_t, state]
+        state = next_state[sym_t, state]
+    return out_x, out_y, state
+
+
+def _scan_trajectory(
+    fsm: CompiledFSM, symbols: np.ndarray, state: np.ndarray, states: np.ndarray,
+) -> np.ndarray:
+    next_state = fsm.steady.next_state
+    batch, length = symbols.shape
+    # g[b, t, s] = state after step t if the state before step 0 was s;
+    # initialised to the per-step maps, then prefix-composed by doubling.
+    g = next_state[symbols]                       # (batch, length, n_states)
+    d = 1
+    while d < length:
+        g[:, d:, :] = np.take_along_axis(g[:, d:, :], g[:, :-d, :], axis=2)
+        d *= 2
+    # The trajectory needs one starting column per distinct initial state;
+    # every caller starts all rows at fsm.initial_state, so a single
+    # column gather suffices.
+    init = int(state[0])
+    states[:, 0] = init
+    states[:, 1:] = g[:, :-1, init]
+    return g[:, -1, init].astype(next_state.dtype, copy=False)
+
+
+def state_trajectory(
+    fsm: CompiledFSM,
+    symbols: np.ndarray,
+    *,
+    strategy: str = "auto",
+    initial: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """States *before* each steady-state step, plus the final state.
+
+    Args:
+        fsm: compiled transition tables (steady table only; flush tails
+            are the dispatcher's job).
+        symbols: ``(batch, length)`` symbol indices in
+            ``[0, fsm.n_symbols)``.
+        strategy: ``"auto"`` | ``"chunked"`` | ``"scan"`` | ``"step"``.
+        initial: optional ``(batch,)`` starting states (defaults to
+            ``fsm.initial_state`` everywhere). The scan stepper requires
+            a uniform start and falls back to chunked otherwise.
+
+    Returns:
+        ``(states, final)`` — ``states[b, t]`` is row ``b``'s state
+        entering step ``t`` (shape of ``symbols``); ``final`` the state
+        after the last step.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    batch, length = symbols.shape
+    dtype = fsm.steady.next_state.dtype
+    if initial is None:
+        state = np.full(batch, fsm.initial_state, dtype=dtype)
+        uniform = True
+    else:
+        state = initial.astype(dtype, copy=True)
+        uniform = bool(batch) and bool(np.all(state == state[0]))
+    states = np.empty((batch, length), dtype=dtype)
+    if length == 0 or batch == 0:
+        return states, state
+    if strategy == "auto":
+        strategy = choose_strategy(batch, length, fsm.n_states, fsm.n_symbols)
+    if strategy == "scan" and not uniform:
+        strategy = "chunked"
+    if strategy == "scan":
+        final = _scan_trajectory(fsm, symbols, state, states)
+    elif strategy == "chunked":
+        final = _chunked_trajectory(fsm, symbols, state, states)
+    else:
+        final = _step_trajectory(
+            fsm.steady.next_state, symbols, state, states, 0, length
+        )
+    return states, final

@@ -1,0 +1,312 @@
+"""Transition-table compilation of bounded-state sequential circuits.
+
+Every correlation manipulating FSM in this repo has a *tiny* state space:
+the synchronizer's surplus ledger has ``2D + 1`` states, the
+desynchronizer's tagged queue ``2(D + 1)``, CORDIV's flip-flop 2, the CA
+adder's carry accumulator 2, the CA max counter ``2**bits``, and the TFM's
+probability register ``2**bits``. Each cycle consumes one *symbol* — the
+2-bit ``(x, y)`` input pair for pair circuits, the single input bit for
+stream circuits — and the whole per-cycle update is a pure function
+``(symbol, state) -> (next_state, out_x[, out_y])``.
+
+This module lowers each circuit into explicit numpy lookup tables of that
+function, so the executors in :mod:`repro.kernels.steppers` can step the
+FSM with fancy-indexed gathers instead of re-deriving the update logic in
+Python every cycle.
+
+**Flush phases.** The synchronizer/desynchronizer flush extension makes
+the transition depend on ``remaining = length - t`` — but only once
+``remaining <= depth`` (the saved-bit ledgers are bounded by ``depth``, so
+the flush condition cannot fire earlier). A compiled FSM therefore carries
+one *steady-state* table (used for all but the last ``depth`` cycles) plus
+one *tail* table per remaining-cycles value ``r in 1..depth``. The tail is
+executed step-by-step (``O(depth)`` python iterations, independent of
+stream length).
+
+Compilation is **deterministic**: the tables are pure functions of the
+circuit's constructor parameters, so compiling twice yields bit-identical
+arrays (property-tested in ``tests/test_kernels.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Type
+
+import numpy as np
+
+__all__ = [
+    "TransitionTable",
+    "CompiledFSM",
+    "compile_transform",
+    "compilable_types",
+    "MAX_TABLE_STATES",
+]
+
+# Circuits whose state space exceeds this are left on the reference loop
+# (table build and gather cost would outweigh the win).
+MAX_TABLE_STATES = 4096
+
+_STATE_DTYPE = np.int16
+
+
+@dataclass(frozen=True)
+class TransitionTable:
+    """One ``(symbol, state)``-indexed step of a compiled FSM.
+
+    ``next_state`` has shape ``(n_symbols, n_states)``; ``out_x`` (and
+    ``out_y`` for two-output circuits) the same shape with 0/1 entries.
+    ``out_x is None`` marks a trajectory-only table (TFM: the output needs
+    the auxiliary random sequence, not just the state).
+    """
+
+    next_state: np.ndarray
+    out_x: Optional[np.ndarray] = None
+    out_y: Optional[np.ndarray] = None
+
+
+@dataclass
+class CompiledFSM:
+    """A sequential circuit lowered to transition tables.
+
+    ``tails[r - 1]`` replaces ``steady`` when ``remaining == r`` cycles are
+    left (flush modes only; empty tuple otherwise). ``_composed`` caches
+    the k-step chunk-composition LUTs built by the steppers.
+    """
+
+    name: str
+    n_states: int
+    n_symbols: int
+    initial_state: int
+    steady: TransitionTable
+    tails: Tuple[TransitionTable, ...] = ()
+    outputs: int = 2               # 2 = pair, 1 = single stream, 0 = trajectory-only
+    _composed: Dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+
+# A scalar step function: (state_index, x, y, remaining) ->
+# (next_state_index, out_x, out_y). ``remaining=None`` means "steady
+# state" (flush cannot fire).
+_StepFn = Callable[[int, int, int, Optional[int]], Tuple[int, int, int]]
+
+
+def _build_table(
+    step: _StepFn, n_states: int, n_symbols: int, remaining: Optional[int],
+    *, outputs: int,
+) -> TransitionTable:
+    next_state = np.zeros((n_symbols, n_states), dtype=_STATE_DTYPE)
+    out_x = np.zeros((n_symbols, n_states), dtype=np.uint8) if outputs else None
+    out_y = np.zeros((n_symbols, n_states), dtype=np.uint8) if outputs == 2 else None
+    for sym in range(n_symbols):
+        x, y = (sym >> 1) & 1, sym & 1
+        if n_symbols == 2:          # single-input circuits: symbol IS the bit
+            x, y = sym, 0
+        for s in range(n_states):
+            ns, ox, oy = step(s, x, y, remaining)
+            if not 0 <= ns < n_states:
+                raise AssertionError(
+                    f"step left the state space: {s} -> {ns} (n_states={n_states})"
+                )
+            next_state[sym, s] = ns
+            if out_x is not None:
+                out_x[sym, s] = ox
+            if out_y is not None:
+                out_y[sym, s] = oy
+    return TransitionTable(next_state=next_state, out_x=out_x, out_y=out_y)
+
+
+def _compile(
+    name: str, step: _StepFn, n_states: int, n_symbols: int, initial_state: int,
+    *, max_phase: int = 0, outputs: int = 2,
+) -> CompiledFSM:
+    steady = _build_table(step, n_states, n_symbols, None, outputs=outputs)
+    tails = tuple(
+        _build_table(step, n_states, n_symbols, r, outputs=outputs)
+        for r in range(1, max_phase + 1)
+    )
+    return CompiledFSM(
+        name=name, n_states=n_states, n_symbols=n_symbols,
+        initial_state=initial_state, steady=steady, tails=tails,
+        outputs=outputs,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Per-circuit lowerings. Each scalar step mirrors its circuit's
+# vectorised reference loop line for line; tests/test_kernels.py enforces
+# bit-identical agreement over the full (depth, flush, length, batch)
+# grid.
+# ---------------------------------------------------------------------- #
+
+def _compile_synchronizer(circuit) -> CompiledFSM:
+    depth, flush = circuit.depth, circuit.flush
+    # State index u = s + depth for surplus ledger s in [-depth, depth].
+
+    def step(u: int, x: int, y: int, remaining: Optional[int]):
+        s = u - depth
+        flush_x = flush and remaining is not None and s >= remaining
+        flush_y = flush and remaining is not None and -s >= remaining
+        ox, oy, ns = x, y, s
+        if flush_x:
+            ox, oy, ns = 1, y, s - (1 - x)
+        elif flush_y:
+            ox, oy, ns = x, 1, s + (1 - y)
+        elif x == 1 and y == 0:
+            if s < 0:
+                ox, oy, ns = 1, 1, s + 1      # pair with a saved Y 1
+            elif s < depth:
+                ox, oy, ns = 0, 0, s + 1      # save the X 1
+        elif x == 0 and y == 1:
+            if s > 0:
+                ox, oy, ns = 1, 1, s - 1      # pair with a saved X 1
+            elif s > -depth:
+                ox, oy, ns = 0, 0, s - 1      # save the Y 1
+        return ns + depth, ox, oy
+
+    return _compile(
+        f"sync[{circuit.name}]", step, 2 * depth + 1, 4,
+        circuit._initial_state + depth,
+        max_phase=depth if flush else 0,
+    )
+
+
+def _compile_desynchronizer(circuit) -> CompiledFSM:
+    depth, flush = circuit.depth, circuit.flush
+    # State index u = count * 2 + tag for count in [0, depth], tag in {0, 1}.
+
+    def step(u: int, x: int, y: int, remaining: Optional[int]):
+        count, tag = u >> 1, u & 1
+        flushing = flush and remaining is not None and count >= remaining
+        ox, oy, nc, ntag = x, y, count, tag
+        if flushing:
+            ox, oy = (1, y) if tag == 0 else (x, 1)
+            repaid = x == 0 if tag == 0 else y == 0
+            if repaid:
+                nc, ntag = count - 1, 1 - tag
+        elif x == 1 and y == 1 and count < depth:
+            next_tag = (tag + count) % 2
+            ox, oy = (0, 1) if next_tag == 0 else (1, 0)
+            nc = count + 1
+            if count == 0:
+                ntag = next_tag
+        elif x == 0 and y == 0 and count > 0:
+            if tag == 0:
+                ox = 1
+            else:
+                oy = 1
+            nc, ntag = count - 1, 1 - tag
+        return (nc << 1) | ntag, ox, oy
+
+    return _compile(
+        f"desync[{circuit.name}]", step, 2 * (depth + 1), 4,
+        circuit._first_tag,
+        max_phase=depth if flush else 0,
+    )
+
+
+def _compile_cordiv(circuit) -> CompiledFSM:
+    def step(held: int, x: int, y: int, remaining: Optional[int]):
+        z = x if y == 1 else held
+        return z, z, 0               # held flip-flop tracks the output
+
+    return _compile(
+        "cordiv", step, 2, 4, circuit._initial, outputs=1,
+    )
+
+
+def _compile_ca_adder(circuit) -> CompiledFSM:
+    def step(acc: int, x: int, y: int, remaining: Optional[int]):
+        total = acc + x + y
+        emit = 1 if total >= 2 else 0
+        return total - 2 * emit, emit, 0
+
+    return _compile("ca_adder", step, 2, 4, 0, outputs=1)
+
+
+def _compile_ca_max(circuit) -> Optional[CompiledFSM]:
+    n_states = circuit._limit + 1
+    if n_states > MAX_TABLE_STATES:
+        return None
+    mid = circuit._mid
+
+    def step(counter: int, x: int, y: int, remaining: Optional[int]):
+        out = x if counter >= mid else y
+        return min(max(counter + x - y, 0), n_states - 1), out, 0
+
+    return _compile(
+        f"ca_max[{circuit._bits}b]", step, n_states, 4, mid, outputs=1,
+    )
+
+
+def _compile_tfm(circuit) -> Optional[CompiledFSM]:
+    n_states = circuit._max + 1
+    if n_states > MAX_TABLE_STATES:
+        return None
+    shift, full = circuit._shift, circuit._max
+    # Trajectory-only: the state transition depends on the input bit alone;
+    # the output compares the auxiliary random value against the state and
+    # is applied vectorised over the whole trajectory by the dispatcher.
+
+    def step(est: int, x: int, _y: int, remaining: Optional[int]):
+        if x == 1:
+            delta = (full - est) >> shift
+            if delta == 0 and est < full:
+                delta = 1
+        else:
+            delta = -(est >> shift)
+            if delta == 0 and est > 0:
+                delta = -1
+        return est + delta, 0, 0
+
+    return _compile(
+        f"tfm[{circuit.name}]", step, n_states, 2, circuit._initial, outputs=0,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+
+def _registry() -> Dict[Type, Callable[[object], Optional[CompiledFSM]]]:
+    # Imported lazily so repro.core / repro.arith never need kernels at
+    # module-import time (they call into the dispatcher per evaluation).
+    from ..arith.agnostic import CAAdder, CAMax
+    from ..arith.divide import CorDiv
+    from ..core.desynchronizer import Desynchronizer
+    from ..core.synchronizer import Synchronizer
+    from ..core.tfm import TrackingForecastMemory
+
+    return {
+        Synchronizer: _compile_synchronizer,
+        Desynchronizer: _compile_desynchronizer,
+        CorDiv: _compile_cordiv,
+        CAAdder: _compile_ca_adder,
+        CAMax: _compile_ca_max,
+        TrackingForecastMemory: _compile_tfm,
+    }
+
+
+_REGISTRY: Optional[Dict[Type, Callable]] = None
+
+
+def _compilers() -> Dict[Type, Callable]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _registry()
+    return _REGISTRY
+
+
+def compilable_types() -> Tuple[Type, ...]:
+    """Circuit types with a registered transition-table lowering."""
+    return tuple(_compilers())
+
+
+def compile_transform(circuit) -> Optional[CompiledFSM]:
+    """Lower ``circuit`` to transition tables, or ``None`` if its exact
+    type has no registered lowering (subclasses fall back to the
+    reference loop: an override of ``_process_bits`` semantics must not
+    silently inherit the parent's tables)."""
+    compiler = _compilers().get(type(circuit))
+    if compiler is None:
+        return None
+    return compiler(circuit)

@@ -37,23 +37,52 @@ _JOE_KUO: List[Tuple[int, int, Tuple[int, ...]]] = [
 ]
 
 
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+
+def _popcount64(values: np.ndarray) -> np.ndarray:
+    """Elementwise 64-bit popcount (intrinsic on numpy >= 2, SWAR else)."""
+    v = values.astype(np.uint64)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(v).astype(np.int64)
+    v = v - ((v >> np.uint64(1)) & _M1)
+    v = (v & _M2) + ((v >> np.uint64(2)) & _M2)
+    v = (v + (v >> np.uint64(4))) & _M4
+    return ((v * _H01) >> np.uint64(56)).astype(np.int64)
+
+
+# Direction-number tables are pure functions of (dimension, width); the
+# m-sequence recurrence is short (``width`` terms) but every Sobol
+# instance used to recompute it — and analysis sweeps construct many
+# instances — so the computed tables are memoised here.
+_DIRECTIONS_CACHE: dict = {}
+
+
 def _direction_numbers(dimension: int, width: int) -> np.ndarray:
-    """Compute the ``width`` direction numbers V_k for a dimension."""
-    v = np.zeros(width, dtype=np.int64)
-    if dimension == 0:
-        for k in range(width):
-            v[k] = 1 << (width - 1 - k)
+    """The ``width`` direction numbers V_k for a dimension (cached)."""
+    key = (dimension, width)
+    v = _DIRECTIONS_CACHE.get(key)
+    if v is not None:
         return v
-    s, a, m_init = _JOE_KUO[dimension - 1]
-    m = list(m_init)
-    for k in range(s, width):
-        new = m[k - s] ^ (m[k - s] << s)
-        for i in range(1, s):
-            if (a >> (s - 1 - i)) & 1:
-                new ^= m[k - i] << i
-        m.append(new)
-    for k in range(width):
-        v[k] = m[k] << (width - 1 - k)
+    if dimension == 0:
+        v = np.int64(1) << np.arange(width - 1, -1, -1, dtype=np.int64)
+    else:
+        s, a, m_init = _JOE_KUO[dimension - 1]
+        m = list(m_init)
+        for k in range(s, width):
+            new = m[k - s] ^ (m[k - s] << s)
+            for i in range(1, s):
+                if (a >> (s - 1 - i)) & 1:
+                    new ^= m[k - i] << i
+            m.append(new)
+        v = np.array(m[:width], dtype=np.int64) << np.arange(
+            width - 1, -1, -1, dtype=np.int64
+        )
+    v.setflags(write=False)
+    _DIRECTIONS_CACHE[key] = v
     return v
 
 
@@ -96,12 +125,16 @@ class Sobol(StreamRNG):
 
     def _generate(self, length: int) -> np.ndarray:
         total = self._phase + length
+        # Gray-code stepping, fully vectorised: output t XORs in the
+        # direction number of the lowest zero bit of t-1 — equivalently
+        # the lowest *set* bit of t (``t & -t``), whose index is
+        # ``popcount(lowbit - 1)``. The whole sequence is then one XOR
+        # prefix scan over the selected direction numbers.
+        t = np.arange(1, total, dtype=np.int64)
+        lowbit = t & -t
+        flip = _popcount64(lowbit - 1)
+        np.minimum(flip, self._width - 1, out=flip)
         out = np.empty(total, dtype=np.int64)
-        x = 0
         out[0] = 0
-        for t in range(1, total):
-            # Gray-code increment: flip direction of lowest zero bit of t-1.
-            low_zero = (~(t - 1) & (t)).bit_length() - 1
-            x ^= int(self._directions[min(low_zero, self._width - 1)])
-            out[t] = x
+        np.bitwise_xor.accumulate(self._directions[flip], out=out[1:])
         return out[self._phase :]

@@ -61,7 +61,7 @@ class TestEngineCommands:
         out = capsys.readouterr().out
         assert "execution plan" in out
         assert "level 0" in out
-        assert "fsm:" in out and "packed" in out
+        assert "kernel:" in out and "packed" in out
         assert "plan cache" in out and ("hit" in out or "miss" in out)
         assert "Engine audit" in out
 

@@ -15,7 +15,7 @@ from repro import SCGraph, autofix, engine
 from repro.bitstream.packed import unpack_bits
 from repro.engine.library import GRAPH_LIBRARY, build_graph, depth_chain_graph
 from repro.exceptions import GraphCompilationError
-from repro.graph.nodes import Node
+from repro.graph.nodes import Node, TransformNode
 
 LENGTHS = [7, 64, 100, 256, 333]
 
@@ -195,17 +195,41 @@ class TestPlanAndCache:
 
     def test_domains_and_boundaries(self):
         plan = engine.compile(build_graph("fsm_zoo"))
-        assert set(plan.fsm_nodes) == {
+        assert set(plan.sequential_nodes) == {
             "sync_x", "sync_y", "desync_x", "desync_y", "deco_x", "deco_y",
             "iso_x", "iso_y", "tfm_x", "tfm_y",
         }
+        # Every zoo transform has a time-parallel kernel, so the whole
+        # sequential set lands in the kernel domain and nothing is left
+        # on the per-cycle reference loop.
+        assert set(plan.kernel_nodes) == set(plan.sequential_nodes)
+        assert plan.fsm_nodes == []
         # 5 transform groups, each unpacking 2 operands + repacking 2 ports.
         assert plan.boundary_count == 20
         assert "prod" in plan.packed_nodes
 
+    def test_unkernelized_transform_stays_fsm_domain(self):
+        # A PairTransform subclass the kernel layer has never heard of
+        # must classify as fsm (reference loop), not silently inherit a
+        # parent's tables.
+        from repro.core import Synchronizer
+
+        class Tweaked(Synchronizer):
+            pass
+
+        g = SCGraph()
+        g.source("a", 0.5, "vdc")
+        g.source("b", 0.5, "halton3")
+        shared = {}
+        g.add(TransformNode("t_x", Tweaked(1), ("a", "b"), 0, shared))
+        g.add(TransformNode("t_y", Tweaked(1), ("a", "b"), 1, shared))
+        plan = engine.compile(g)
+        assert plan.fsm_nodes == ["t_x", "t_y"]
+        assert plan.kernel_nodes == []
+
     def test_describe_mentions_domains(self):
         text = engine.compile(build_graph("fsm_zoo")).describe()
-        assert "fsm:" in text and "packed" in text and "level 0" in text
+        assert "kernel:" in text and "packed" in text and "level 0" in text
 
     def test_cache_hit_for_equal_structure(self):
         engine.clear_cache()

@@ -39,7 +39,7 @@ class TestSubpackageSurfaces:
         ["repro.bitstream", "repro.rng", "repro.convert", "repro.arith",
          "repro.core", "repro.hardware", "repro.pipeline", "repro.analysis",
          "repro.rtl", "repro.graph", "repro.apps", "repro.faults",
-         "repro.cli"],
+         "repro.cli", "repro.kernels"],
     )
     def test_subpackage_all_accurate(self, module):
         mod = importlib.import_module(module)
@@ -52,7 +52,8 @@ class TestSubpackageSurfaces:
         for module in ("repro", "repro.bitstream", "repro.rng", "repro.convert",
                        "repro.arith", "repro.core", "repro.hardware",
                        "repro.pipeline", "repro.analysis", "repro.rtl",
-                       "repro.graph", "repro.apps", "repro.faults", "repro.cli"):
+                       "repro.graph", "repro.apps", "repro.faults", "repro.cli",
+                       "repro.kernels"):
             mod = importlib.import_module(module)
             assert mod.__doc__ and len(mod.__doc__.strip()) > 20, module
 
