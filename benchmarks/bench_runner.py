@@ -1,0 +1,86 @@
+"""Bench: the experiment runner itself — cold scheduling vs cached
+replay, parallel shard execution, and store-backed artifact regeneration.
+
+Floors enforced here:
+
+* a second ``run all`` against a warm store must be >= 10x faster than
+  the cold run (it executes nothing — every shard is a cache hit);
+* with >= 4 CPUs available, ``--jobs 4`` must beat serial by >= 3x on the
+  smoke suite (skipped on smaller machines — same stance as the other
+  wall-clock floors: shared CI runners get continue-on-error);
+* tables regenerated from the store are byte-identical to rendering the
+  in-memory results.
+"""
+
+import os
+import time
+
+import pytest
+
+import _snapshot
+
+from repro.runner import ResultStore, load_results, run_all, write_archives
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity
+        return os.cpu_count() or 1
+
+
+def test_cached_replay_floor(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    started = time.perf_counter()
+    run_all(fidelity="smoke", store=store, log=None)
+    cold = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reports = run_all(fidelity="smoke", store=store, log=None)
+    warm = time.perf_counter() - started
+
+    assert all(r.all_from_cache for r in reports)
+    speedup = cold / warm
+    _snapshot.add_entry(
+        "runner", op="smoke_cold_vs_cached", wall_ms=warm * 1e3,
+        config={"fidelity": "smoke", "cold_ms": round(cold * 1e3, 3)},
+        speedup=speedup,
+    )
+    print(f"\nrunner smoke: cold {cold:.2f}s, cached replay {warm:.3f}s "
+          f"({speedup:.1f}x)")
+    assert speedup >= 10.0, (
+        f"cached replay should be >= 10x faster, got {speedup:.1f}x"
+    )
+
+
+@pytest.mark.skipif(_cpus() < 4, reason="parallel speedup floor needs >= 4 CPUs")
+def test_parallel_speedup_floor(tmp_path):
+    started = time.perf_counter()
+    run_all(fidelity="smoke", jobs=1, store=ResultStore(tmp_path / "serial"), log=None)
+    serial = time.perf_counter() - started
+
+    started = time.perf_counter()
+    run_all(fidelity="smoke", jobs=4, store=ResultStore(tmp_path / "par"), log=None)
+    parallel = time.perf_counter() - started
+
+    speedup = serial / parallel
+    _snapshot.add_entry(
+        "runner", op="smoke_jobs4_vs_serial", wall_ms=parallel * 1e3,
+        config={"fidelity": "smoke", "jobs": 4,
+                "serial_ms": round(serial * 1e3, 3)},
+        speedup=speedup,
+    )
+    print(f"\nrunner smoke: serial {serial:.2f}s, jobs=4 {parallel:.2f}s "
+          f"({speedup:.1f}x)")
+    assert speedup >= 3.0, f"expected >= 3x at --jobs 4, got {speedup:.1f}x"
+
+
+def test_store_regeneration_is_byte_identical(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    reports = run_all(fidelity="smoke", store=store, log=None)
+    out_dir = tmp_path / "archives"
+    results = load_results(store, fidelity="smoke")
+    assert write_archives(results, out_dir, log=None) == 0
+    for report in reports:
+        regenerated = (out_dir / f"{report.spec}.txt").read_text()
+        assert regenerated == report.result.to_text() + "\n", report.spec

@@ -1,11 +1,28 @@
 """Bench: paper Table III — accuracy, bias, area, power, energy of the
-five max/min designs over the exhaustive VDC x Halton-3 input sweep."""
+five max/min designs over the exhaustive VDC x Halton-3 input sweep.
 
-from repro.analysis import table3
+Routed through :mod:`repro.runner`: the five designs are independent
+shards (each one batched packed pass) scheduled onto ``REPRO_BENCH_JOBS``
+workers and archived in the session's content-addressed store.
+"""
+
+import os
+
+from repro.runner import run_spec
 
 
-def test_table3_maxmin_designs(benchmark, record_result):
-    result = benchmark.pedantic(
-        table3, kwargs={"n": 256, "step": 1}, rounds=1, iterations=1
+def test_table3_maxmin_designs(benchmark, record_result, runner_store):
+    report = benchmark.pedantic(
+        run_spec,
+        args=("table3",),
+        kwargs={
+            "fidelity": "exhaustive",
+            "store": runner_store,
+            "jobs": int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+            "log": None,
+        },
+        rounds=1,
+        iterations=1,
     )
-    record_result(result)
+    assert report.computed == report.shard_count, "timed run must not be cached"
+    record_result(report.result)

@@ -39,6 +39,20 @@ def pytest_sessionfinish(session, exitstatus):
     _snapshot.write_all()
 
 
+@pytest.fixture(scope="session")
+def runner_store(tmp_path_factory):
+    """A fresh content-addressed result store for runner-routed benches.
+
+    Session-scoped and empty at start, so the timed region really
+    computes (no cache hits from earlier runs) while benches within one
+    session share payloads — and ``repro report`` can regenerate every
+    archived table from it afterwards.
+    """
+    from repro.runner import ResultStore
+
+    return ResultStore(tmp_path_factory.mktemp("repro-store"))
+
+
 @pytest.fixture
 def record_result():
     """Persist and echo an ExperimentResult produced inside a benchmark."""

@@ -31,7 +31,9 @@ builds on and contributes to:
   sorters) built from the improved operators;
 * :mod:`repro.faults` — bit-flip injection (SC vs binary error
   tolerance);
-* :mod:`repro.cli` — ``python -m repro {list,run,all,costs}``.
+* :mod:`repro.runner` — declarative experiment orchestration: specs ->
+  shards -> process pool -> content-addressed result store -> reports;
+* :mod:`repro.cli` — ``python -m repro {list,run,all,report,costs}``.
 
 Quickstart::
 
@@ -97,10 +99,11 @@ from .graph import AutofixReport, SCGraph, autofix
 from .rng import LFSR, CounterRNG, Halton, Sobol, StreamRNG, SystemRNG, VanDerCorput, make_rng
 
 # Imported last: the engine consumes the graph layer above; the kernel
-# layer compiles the core/arith circuits it is imported after.
-from . import engine, kernels
+# layer compiles the core/arith circuits it is imported after; the runner
+# orchestrates the analysis layer on top of everything.
+from . import engine, kernels, runner
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

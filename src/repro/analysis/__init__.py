@@ -26,6 +26,7 @@ from .sweeps import (
     generate_level_batch,
     generate_pair_batch,
     measure_pair_transform,
+    pair_count,
     pair_levels,
 )
 from .tables import format_number, render_table
@@ -52,6 +53,7 @@ __all__ = [
     "PairSweepResult",
     "exhaustive_levels",
     "pair_levels",
+    "pair_count",
     "generate_level_batch",
     "generate_pair_batch",
     "measure_pair_transform",

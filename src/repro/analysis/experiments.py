@@ -18,12 +18,23 @@ Index (see DESIGN.md section 4):
 ``claims``     the prose claims (5.6x/10.7x, 5.2x/11.6x, 3.0x, 24%, 2x)
 ``ablation_*`` save depth / composition / buffer depth studies
 =============  ========================================================
+
+Sharding: the sweep-shaped experiments are factored into top-level
+``_<name>_shard`` functions (one *configuration* of the sweep — one
+batched packed/kernel pass — per call, picklable for worker processes)
+and ``_<name>_merge`` functions that assemble shard payloads into the
+final :class:`ExperimentResult` (rows in registry order, cross-shard
+shape checks). The public functions are thin serial wrappers over
+shard+merge, so ``table2()`` et al. behave exactly as before;
+:mod:`repro.runner` schedules the same shards across processes and
+caches their payloads in the content-addressed result store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -161,66 +172,87 @@ def fig1() -> ExperimentResult:
 # Fig. 2 — operator accuracy under required vs. wrong correlation
 # ---------------------------------------------------------------------- #
 
-def fig2(n: int = 256, step: int = 4) -> ExperimentResult:
-    """Every Fig. 2 operator, right-correlation MAE vs. wrong-correlation.
+_FIG2_ROWS = ("a", "b", "c", "d", "e")
 
-    "Right" and "wrong" operand correlations are produced the hardware way:
-    shared RNG sequence (SCC=+1), complemented comparator (SCC=-1), or
-    independent low-discrepancy RNGs (SCC~0). Gate sweeps run on the
-    packed backend; only CORDIV (sequential) stays on unpacked bits.
-    """
+
+@lru_cache(maxsize=2)
+def _fig2_operands(n: int, step: int):
+    """The operand batches the Fig. 2 rows share, built once per process
+    (exactly the set the serial implementation used to build up front):
+    uncorrelated, shared-sequence (SCC=+1) and complemented (SCC=-1)
+    pairings of the exhaustive level grid."""
     xs, ys = pair_levels(n, step)
-    px, py = xs / n, ys / n
     vdc = lambda: make_rng("vdc")  # noqa: E731
-    hal = lambda: make_rng("halton3")  # noqa: E731
 
     x_u = generate_level_batch(xs, vdc(), n)
-    y_u = generate_level_batch(ys, hal(), n)           # uncorrelated with x_u
-    y_p = generate_level_batch(ys, vdc(), n)           # shared sequence: SCC=+1
+    y_u = generate_level_batch(ys, make_rng("halton3"), n)   # uncorrelated with x_u
+    y_p = generate_level_batch(ys, vdc(), n)                 # shared sequence: SCC=+1
     seq = vdc().sequence(n)
     y_n = (ys[:, None] > (n - 1 - seq[None, :])).astype(np.uint8)  # complemented: SCC=-1
-    xq = PackedBitstreamBatch.pack(x_u)
-    yq_u = PackedBitstreamBatch.pack(y_u)
-    yq_p = PackedBitstreamBatch.pack(y_p)
-    yq_n = PackedBitstreamBatch.pack(y_n)
+    return {
+        "xs": xs, "ys": ys,
+        "x_u": x_u, "y_u": y_u, "y_p": y_p,
+        "xq": PackedBitstreamBatch.pack(x_u),
+        "yq_u": PackedBitstreamBatch.pack(y_u),
+        "yq_p": PackedBitstreamBatch.pack(y_p),
+        "yq_n": PackedBitstreamBatch.pack(y_n),
+    }
+
+
+def _fig2_shard(row: str, *, n: int = 256, step: int = 4) -> dict:
+    """One Fig. 2 operator row — one batched pass over the operand set."""
+    ops = _fig2_operands(n, step)
+    xs, ys = ops["xs"], ops["ys"]
+    px, py = xs / n, ys / n
+    xq, yq_u, yq_p, yq_n = ops["xq"], ops["yq_u"], ops["yq_p"], ops["yq_n"]
 
     def mae(packed, expected):
         return float(np.abs(packed.values - expected).mean())
 
-    rows = []
-    # (a) scaled add: select must be uncorrelated with data.
-    sel_good = PackedBitstreamBatch.pack(
-        generate_level_batch(np.full(1, n // 2), make_rng("halton5"), n)
-    )
-    sel_bad = PackedBitstreamBatch.pack(
-        generate_level_batch(np.full(1, n // 2), vdc(), n)  # = X's RNG
-    )
-    expected = 0.5 * (px + py)
-    rows.append(["(a) add (MUX)", "select uncorr",
+    if row == "a":
+        # (a) scaled add: select must be uncorrelated with data.
+        sel_good = PackedBitstreamBatch.pack(
+            generate_level_batch(np.full(1, n // 2), make_rng("halton5"), n)
+        )
+        sel_bad = PackedBitstreamBatch.pack(
+            generate_level_batch(np.full(1, n // 2), make_rng("vdc"), n)  # = X's RNG
+        )
+        expected = 0.5 * (px + py)
+        cells = ["(a) add (MUX)", "select uncorr",
                  mae(batch_mux(sel_good, xq, yq_u), expected),
-                 mae(batch_mux(sel_bad, xq, yq_u), expected)])
-    # (b) saturating add: needs SCC=-1.
-    expected = np.minimum(1.0, px + py)
-    rows.append(["(b) saturating add (OR)", "SCC=-1",
-                 mae(xq | yq_n, expected), mae(xq | yq_p, expected)])
-    # (c) subtract: needs SCC=+1.
-    expected = np.abs(px - py)
-    rows.append(["(c) subtract (XOR)", "SCC=+1",
-                 mae(xq ^ yq_p, expected), mae(xq ^ yq_u, expected)])
-    # (d) multiply: needs SCC=0.
-    expected = px * py
-    rows.append(["(d) multiply (AND)", "SCC=0",
-                 mae(xq & yq_u, expected), mae(xq & yq_p, expected)])
-    # (e) divide: needs SCC=+1 (evaluated where px <= py, py > 0).
-    div = CorDiv()
-    mask = (xs <= ys) & (ys > 0)
-    expected = np.where(ys > 0, xs / np.maximum(ys, 1), 0.0)[mask]
-    good = div.compute(x_u[mask], y_p[mask]).mean(axis=1)
-    bad = div.compute(x_u[mask], y_u[mask]).mean(axis=1)
-    rows.append(["(e) divide (CORDIV)", "SCC=+1",
+                 mae(batch_mux(sel_bad, xq, yq_u), expected)]
+    elif row == "b":
+        # (b) saturating add: needs SCC=-1.
+        expected = np.minimum(1.0, px + py)
+        cells = ["(b) saturating add (OR)", "SCC=-1",
+                 mae(xq | yq_n, expected), mae(xq | yq_p, expected)]
+    elif row == "c":
+        # (c) subtract: needs SCC=+1.
+        expected = np.abs(px - py)
+        cells = ["(c) subtract (XOR)", "SCC=+1",
+                 mae(xq ^ yq_p, expected), mae(xq ^ yq_u, expected)]
+    elif row == "d":
+        # (d) multiply: needs SCC=0.
+        expected = px * py
+        cells = ["(d) multiply (AND)", "SCC=0",
+                 mae(xq & yq_u, expected), mae(xq & yq_p, expected)]
+    elif row == "e":
+        # (e) divide: needs SCC=+1 (evaluated where px <= py, py > 0).
+        div = CorDiv()
+        mask = (xs <= ys) & (ys > 0)
+        expected = np.where(ys > 0, xs / np.maximum(ys, 1), 0.0)[mask]
+        good = div.compute(ops["x_u"][mask], ops["y_p"][mask]).mean(axis=1)
+        bad = div.compute(ops["x_u"][mask], ops["y_u"][mask]).mean(axis=1)
+        cells = ["(e) divide (CORDIV)", "SCC=+1",
                  float(np.abs(good - expected).mean()),
-                 float(np.abs(bad - expected).mean())])
+                 float(np.abs(bad - expected).mean())]
+    else:
+        raise ValueError(f"unknown fig2 row {row!r}")
+    return {"row": row, "cells": cells}
 
+
+def _fig2_merge(params: dict, payloads: List[dict]) -> ExperimentResult:
+    rows = [p["cells"] for p in payloads]
     checks = {f"row{i}_right_better": row[2] < row[3] for i, row in enumerate(rows)}
     notes = (
         "Each operator is accurate under its required operand correlation and\n"
@@ -235,6 +267,18 @@ def fig2(n: int = 256, step: int = 4) -> ExperimentResult:
         notes=notes,
         checks=checks,
     )
+
+
+def fig2(n: int = 256, step: int = 4) -> ExperimentResult:
+    """Every Fig. 2 operator, right-correlation MAE vs. wrong-correlation.
+
+    "Right" and "wrong" operand correlations are produced the hardware way:
+    shared RNG sequence (SCC=+1), complemented comparator (SCC=-1), or
+    independent low-discrepancy RNGs (SCC~0). Gate sweeps run on the
+    packed backend; only CORDIV (sequential) stays on unpacked bits.
+    """
+    payloads = [_fig2_shard(row, n=n, step=step) for row in _FIG2_ROWS]
+    return _fig2_merge({"n": n, "step": step}, payloads)
 
 
 # ---------------------------------------------------------------------- #
@@ -276,38 +320,56 @@ def _table2_transform(design: str):
     raise ValueError(f"unknown Table II design {design!r}")
 
 
-def table2(n: int = 256, step: int = 1) -> ExperimentResult:
-    """SCC before/after each circuit for the paper's RNG configurations."""
+def _table2_shard(config: Sequence[str], *, n: int = 256, step: int = 1) -> dict:
+    """One Table II configuration — one batched kernel pass over the
+    exhaustive level-pair sweep for ``(design, rng_x, rng_y)``."""
+    design, rng_x, rng_y = config
+    result = measure_pair_transform(
+        _table2_transform(design), rng_x, rng_y, n=n, step=step, design_name=design
+    )
+    return {
+        "design": design,
+        "rng_x": rng_x,
+        "rng_y": rng_y,
+        "input_scc": result.input_scc,
+        "output_scc": result.output_scc,
+        "bias_x": result.bias_x,
+        "bias_y": result.bias_y,
+    }
+
+
+def _table2_merge(params: dict, payloads: List[dict]) -> ExperimentResult:
+    n = params.get("n", 256)
+    step = params.get("step", 1)
     rows = []
     checks: Dict[str, bool] = {}
     decorrelator_scc: Dict[str, float] = {}
-    for (design, rng_x, rng_y), paper in _TABLE2_PAPER.items():
-        result = measure_pair_transform(
-            _table2_transform(design), rng_x, rng_y, n=n, step=step, design_name=design
-        )
+    for payload in payloads:
+        design, rng_x, rng_y = payload["design"], payload["rng_x"], payload["rng_y"]
+        paper = _TABLE2_PAPER[(design, rng_x, rng_y)]
         rows.append(
             [design, rng_x, rng_y,
-             round(result.input_scc, 3), round(result.output_scc, 3),
-             round(result.bias_x, 3), round(result.bias_y, 3),
+             round(payload["input_scc"], 3), round(payload["output_scc"], 3),
+             round(payload["bias_x"], 3), round(payload["bias_y"], 3),
              paper[0], paper[1]]
         )
         key = f"{design}/{rng_x}+{rng_y}"
         if design == "synchronizer":
             # Config-aware threshold: within 0.12 of the published value
             # (the LFSR configuration is genuinely weaker, as in the paper).
-            checks[key] = result.output_scc > paper[1] - 0.12
+            checks[key] = payload["output_scc"] > paper[1] - 0.12
         elif design == "desynchronizer":
-            checks[key] = result.output_scc < paper[1] + 0.12
+            checks[key] = payload["output_scc"] < paper[1] + 0.12
         elif design == "decorrelator":
-            decorrelator_scc[rng_x] = result.output_scc
-            checks[key] = abs(result.output_scc) < 0.45 and abs(result.bias_x) < 0.01
+            decorrelator_scc[rng_x] = payload["output_scc"]
+            checks[key] = abs(payload["output_scc"]) < 0.45 and abs(payload["bias_x"]) < 0.01
         elif design == "isolator":
-            checks[key] = abs(result.output_scc) < abs(result.input_scc)
+            checks[key] = abs(payload["output_scc"]) < abs(payload["input_scc"])
         else:
             # The paper's comparative claim: the TFM is a *worse*
             # decorrelator than the shuffle-buffer design — it leaves the
             # pair substantially more correlated.
-            checks[key] = result.output_scc > decorrelator_scc.get(rng_x, 0.0) + 0.1
+            checks[key] = payload["output_scc"] > decorrelator_scc.get(rng_x, 0.0) + 0.1
     notes = (
         "Shape targets: synchronizer -> SCC ~ +1, desynchronizer -> SCC ~ -1,\n"
         "decorrelator -> SCC ~ 0 with tiny bias; isolator erratic; TFM weaker\n"
@@ -324,6 +386,12 @@ def table2(n: int = 256, step: int = 1) -> ExperimentResult:
     )
 
 
+def table2(n: int = 256, step: int = 1) -> ExperimentResult:
+    """SCC before/after each circuit for the paper's RNG configurations."""
+    payloads = [_table2_shard(config, n=n, step=step) for config in _TABLE2_PAPER]
+    return _table2_merge({"n": n, "step": step}, payloads)
+
+
 # ---------------------------------------------------------------------- #
 # Table III — max/min designs
 # ---------------------------------------------------------------------- #
@@ -337,40 +405,70 @@ _TABLE3_PAPER = {
 }
 
 
-def table3(n: int = 256, step: int = 1) -> ExperimentResult:
-    """Accuracy + hardware cost of the max/min designs (VDC x Halton-3
-    exhaustive inputs, the paper's Table III protocol).
+_TABLE3_DESIGNS = ("OR max", "CA max", "Sync max", "AND min", "Sync min")
 
-    Operands are handed to every design packed: the single-gate designs
-    (OR max / AND min) compute word-parallel, while the sequential CA and
-    synchronizer designs unpack at their input boundary and repack on the
-    way out (:mod:`repro.arith._coerce`). Values come from popcounts.
-    """
+
+def _table3_design(name: str):
+    """(operator, wants_max, netlist) for one Table III design."""
+    if name == "OR max":
+        return OrMax(), True, components.or_gate()
+    if name == "CA max":
+        return CAMax(counter_bits=6), True, components.ca_max()
+    if name == "Sync max":
+        return SyncMax(depth=1), True, components.sync_max()
+    if name == "AND min":
+        return AndMin(), False, components.and_gate()
+    if name == "Sync min":
+        return SyncMin(depth=1), False, components.sync_min()
+    raise ValueError(f"unknown Table III design {name!r}")
+
+
+@lru_cache(maxsize=2)
+def _table3_operands(n: int, step: int):
+    """The exhaustive operand batch every Table III design consumes.
+
+    Memoized per process so consecutive shards — serial wrapper or
+    pool-worker alike — pay the (pairs, N) generation and packing once.
+    The batches are treated as immutable by every design (the sequential
+    ones unpack copies at their input boundary)."""
     xs, ys = pair_levels(n, step)
     x = PackedBitstreamBatch.pack(generate_level_batch(xs, make_rng("vdc"), n))
     y = PackedBitstreamBatch.pack(generate_level_batch(ys, make_rng("halton3"), n))
-    exp_max = np.maximum(xs, ys) / n
-    exp_min = np.minimum(xs, ys) / n
+    return xs, ys, x, y
 
-    designs = [
-        ("OR max", OrMax(), exp_max, components.or_gate()),
-        ("CA max", CAMax(counter_bits=6), exp_max, components.ca_max()),
-        ("Sync max", SyncMax(depth=1), exp_max, components.sync_max()),
-        ("AND min", AndMin(), exp_min, components.and_gate()),
-        ("Sync min", SyncMin(depth=1), exp_min, components.sync_min()),
-    ]
+
+def _table3_shard(design: str, *, n: int = 256, step: int = 1) -> dict:
+    """One Table III design — one batched packed pass over the exhaustive
+    VDC x Halton-3 operand sweep plus the hardware cost model."""
+    xs, ys, x, y = _table3_operands(n, step)
+    op, wants_max, netlist = _table3_design(design)
+    expected = (np.maximum(xs, ys) if wants_max else np.minimum(xs, ys)) / n
+
+    values = op.compute(x, y).values
+    abs_err = float(np.abs(values - expected).mean())
+    avg_bias = float((values - expected).mean())
+    cost = report(netlist)
+    energy = cost.energy_pj(n)
+    return {
+        "design": design,
+        "abs_err": abs_err,
+        "avg_bias": avg_bias,
+        "area_um2": cost.area_um2,
+        "power_uw": cost.power_uw,
+        "energy_pj": energy,
+    }
+
+
+def _table3_merge(params: dict, payloads: List[dict]) -> ExperimentResult:
+    n = params.get("n", 256)
+    step = params.get("step", 1)
     rows = []
     measured: Dict[str, tuple] = {}
-    for name, op, expected, netlist in designs:
-        values = op.compute(x, y).values
-        abs_err = float(np.abs(values - expected).mean())
-        avg_bias = float((values - expected).mean())
-        cost = report(netlist)
-        energy = cost.energy_pj(n)
-        paper = _TABLE3_PAPER[name]
-        rows.append([name, abs_err, avg_bias, cost.area_um2, cost.power_uw, energy,
-                     paper[0], paper[2], paper[4]])
-        measured[name] = (abs_err, cost.area_um2, energy)
+    for p in payloads:
+        paper = _TABLE3_PAPER[p["design"]]
+        rows.append([p["design"], p["abs_err"], p["avg_bias"], p["area_um2"],
+                     p["power_uw"], p["energy_pj"], paper[0], paper[2], paper[4]])
+        measured[p["design"]] = (p["abs_err"], p["area_um2"], p["energy_pj"])
 
     checks = {
         "sync_max_beats_or": measured["Sync max"][0] < measured["OR max"][0] / 5,
@@ -394,6 +492,19 @@ def table3(n: int = 256, step: int = 1) -> ExperimentResult:
     )
 
 
+def table3(n: int = 256, step: int = 1) -> ExperimentResult:
+    """Accuracy + hardware cost of the max/min designs (VDC x Halton-3
+    exhaustive inputs, the paper's Table III protocol).
+
+    Operands are handed to every design packed: the single-gate designs
+    (OR max / AND min) compute word-parallel, while the sequential CA and
+    synchronizer designs unpack at their input boundary and repack on the
+    way out (:mod:`repro.arith._coerce`). Values come from popcounts.
+    """
+    payloads = [_table3_shard(design, n=n, step=step) for design in _TABLE3_DESIGNS]
+    return _table3_merge({"n": n, "step": step}, payloads)
+
+
 # ---------------------------------------------------------------------- #
 # Table IV — image pipeline
 # ---------------------------------------------------------------------- #
@@ -405,26 +516,39 @@ _TABLE4_PAPER = {
 }
 
 
-def table4(image_size: int = 32, stream_length: int = 256) -> ExperimentResult:
-    """The GB -> ED accelerator: quality, area, energy per variant,
-    averaged over the standard synthetic image set."""
+_TABLE4_VARIANTS = ("none", "regeneration", "synchronizer")
+
+
+def _table4_shard(variant: str, *, image_size: int = 32, stream_length: int = 256) -> dict:
+    """One accelerator variant over the standard synthetic image set."""
     images = standard_test_images(image_size)
+    acc = SCAccelerator(
+        AcceleratorConfig(variant=variant, stream_length=stream_length)
+    )
+    maes = []
+    last = None
+    for image in images.values():
+        last = acc.process(image)
+        maes.append(last.mean_abs_error)
+    return {
+        "variant": variant,
+        "mean_mae": float(np.mean(maes)),
+        "area_um2": last.area_um2,
+        "energy_per_frame_nj": last.energy_per_frame_nj,
+    }
+
+
+def _table4_merge(params: dict, payloads: List[dict]) -> ExperimentResult:
+    image_size = params.get("image_size", 32)
+    stream_length = params.get("stream_length", 256)
     rows = [["floating point", 0.0, None, None, 0.0, None, None]]
     results = {}
-    for variant in ("none", "regeneration", "synchronizer"):
-        acc = SCAccelerator(
-            AcceleratorConfig(variant=variant, stream_length=stream_length)
-        )
-        maes = []
-        last = None
-        for image in images.values():
-            last = acc.process(image)
-            maes.append(last.mean_abs_error)
-        mean_mae = float(np.mean(maes))
-        results[variant] = (mean_mae, last.area_um2, last.energy_per_frame_nj)
+    for p in payloads:
+        variant = p["variant"]
+        results[variant] = (p["mean_mae"], p["area_um2"], p["energy_per_frame_nj"])
         paper = _TABLE4_PAPER[variant]
-        rows.append([f"SC {variant}", mean_mae, last.area_um2,
-                     last.energy_per_frame_nj, paper[0], paper[1], paper[2]])
+        rows.append([f"SC {variant}", p["mean_mae"], p["area_um2"],
+                     p["energy_per_frame_nj"], paper[0], paper[1], paper[2]])
 
     checks = {
         "manipulation_improves_quality": results["synchronizer"][0] < results["none"][0] / 2
@@ -448,6 +572,18 @@ def table4(image_size: int = 32, stream_length: int = 256) -> ExperimentResult:
         rows=rows,
         notes=notes,
         checks=checks,
+    )
+
+
+def table4(image_size: int = 32, stream_length: int = 256) -> ExperimentResult:
+    """The GB -> ED accelerator: quality, area, energy per variant,
+    averaged over the standard synthetic image set."""
+    payloads = [
+        _table4_shard(variant, image_size=image_size, stream_length=stream_length)
+        for variant in _TABLE4_VARIANTS
+    ]
+    return _table4_merge(
+        {"image_size": image_size, "stream_length": stream_length}, payloads
     )
 
 
@@ -501,16 +637,22 @@ def claims() -> ExperimentResult:
 # Ablations (paper Sections III-B / III-C)
 # ---------------------------------------------------------------------- #
 
-def ablation_save_depth(n: int = 256, step: int = 4, depths=(1, 2, 4, 8)) -> ExperimentResult:
-    """Deeper FSMs: stronger correlation but more hardware (III-B)."""
-    rows = []
-    for depth in depths:
-        sync = measure_pair_transform(Synchronizer(depth=depth), "lfsr", "vdc", n=n, step=step)
-        desync = measure_pair_transform(Desynchronizer(depth=depth), "lfsr", "vdc", n=n, step=step)
-        sync_cost = report(components.synchronizer(depth))
-        rows.append([depth, round(sync.output_scc, 3), round(sync.bias_x, 4),
-                     round(desync.output_scc, 3), round(desync.bias_x, 4),
-                     sync_cost.area_um2, sync_cost.power_uw])
+def _ablation_save_depth_shard(depth: int, *, n: int = 256, step: int = 4) -> dict:
+    """One FSM save depth: sync + desync sweeps plus the cost model."""
+    sync = measure_pair_transform(Synchronizer(depth=depth), "lfsr", "vdc", n=n, step=step)
+    desync = measure_pair_transform(Desynchronizer(depth=depth), "lfsr", "vdc", n=n, step=step)
+    sync_cost = report(components.synchronizer(depth))
+    return {
+        "depth": depth,
+        "row": [depth, round(sync.output_scc, 3), round(sync.bias_x, 4),
+                round(desync.output_scc, 3), round(desync.bias_x, 4),
+                sync_cost.area_um2, sync_cost.power_uw],
+    }
+
+
+def _ablation_save_depth_merge(params: dict, payloads: List[dict]) -> ExperimentResult:
+    n = params.get("n", 256)
+    rows = [p["row"] for p in payloads]
     sccs = [row[1] for row in rows]
     areas = [row[5] for row in rows]
     checks = {
@@ -527,16 +669,27 @@ def ablation_save_depth(n: int = 256, step: int = 4, depths=(1, 2, 4, 8)) -> Exp
     )
 
 
-def ablation_composition(n: int = 256, step: int = 4, stages=(1, 2, 3, 4)) -> ExperimentResult:
-    """Series composition of D=1 FSMs (III-B): diminishing returns toward
-    maximal correlation, with compounding bias."""
-    rows = []
-    for k in stages:
-        sync = SeriesPair([Synchronizer(depth=1) for _ in range(k)])
-        result = measure_pair_transform(sync, "lfsr", "vdc", n=n, step=step,
-                                        design_name=f"sync x{k}")
-        rows.append([k, round(result.input_scc, 3), round(result.output_scc, 3),
-                     round(result.bias_x, 4), round(result.bias_y, 4)])
+def ablation_save_depth(n: int = 256, step: int = 4, depths=(1, 2, 4, 8)) -> ExperimentResult:
+    """Deeper FSMs: stronger correlation but more hardware (III-B)."""
+    payloads = [_ablation_save_depth_shard(d, n=n, step=step) for d in depths]
+    return _ablation_save_depth_merge({"n": n, "step": step, "depths": depths}, payloads)
+
+
+def _ablation_composition_shard(stages: int, *, n: int = 256, step: int = 4) -> dict:
+    """One series-composition length k."""
+    sync = SeriesPair([Synchronizer(depth=1) for _ in range(stages)])
+    result = measure_pair_transform(sync, "lfsr", "vdc", n=n, step=step,
+                                    design_name=f"sync x{stages}")
+    return {
+        "stages": stages,
+        "row": [stages, round(result.input_scc, 3), round(result.output_scc, 3),
+                round(result.bias_x, 4), round(result.bias_y, 4)],
+    }
+
+
+def _ablation_composition_merge(params: dict, payloads: List[dict]) -> ExperimentResult:
+    n = params.get("n", 256)
+    rows = [p["row"] for p in payloads]
     sccs = [row[2] for row in rows]
     checks = {
         "composition_improves_scc": sccs[-1] > sccs[0],
@@ -551,17 +704,29 @@ def ablation_composition(n: int = 256, step: int = 4, stages=(1, 2, 3, 4)) -> Ex
     )
 
 
-def ablation_buffer_depth(n: int = 256, step: int = 4, depths=(2, 4, 8, 16)) -> ExperimentResult:
-    """Decorrelator shuffle-buffer depth and init policy (III-C)."""
+def ablation_composition(n: int = 256, step: int = 4, stages=(1, 2, 3, 4)) -> ExperimentResult:
+    """Series composition of D=1 FSMs (III-B): diminishing returns toward
+    maximal correlation, with compounding bias."""
+    payloads = [_ablation_composition_shard(k, n=n, step=step) for k in stages]
+    return _ablation_composition_merge({"n": n, "step": step, "stages": stages}, payloads)
+
+
+def _ablation_buffer_depth_shard(depth: int, *, n: int = 256, step: int = 4) -> dict:
+    """One shuffle-buffer depth, both init policies."""
     rows = []
-    for depth in depths:
-        for init in ("half_ones", "zeros"):
-            deco = Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=depth, init=init)
-            result = measure_pair_transform(deco, "lfsr", "lfsr", n=n, step=step,
-                                            design_name=f"decorr D={depth} {init}")
-            rows.append([depth, init, round(result.input_scc, 3),
-                         round(result.output_scc, 3), round(result.bias_x, 4),
-                         round(result.bias_y, 4)])
+    for init in ("half_ones", "zeros"):
+        deco = Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=depth, init=init)
+        result = measure_pair_transform(deco, "lfsr", "lfsr", n=n, step=step,
+                                        design_name=f"decorr D={depth} {init}")
+        rows.append([depth, init, round(result.input_scc, 3),
+                     round(result.output_scc, 3), round(result.bias_x, 4),
+                     round(result.bias_y, 4)])
+    return {"depth": depth, "rows": rows}
+
+
+def _ablation_buffer_depth_merge(params: dict, payloads: List[dict]) -> ExperimentResult:
+    n = params.get("n", 256)
+    rows = [row for p in payloads for row in p["rows"]]
     half_rows = [r for r in rows if r[1] == "half_ones"]
     zero_rows = [r for r in rows if r[1] == "zeros"]
     checks = {
@@ -578,14 +743,21 @@ def ablation_buffer_depth(n: int = 256, step: int = 4, depths=(2, 4, 8, 16)) -> 
     )
 
 
+def ablation_buffer_depth(n: int = 256, step: int = 4, depths=(2, 4, 8, 16)) -> ExperimentResult:
+    """Decorrelator shuffle-buffer depth and init policy (III-C)."""
+    payloads = [_ablation_buffer_depth_shard(d, n=n, step=step) for d in depths]
+    return _ablation_buffer_depth_merge({"n": n, "step": step, "depths": depths}, payloads)
+
+
 def fault_tolerance(
-    rates=(0.0, 0.001, 0.005, 0.01, 0.05, 0.1), trials: int = 256
+    rates=(0.0, 0.001, 0.005, 0.01, 0.05, 0.1), trials: int = 256,
+    seed: Optional[int] = None,
 ) -> ExperimentResult:
     """SC vs binary error tolerance under bit flips (the paper's intro
     claim: "improved error tolerance")."""
     from ..faults import fault_sweep
 
-    points = fault_sweep(rates=rates, trials=trials, seed=7)
+    points = fault_sweep(rates=rates, trials=trials, seed=7 if seed is None else seed)
     rows = [p.as_row() for p in points]
     nonzero = [p for p in points if p.rate > 0]
     checks = {

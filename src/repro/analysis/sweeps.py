@@ -41,6 +41,7 @@ from ..rng import StreamRNG, make_rng
 __all__ = [
     "exhaustive_levels",
     "pair_levels",
+    "pair_count",
     "generate_level_batch",
     "generate_pair_batch",
     "PairSweepResult",
@@ -63,6 +64,12 @@ def pair_levels(n: int, step: int = 1) -> Tuple[np.ndarray, np.ndarray]:
     xs = np.repeat(levels, levels.size)
     ys = np.tile(levels, levels.size)
     return xs, ys
+
+
+def pair_count(n: int, step: int = 1) -> int:
+    """Number of (x, y) pairs in the exhaustive sweep — the per-shard
+    batch size the runner reports in ``python -m repro run --list``."""
+    return int(exhaustive_levels(n, step).size) ** 2
 
 
 def generate_level_batch(levels: np.ndarray, rng: StreamRNG, n: int) -> np.ndarray:

@@ -7,19 +7,30 @@ generated from the same renderer.
 
 from __future__ import annotations
 
+import math
 from typing import List, Optional, Sequence
 
 __all__ = ["render_table", "format_number"]
 
 
 def format_number(value, *, digits: int = 3) -> str:
-    """Compact numeric formatting: ints stay ints, floats get ``digits``."""
+    """Compact numeric formatting: ints stay ints, floats get ``digits``.
+
+    Non-finite and signed-zero floats render deterministically across
+    platforms and numpy versions: ``nan`` (sign stripped — ``-nan`` is a
+    platform artefact, not a value), ``inf`` / ``-inf``, and ``-0.0``
+    collapses to ``"0"`` like positive zero.
+    """
     if isinstance(value, bool) or value is None:
         return str(value)
     if isinstance(value, int):
         return str(value)
     if isinstance(value, float):
-        if value == 0:
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value == 0:  # catches -0.0 too: -0.0 == 0
             return "0"
         if abs(value) >= 10000:
             return f"{value:,.0f}"

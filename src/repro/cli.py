@@ -3,9 +3,16 @@
 Commands:
 
 * ``list`` — enumerate the registered experiments;
-* ``run <experiment> [--step N] [--out FILE]`` — run one experiment and
-  print its paper-vs-measured table;
-* ``all [--step N] [--out-dir DIR]`` — run every experiment;
+* ``run <spec|all> [--fidelity F] [--jobs N] [--seed S] [--force]`` —
+  run experiments through :mod:`repro.runner`: declarative specs expand
+  into shards, shards run on a process pool, and payloads land in the
+  content-addressed result store so repeated runs are cache hits.
+  ``run --list`` enumerates the specs with grid sizes and shard counts;
+  the legacy ``--step N`` / ``--out FILE`` flags keep working;
+* ``all [--step N] [--out-dir DIR]`` — legacy alias for ``run all``;
+* ``report [--fidelity F] [--out-dir DIR] [--md FILE] [--check]`` —
+  regenerate the published artifacts (``benchmarks/results``-style
+  tables, EXPERIMENTS.md) from the store without re-running anything;
 * ``costs`` — print the hardware component cost landscape;
 * ``engine <graph>`` — compile a named graph through
   :mod:`repro.engine` and print its execution plan (levels, packed vs
@@ -13,9 +20,12 @@ Commands:
 * ``audit <graph> [--fix]`` — engine-backed correlation audit of a
   named graph, optionally with the autofix pass applied.
 
-The step flag trades sweep resolution for speed (1 = the paper's
-exhaustive setting; tests and quick looks use 8-32). Named graphs come
-from :data:`repro.engine.library.GRAPH_LIBRARY`.
+Fidelity presets trade sweep resolution for runtime (``exhaustive`` is
+the paper's setting and what the benchmark suite archives; ``smoke`` is
+CI-sized). ``--store DIR`` (or ``$REPRO_STORE``) relocates the result
+store, ``--seed S`` makes every factory-made seedable RNG derive from S
+and is recorded in each stored result's content address. Named graphs
+come from :data:`repro.engine.library.GRAPH_LIBRARY`.
 """
 
 from __future__ import annotations
@@ -25,17 +35,16 @@ import pathlib
 import sys
 from typing import List, Optional
 
-from .analysis import ALL_EXPERIMENTS, render_table, run_experiment
+from .analysis import ALL_EXPERIMENTS, render_table
 from .engine import GRAPH_LIBRARY
 from .hardware import components, report
 
 __all__ = ["main", "build_parser"]
 
-_STEPPED = {"fig2", "table2", "table3", "ablation_save_depth",
-            "ablation_composition", "ablation_buffer_depth", "propagation"}
-
 
 def build_parser() -> argparse.ArgumentParser:
+    from .runner import FIDELITIES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Correlation Manipulating Circuits for "
@@ -45,16 +54,58 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    run_p = sub.add_parser("run", help="run one experiment")
-    run_p.add_argument("experiment", choices=sorted(ALL_EXPERIMENTS))
-    run_p.add_argument("--step", type=int, default=4,
-                       help="level sweep step (1 = paper-exhaustive)")
+    run_p = sub.add_parser("run", help="run experiments through the runner")
+    run_p.add_argument("experiment", nargs="?", default=None,
+                       choices=sorted(ALL_EXPERIMENTS) + ["all"],
+                       help="spec name, or 'all' for every registered spec")
+    run_p.add_argument("--list", action="store_true", dest="list_specs",
+                       help="enumerate registered specs with grid sizes and "
+                            "shard counts, then exit")
+    # --step predates the fidelity presets; the two would silently fight
+    # over the sweep resolution, so they are mutually exclusive.
+    fidelity_group = run_p.add_mutually_exclusive_group()
+    fidelity_group.add_argument("--fidelity", choices=FIDELITIES, default=None,
+                                help="parameter preset (default: 'default', "
+                                     "the historical CLI settings)")
+    fidelity_group.add_argument("--step", type=int, default=4,
+                                help="legacy level-sweep step override "
+                                     "(1 = paper-exhaustive)")
+    run_p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for shard execution")
+    run_p.add_argument("--seed", type=int, default=None,
+                       help="run-level RNG seed, recorded in stored results")
+    run_p.add_argument("--force", action="store_true",
+                       help="recompute shards even when cached")
+    run_p.add_argument("--store", type=pathlib.Path, default=None,
+                       help="result store directory (default: $REPRO_STORE "
+                            "or ./.repro-store)")
     run_p.add_argument("--out", type=pathlib.Path, default=None,
-                       help="also write the table to this file")
+                       help="also write the table(s) to this file")
 
-    all_p = sub.add_parser("all", help="run every experiment")
-    all_p.add_argument("--step", type=int, default=4)
+    all_p = sub.add_parser("all", help="run every experiment (alias of 'run all')")
     all_p.add_argument("--out-dir", type=pathlib.Path, default=None)
+    all_fidelity_group = all_p.add_mutually_exclusive_group()
+    all_fidelity_group.add_argument("--step", type=int, default=4)
+    all_fidelity_group.add_argument("--fidelity", choices=FIDELITIES, default=None)
+    all_p.add_argument("--jobs", type=int, default=1)
+    all_p.add_argument("--seed", type=int, default=None)
+    all_p.add_argument("--force", action="store_true")
+    all_p.add_argument("--store", type=pathlib.Path, default=None)
+
+    report_p = sub.add_parser(
+        "report", help="regenerate published artifacts from the result store"
+    )
+    report_p.add_argument("--fidelity", choices=FIDELITIES, default="exhaustive")
+    report_p.add_argument("--seed", type=int, default=None)
+    report_p.add_argument("--store", type=pathlib.Path, default=None)
+    report_p.add_argument("--out-dir", type=pathlib.Path,
+                          default=pathlib.Path("benchmarks/results"),
+                          help="where the <experiment>.txt archives go")
+    report_p.add_argument("--md", type=pathlib.Path, default=None,
+                          help="also roll everything into this EXPERIMENTS.md")
+    report_p.add_argument("--check", action="store_true",
+                          help="compare against existing archives instead of "
+                               "writing; non-zero exit on drift")
 
     sub.add_parser("costs", help="print the hardware cost landscape")
 
@@ -77,11 +128,6 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_one(experiment: str, step: int):
-    kwargs = {"step": step} if experiment in _STEPPED else {}
-    return run_experiment(experiment, **kwargs)
-
-
 def _cmd_list() -> int:
     for name in ALL_EXPERIMENTS:
         doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()
@@ -89,27 +135,96 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, step: int, out: Optional[pathlib.Path]) -> int:
-    result = _run_one(experiment, step)
-    text = result.to_text()
-    print(text)
-    if out is not None:
-        out.write_text(text + "\n")
-    return 0 if result.all_checks_pass else 1
+def _make_store(path: Optional[pathlib.Path]):
+    from .runner import ResultStore, default_store
+
+    return default_store() if path is None else ResultStore(path)
 
 
-def _cmd_all(step: int, out_dir: Optional[pathlib.Path]) -> int:
+def _cmd_run_list(fidelity: str) -> int:
+    from .runner import SPEC_REGISTRY
+
+    rows = []
+    for name, spec in SPEC_REGISTRY.items():
+        params = spec.params(fidelity)
+        rows.append([name, spec.shard_count(params), spec.grid_summary(params)])
+    print(render_table(
+        ["spec", "shards", "grid"],
+        rows,
+        title=f"Registered experiment specs (fidelity={fidelity})",
+    ))
+    total = sum(r[1] for r in rows)
+    print(f"{len(rows)} specs, {total} shards total")
+    return 0
+
+
+def _schedule(names: List[str], args):
+    """The one scheduling path both ``run`` and ``all`` share: resolve
+    fidelity (legacy ``--step`` is an override on the default preset —
+    argparse keeps it mutually exclusive with ``--fidelity``), run, and
+    print each table."""
+    from .runner import run_many
+
+    fidelity = args.fidelity or "default"
+    overrides = {"step": args.step} if args.fidelity is None else None
+    reports = run_many(
+        names,
+        fidelity=fidelity,
+        jobs=args.jobs,
+        seed=args.seed,
+        force=args.force,
+        store=_make_store(args.store),
+        overrides=overrides,
+    )
     status = 0
-    for name in ALL_EXPERIMENTS:
-        result = _run_one(name, step)
-        print(result.to_text())
+    for rep in reports:
+        print(rep.result.to_text())
         print()
-        if out_dir is not None:
-            out_dir.mkdir(parents=True, exist_ok=True)
-            (out_dir / f"{name}.txt").write_text(result.to_text() + "\n")
-        if not result.all_checks_pass:
+        if not rep.result.all_checks_pass:
             status = 1
+    return reports, status
+
+
+def _cmd_run(args) -> int:
+    if args.list_specs:
+        return _cmd_run_list(args.fidelity or "default")
+    if args.experiment is None:
+        print("error: provide a spec name, 'all', or --list", file=sys.stderr)
+        return 2
+    names = (list(ALL_EXPERIMENTS) if args.experiment == "all"
+             else [args.experiment])
+    reports, status = _schedule(names, args)
+    if args.out is not None:
+        args.out.write_text(
+            "\n\n".join(rep.result.to_text() for rep in reports) + "\n"
+        )
     return status
+
+
+def _cmd_all(args) -> int:
+    reports, status = _schedule(list(ALL_EXPERIMENTS), args)
+    if args.out_dir is not None:
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        for rep in reports:
+            (args.out_dir / f"{rep.result.experiment_id}.txt").write_text(
+                rep.result.to_text() + "\n"
+            )
+    return status
+
+
+def _cmd_report(args) -> int:
+    from .runner import load_results, write_archives, write_experiments_md
+
+    store = _make_store(args.store)
+    results = load_results(store, fidelity=args.fidelity, seed=args.seed)
+    problems = write_archives(results, args.out_dir, check=args.check)
+    if args.md is not None:
+        if args.check:
+            # --check is a read-only drift check: never mutate the tree.
+            print(f"[report] --check: skipping write of {args.md}")
+        else:
+            write_experiments_md(results, args.md)
+    return 0 if problems == 0 else 1
 
 
 def _audit_table(audit, title: str) -> str:
@@ -189,9 +304,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.step, args.out)
+        return _cmd_run(args)
     if args.command == "all":
-        return _cmd_all(args.step, args.out_dir)
+        return _cmd_all(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "engine":
         return _cmd_engine(args.graph, args.length, args.tolerance)
     if args.command == "audit":

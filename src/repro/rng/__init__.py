@@ -17,7 +17,13 @@ Available generators:
 
 from .base import StreamRNG
 from .counter import CounterRNG
-from .factory import available_rngs, make_rng, register_rng
+from .factory import (
+    available_rngs,
+    default_seed,
+    get_default_seed,
+    make_rng,
+    register_rng,
+)
 from .halton import Halton, radical_inverse
 from .lfsr import LFSR, MAXIMAL_TAPS
 from .sharing import RNGBank, RotatedView
@@ -40,4 +46,6 @@ __all__ = [
     "make_rng",
     "register_rng",
     "available_rngs",
+    "default_seed",
+    "get_default_seed",
 ]

@@ -1,0 +1,49 @@
+"""Declarative experiment orchestration.
+
+The runner is the one path from "experiment definition" to "published
+artifact":
+
+1. :mod:`~repro.runner.spec` — every experiment as a declarative
+   :class:`~repro.runner.spec.ExperimentSpec`: fidelity presets
+   (``smoke`` / ``default`` / ``exhaustive``) that expand into
+   independent shards (one batched packed/kernel pass each);
+2. :mod:`~repro.runner.scheduler` — shards from all requested specs on
+   one shared process pool, executing only what the store can't serve;
+3. :mod:`~repro.runner.store` — a content-addressed result store (key =
+   spec + params + seed + code version) giving caching,
+   resume-after-interrupt, and staleness detection for free;
+4. :mod:`~repro.runner.report` — regenerates the published artifacts
+   (``benchmarks/results/*.txt``, EXPERIMENTS.md) from the store,
+   byte-identical to the benchmark harness's archives.
+
+CLI: ``python -m repro run <spec|all> [--fidelity F] [--jobs N]
+[--seed S] [--force]`` and ``python -m repro report``.
+"""
+
+from .report import StoredResult, load_results, write_archives, write_experiments_md
+from .scheduler import RunReport, default_store, run_all, run_many, run_spec
+from .spec import FIDELITIES, SPEC_REGISTRY, ExperimentSpec, Shard, get_spec
+from .store import ResultStore, code_version, jsonify
+from .workers import ShardTask, execute_shard
+
+__all__ = [
+    "FIDELITIES",
+    "SPEC_REGISTRY",
+    "ExperimentSpec",
+    "Shard",
+    "get_spec",
+    "ResultStore",
+    "code_version",
+    "jsonify",
+    "ShardTask",
+    "execute_shard",
+    "RunReport",
+    "run_spec",
+    "run_many",
+    "run_all",
+    "default_store",
+    "StoredResult",
+    "load_results",
+    "write_archives",
+    "write_experiments_md",
+]

@@ -1,0 +1,139 @@
+"""Artifact regeneration from the result store.
+
+``python -m repro report`` replays run manifests: for each
+``(spec, fidelity, seed)`` manifest whose shard payloads are all present
+(and written by the current code version), the spec's merge function
+reassembles the :class:`ExperimentResult` and the renderer writes the
+same artifacts the benchmark harness archives — ``<experiment>.txt``
+tables byte-identical to ``benchmarks/results/`` plus an
+``EXPERIMENTS.md`` roll-up — without re-executing a single shard.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..analysis.experiments import ExperimentResult
+from .spec import SPEC_REGISTRY
+from .store import ResultStore
+
+__all__ = ["StoredResult", "load_results", "write_archives", "write_experiments_md"]
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One manifest reassembled from the store (or why it couldn't be)."""
+
+    spec: str
+    fidelity: str
+    seed: Optional[int]
+    result: Optional[ExperimentResult]
+    missing: int          # shard payloads absent from the store
+    stale: bool           # manifest written by a different code version
+
+    @property
+    def complete(self) -> bool:
+        return self.result is not None
+
+
+def load_results(
+    store: ResultStore,
+    *,
+    fidelity: str = "exhaustive",
+    seed: Optional[int] = None,
+    specs: Optional[List[str]] = None,
+) -> List[StoredResult]:
+    """Reassemble every requested spec's result from its manifest."""
+    names = list(SPEC_REGISTRY) if specs is None else specs
+    out: List[StoredResult] = []
+    for name in names:
+        manifest = store.read_manifest(name, fidelity, seed)
+        if manifest is None:
+            out.append(StoredResult(name, fidelity, seed, None, -1, False))
+            continue
+        stale = manifest.get("code_version") != store.version
+        payloads = [store.get(shard["key"]) for shard in manifest["shards"]]
+        missing = sum(1 for p in payloads if p is None)
+        if missing or stale:
+            out.append(StoredResult(name, fidelity, seed, None, missing, stale))
+            continue
+        result = SPEC_REGISTRY[name].merge_fn(manifest["params"], payloads)
+        out.append(StoredResult(name, fidelity, seed, result, 0, False))
+    return out
+
+
+def write_archives(
+    results: List[StoredResult],
+    out_dir,
+    *,
+    check: bool = False,
+    log: Optional[Callable[[str], None]] = print,
+) -> int:
+    """Write (or, with ``check``, diff) the ``<experiment>.txt`` archives.
+
+    Returns the number of problems: incomplete specs plus, in check mode,
+    files that differ from the regenerated text — so callers can gate CI
+    on ``write_archives(...) == 0``.
+    """
+    emit = (lambda message: None) if log is None else log
+    out_dir = pathlib.Path(out_dir)
+    problems = 0
+    for stored in results:
+        if not stored.complete:
+            reason = (
+                "no manifest" if stored.missing < 0
+                else "stale code version" if stored.stale
+                else f"{stored.missing} shard payload(s) missing"
+            )
+            emit(f"[report] {stored.spec}: incomplete ({reason}) — "
+                 f"run `repro run {stored.spec} --fidelity {stored.fidelity}` first")
+            problems += 1
+            continue
+        text = stored.result.to_text() + "\n"
+        path = out_dir / f"{stored.result.experiment_id}.txt"
+        if check:
+            current = path.read_text() if path.exists() else None
+            if current == text:
+                emit(f"[report] {stored.spec}: {path} up to date")
+            else:
+                emit(f"[report] {stored.spec}: {path} DIFFERS from the store")
+                problems += 1
+        else:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+            emit(f"[report] {stored.spec}: wrote {path}")
+    return problems
+
+
+def write_experiments_md(
+    results: List[StoredResult],
+    path,
+    *,
+    log: Optional[Callable[[str], None]] = print,
+) -> pathlib.Path:
+    """Roll every complete result into one EXPERIMENTS.md-style document."""
+    emit = (lambda message: None) if log is None else log
+    path = pathlib.Path(path)
+    complete = [s for s in results if s.complete]
+    lines = [
+        "# Experiments",
+        "",
+        "Regenerated from the content-addressed result store by",
+        "`python -m repro report` — every table interleaves measured values",
+        "with the paper's published ones. Do not edit by hand.",
+        "",
+    ]
+    for stored in complete:
+        status = "PASS" if stored.result.all_checks_pass else "FAIL"
+        lines.append(f"## {stored.result.experiment_id} — {status}")
+        lines.append("")
+        lines.append("```")
+        lines.append(stored.result.to_text())
+        lines.append("```")
+        lines.append("")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines))
+    emit(f"[report] wrote {path} ({len(complete)} experiment(s))")
+    return path

@@ -1,0 +1,235 @@
+"""Sharded, cached experiment scheduling.
+
+:func:`run_many` is the one path from "experiment definition" to
+"result": expand each requested spec into shards (:mod:`.spec`), look
+every shard up in the content-addressed store (:mod:`.store`), execute
+only the misses — inline for ``jobs=1``, on a ``ProcessPoolExecutor``
+otherwise — and merge payloads (cached and fresh are byte-for-byte the
+same representation) into :class:`ExperimentResult` objects, recording a
+manifest per run so :mod:`.report` can regenerate artifacts later.
+
+Shards from *all* requested specs are scheduled onto one shared pool, so
+``run all`` load-balances the 15 Table II kernel passes alongside the
+small single-shard experiments instead of draining one spec at a time.
+Workers are forked where the platform allows it (no re-import cost) and
+re-used across shards, so per-process caches — engine plans, compiled
+FSM kernels — amortize exactly as in a serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..analysis.experiments import ExperimentResult
+from .spec import SPEC_REGISTRY, ExperimentSpec, Shard, get_spec
+from .store import DEFAULT_STORE_ENV, ResultStore
+from .workers import ShardTask, execute_shard
+
+__all__ = ["RunReport", "run_spec", "run_many", "run_all", "default_store"]
+
+
+def default_store() -> ResultStore:
+    """The store named by ``$REPRO_STORE``, else ``./.repro-store``."""
+    return ResultStore(os.environ.get(DEFAULT_STORE_ENV, ".repro-store"))
+
+
+@dataclass
+class RunReport:
+    """Outcome of scheduling one spec."""
+
+    spec: str
+    fidelity: str
+    seed: Optional[int]
+    params: Dict[str, Any]
+    result: ExperimentResult
+    shard_count: int
+    cache_hits: int
+    computed: int
+    elapsed_s: float
+
+    @property
+    def all_from_cache(self) -> bool:
+        return self.computed == 0
+
+
+def _pool(jobs: int, tasks: int) -> ProcessPoolExecutor:
+    workers = max(1, min(jobs, tasks))
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork: pay the spawn import cost
+        context = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+
+def run_many(
+    names: Sequence[str],
+    *,
+    fidelity: str = "default",
+    jobs: int = 1,
+    seed: Optional[int] = None,
+    force: bool = False,
+    store: Optional[ResultStore] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    log: Optional[Callable[[str], None]] = print,
+) -> List[RunReport]:
+    """Run several specs, pooling their shards.
+
+    Args:
+        names: spec names (see :data:`~repro.runner.spec.SPEC_REGISTRY`).
+        fidelity: ``smoke`` / ``default`` / ``exhaustive`` preset.
+        jobs: worker processes; 1 executes inline (no pool).
+        seed: run-level seed — threaded to every shard (ambient
+            :func:`~repro.rng.factory.default_seed` + explicit ``seed=``
+            kwarg where accepted) and folded into every content address.
+        force: recompute even when cached.
+        store: result store; defaults to :func:`default_store`.
+        overrides: per-call param overrides (the CLI's legacy ``--step``).
+        log: sink for progress lines (None silences).
+
+    Returns one :class:`RunReport` per requested spec, in request order.
+    """
+    emit = (lambda message: None) if log is None else log
+    store = store if store is not None else default_store()
+    started = time.perf_counter()
+
+    plans: List[Dict[str, Any]] = []
+    pending: Dict[str, ShardTask] = {}  # key -> task, deduplicated
+    for name in names:
+        spec = get_spec(name)
+        params = spec.params(fidelity, overrides)
+        shards = spec.shards(params)
+        plan = {"spec": spec, "params": params, "shards": shards,
+                "keys": [], "hits": 0}
+        for shard in shards:
+            key = store.shard_key(
+                shard.spec, shard.label, shard.fn_ref, shard.kwargs, seed
+            )
+            plan["keys"].append(key)
+            if not force and key in store:
+                plan["hits"] += 1
+                emit(f"[runner] cache hit {shard.spec}[{shard.label}] ({key[:12]})")
+            elif key not in pending:
+                emit(f"[runner] cache miss {shard.spec}[{shard.label}] -> scheduled")
+                pending[key] = ShardTask(
+                    shard.spec, shard.index, shard.label, shard.fn,
+                    shard.kwargs, seed,
+                )
+        plans.append(plan)
+
+    total = sum(len(p["shards"]) for p in plans)
+    emit(
+        f"[runner] {len(plans)} spec(s), {total} shard(s): "
+        f"{total - len(pending)} cached, {len(pending)} to compute "
+        f"(fidelity={fidelity}, jobs={jobs}, seed={'default' if seed is None else seed})"
+    )
+
+    computed: Dict[str, dict] = {}
+    if pending:
+        # Persist each payload the moment it lands: an interrupt or a
+        # failing shard then loses only the shards still in flight —
+        # the store's resume-after-interrupt contract.
+        def _finish(key: str, payload: dict) -> None:
+            task = pending[key]
+            computed[key] = payload
+            store.put(
+                key,
+                payload,
+                meta={
+                    "spec": task.spec,
+                    "shard": task.label,
+                    "kwargs": task.kwargs,
+                    "seed": seed,
+                    "fidelity": fidelity,
+                },
+            )
+
+        items = list(pending.items())
+        if jobs <= 1:
+            for key, task in items:
+                _finish(key, execute_shard(task))
+        else:
+            with _pool(jobs, len(items)) as pool:
+                futures = {
+                    pool.submit(execute_shard, task): key for key, task in items
+                }
+                for future in as_completed(futures):
+                    _finish(futures[future], future.result())
+
+    reports: List[RunReport] = []
+    for plan in plans:
+        spec: ExperimentSpec = plan["spec"]
+        payloads = []
+        for key in plan["keys"]:
+            payload = computed.get(key)
+            if payload is None:
+                payload = store.get(key)
+            payloads.append(payload)
+        result = spec.merge_fn(plan["params"], payloads)
+        store.write_manifest(
+            spec.name, fidelity, seed, plan["params"],
+            [{"label": shard.label, "key": key}
+             for shard, key in zip(plan["shards"], plan["keys"])],
+        )
+        reports.append(
+            RunReport(
+                spec=spec.name,
+                fidelity=fidelity,
+                seed=seed,
+                params=plan["params"],
+                result=result,
+                shard_count=len(plan["shards"]),
+                cache_hits=plan["hits"],
+                computed=len(plan["shards"]) - plan["hits"],
+                elapsed_s=0.0,
+            )
+        )
+
+    elapsed = time.perf_counter() - started
+    for report in reports:
+        report.elapsed_s = elapsed
+        emit(
+            f"[runner] {report.spec}: {report.shard_count} shard(s), "
+            f"{report.cache_hits} cache hit(s), {report.computed} computed"
+        )
+    emit(f"[runner] done in {elapsed:.2f}s")
+    return reports
+
+
+def run_spec(
+    name: str,
+    *,
+    fidelity: str = "default",
+    jobs: int = 1,
+    seed: Optional[int] = None,
+    force: bool = False,
+    store: Optional[ResultStore] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    log: Optional[Callable[[str], None]] = print,
+) -> RunReport:
+    """Run one spec (see :func:`run_many`)."""
+    return run_many(
+        [name], fidelity=fidelity, jobs=jobs, seed=seed, force=force,
+        store=store, overrides=overrides, log=log,
+    )[0]
+
+
+def run_all(
+    *,
+    fidelity: str = "default",
+    jobs: int = 1,
+    seed: Optional[int] = None,
+    force: bool = False,
+    store: Optional[ResultStore] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    log: Optional[Callable[[str], None]] = print,
+) -> List[RunReport]:
+    """Run every registered spec on one shared worker pool."""
+    return run_many(
+        list(SPEC_REGISTRY), fidelity=fidelity, jobs=jobs, seed=seed,
+        force=force, store=store, overrides=overrides, log=log,
+    )

@@ -1,0 +1,214 @@
+"""Content-addressed on-disk result store.
+
+Every shard payload is stored under a key that hashes everything the
+payload depends on::
+
+    key = sha256(spec, shard label, shard fn reference, kwargs,
+                 seed, code version)
+
+so caching, resume-after-interrupt, and staleness detection all fall out
+of plain key lookups: re-running an experiment whose inputs and code are
+unchanged is a pure cache hit; interrupting a run loses only the shards
+in flight; editing any source file under :mod:`repro` changes the code
+version and silently invalidates every cached payload (the stale objects
+remain on disk until :meth:`ResultStore.prune_stale`).
+
+Alongside the object store, each completed run writes a *manifest* —
+``(spec, fidelity, seed) -> ordered shard keys + resolved params`` — the
+recipe :mod:`repro.runner.report` follows to reassemble published
+artifacts without re-executing anything.
+
+Layout::
+
+    <root>/objects/<key[:2]>/<key>.json   one shard payload + metadata
+    <root>/manifests/<spec>--<fidelity>--<seed>.json
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from typing import Any, Dict, Iterator, List, Mapping, Optional
+
+import numpy as np
+
+__all__ = ["ResultStore", "code_version", "jsonify", "DEFAULT_STORE_ENV"]
+
+DEFAULT_STORE_ENV = "REPRO_STORE"
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every ``repro`` source file — the "code-relevant version"
+    folded into each content address. Computed once per process."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        package_root = pathlib.Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(path.relative_to(package_root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def jsonify(obj: Any) -> Any:
+    """Recursively convert payloads to JSON-native types.
+
+    numpy scalars/arrays become Python scalars/lists (value-exact: float
+    round-trips through JSON preserve every bit via shortest-repr), tuples
+    become lists, dataclasses become dicts."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return jsonify(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonify(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return jsonify(obj.tolist())
+    return obj
+
+
+def _seed_tag(seed: Optional[int]) -> str:
+    return "default" if seed is None else str(seed)
+
+
+class ResultStore:
+    """Content-addressed shard-payload store with run manifests."""
+
+    def __init__(self, root, *, version: Optional[str] = None) -> None:
+        self.root = pathlib.Path(root)
+        self.version = version if version is not None else code_version()
+
+    # ------------------------------------------------------------------ #
+    # keys and paths
+    # ------------------------------------------------------------------ #
+
+    def shard_key(
+        self,
+        spec: str,
+        label: str,
+        fn_ref: str,
+        kwargs: Mapping[str, Any],
+        seed: Optional[int],
+    ) -> str:
+        """The content address of one shard's payload."""
+        material = json.dumps(
+            {
+                "spec": spec,
+                "shard": label,
+                "fn": fn_ref,
+                "kwargs": jsonify(dict(kwargs)),
+                "seed": seed,
+                "code": self.version,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _object_path(self, key: str) -> pathlib.Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def _manifest_path(
+        self, spec: str, fidelity: str, seed: Optional[int]
+    ) -> pathlib.Path:
+        return self.root / "manifests" / f"{spec}--{fidelity}--{_seed_tag(seed)}.json"
+
+    # ------------------------------------------------------------------ #
+    # objects
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, key: str) -> bool:
+        return self._object_path(key).exists()
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or None."""
+        path = self._object_path(key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())["payload"]
+
+    def put(self, key: str, payload: Any, meta: Optional[Mapping[str, Any]] = None) -> pathlib.Path:
+        """Store one shard payload (atomic via rename)."""
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": key,
+            "code_version": self.version,
+            "meta": jsonify(dict(meta or {})),
+            "payload": jsonify(payload),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(record, indent=1) + "\n")
+        tmp.replace(path)
+        return path
+
+    def entries(self) -> Iterator[dict]:
+        """All stored object records (full metadata, no payload order)."""
+        objects = self.root / "objects"
+        if not objects.exists():
+            return
+        for path in sorted(objects.rglob("*.json")):
+            yield json.loads(path.read_text())
+
+    def stale_keys(self) -> List[str]:
+        """Keys written by a different code version than the current one."""
+        return [e["key"] for e in self.entries() if e.get("code_version") != self.version]
+
+    def prune_stale(self) -> int:
+        """Delete stale objects; returns how many were removed."""
+        removed = 0
+        for key in self.stale_keys():
+            self._object_path(key).unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # manifests
+    # ------------------------------------------------------------------ #
+
+    def write_manifest(
+        self,
+        spec: str,
+        fidelity: str,
+        seed: Optional[int],
+        params: Mapping[str, Any],
+        shard_keys: List[Dict[str, str]],
+    ) -> pathlib.Path:
+        """Record the ordered shard keys of a completed run."""
+        path = self._manifest_path(spec, fidelity, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "spec": spec,
+            "fidelity": fidelity,
+            "seed": seed,
+            "code_version": self.version,
+            "params": jsonify(dict(params)),
+            "shards": shard_keys,
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(manifest, indent=1) + "\n")
+        tmp.replace(path)
+        return path
+
+    def read_manifest(
+        self, spec: str, fidelity: str, seed: Optional[int]
+    ) -> Optional[dict]:
+        path = self._manifest_path(spec, fidelity, seed)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def manifests(self) -> Iterator[dict]:
+        directory = self.root / "manifests"
+        if not directory.exists():
+            return
+        for path in sorted(directory.glob("*.json")):
+            yield json.loads(path.read_text())

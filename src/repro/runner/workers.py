@@ -1,0 +1,66 @@
+"""Shard execution — the code that runs inside worker processes.
+
+:func:`execute_shard` is the single entry point the scheduler submits to
+its ``ProcessPoolExecutor`` (and calls inline for ``--jobs 1``). It is
+deliberately thin: install the ambient seed, call the shard function,
+serialize the payload. Everything heavyweight the shards rely on — the
+engine plan cache, the compiled FSM kernel cache, the Sobol
+direction-number cache — is process-global state that workers accumulate
+naturally, so consecutive shards scheduled onto the same worker re-use
+each other's compilations exactly like the serial path does.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Dict, Optional
+
+from ..analysis.experiments import ExperimentResult
+from ..rng.factory import default_seed
+from .store import jsonify
+
+__all__ = ["ShardTask", "execute_shard"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to run one shard (picklable)."""
+
+    spec: str
+    index: int
+    label: str
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+
+@lru_cache(maxsize=None)
+def _accepts_seed(fn: Callable[..., Any]) -> bool:
+    try:
+        return "seed" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+def execute_shard(task: ShardTask) -> dict:
+    """Run one shard and return its JSON-ready payload.
+
+    The run-level seed reaches the shard two ways: as an explicit
+    ``seed=`` kwarg when the shard function declares one, and as the
+    ambient :func:`repro.rng.factory.default_seed` every factory-made
+    seedable RNG picks up. Payloads returning an
+    :class:`~repro.analysis.experiments.ExperimentResult` (the
+    single-shard specs) are dataclass-serialized; everything goes through
+    :func:`~repro.runner.store.jsonify` so the scheduler merges the same
+    value-exact representation it would read back from the store.
+    """
+    kwargs = dict(task.kwargs)
+    if task.seed is not None and _accepts_seed(task.fn) and "seed" not in kwargs:
+        kwargs["seed"] = task.seed
+    with default_seed(task.seed):
+        payload = task.fn(**kwargs)
+    if isinstance(payload, ExperimentResult):
+        payload = jsonify(payload)
+    return jsonify(payload)

@@ -6,6 +6,13 @@ import pytest
 from repro.rng import LFSR, Halton, SystemRNG, VanDerCorput
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    """Point the runner's default store at a throwaway directory so CLI
+    tests never write a ``.repro-store`` into the working tree."""
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "repro-store"))
+
+
 @pytest.fixture
 def n() -> int:
     """Default stream length used across tests (shorter than the paper's

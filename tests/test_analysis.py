@@ -71,6 +71,40 @@ class TestTables:
         assert format_number(None) == "None"
         assert format_number(123456.0) == "123,456"
 
+    def test_format_number_nan_is_deterministic(self):
+        assert format_number(float("nan")) == "nan"
+        # The sign of a NaN is a platform artefact, not a value: both
+        # render identically.
+        assert format_number(float("-nan")) == "nan"
+        assert format_number(np.float64("nan")) == "nan"
+        assert format_number(np.nan * -1.0) == "nan"
+
+    def test_format_number_infinities(self):
+        assert format_number(float("inf")) == "inf"
+        assert format_number(float("-inf")) == "-inf"
+        assert format_number(np.inf) == "inf"
+        assert format_number(-np.inf) == "-inf"
+
+    def test_format_number_negative_zero(self):
+        assert format_number(-0.0) == "0"
+        assert format_number(0.0) == "0"
+        assert format_number(np.float64(-0.0)) == "0"
+
+    def test_format_number_bools_and_strings(self):
+        assert format_number(True) == "True"
+        assert format_number(False) == "False"
+        assert format_number("x") == "x"
+
+    def test_format_number_digits(self):
+        assert format_number(0.123456, digits=2) == "0.12"
+        assert format_number(0.0001234, digits=2) == "0.00012"
+
+    def test_render_table_with_nonfinite_cells(self):
+        text = render_table(["a", "b", "c"], [[float("nan"), np.inf, -0.0]])
+        row = text.splitlines()[-1]
+        assert "nan" in row and "inf" in row
+        assert "-0" not in row
+
 
 class TestExperiments:
     def test_registry_complete(self):

@@ -51,6 +51,78 @@ class TestCommands:
         assert "Error tolerance" in capsys.readouterr().out
 
 
+class TestRunnerCommands:
+    def test_run_list_enumerates_specs(self, capsys):
+        assert main(["run", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "shards" in out
+        assert "pairs/shard" in out
+        assert "specs," in out and "shards total" in out
+
+    def test_run_unknown_spec_exits_nonzero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "no_such_spec"])
+        assert excinfo.value.code != 0
+
+    def test_run_without_spec_or_list_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "provide a spec name" in capsys.readouterr().err
+
+    def test_run_logs_cache_hits_on_second_invocation(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["run", "table1", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["run", "table1", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "[runner] cache hit table1" in out
+        assert "cache miss" not in out
+        assert "Table I" in out  # the table still prints
+
+    def test_run_fidelity_smoke_with_jobs(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["run", "table3", "--fidelity", "smoke",
+                     "--jobs", "2", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "jobs=2" in out
+
+    def test_run_seed_recorded_and_cached_separately(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["run", "fault_tolerance", "--store", store,
+                     "--seed", "123"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=123" in out
+        # Different seed -> different content address -> recompute.
+        assert main(["run", "fault_tolerance", "--store", store,
+                     "--seed", "124"]) == 0
+        assert "cache miss" in capsys.readouterr().out
+
+    def test_run_force_recomputes(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        main(["run", "table1", "--store", store])
+        capsys.readouterr()
+        assert main(["run", "table1", "--store", store, "--force"]) == 0
+        out = capsys.readouterr().out
+        assert "[runner] cache hit" not in out
+        assert "0 cache hit(s), 1 computed" in out
+
+    def test_report_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        out_dir = tmp_path / "archives"
+        main(["run", "table1", "--fidelity", "smoke", "--store", store])
+        capsys.readouterr()
+        assert main(["report", "--fidelity", "smoke", "--store", store,
+                     "--out-dir", str(out_dir),
+                     "--md", str(tmp_path / "EXPERIMENTS.md")]) == 1
+        out = capsys.readouterr().out
+        assert "wrote" in out and "incomplete" in out  # table1 yes, rest missing
+        assert "Table I" in (out_dir / "table1.txt").read_text()
+        assert "table1" in (tmp_path / "EXPERIMENTS.md").read_text()
+        # check mode agrees with what report just wrote
+        assert main(["report", "--fidelity", "smoke", "--store", store,
+                     "--out-dir", str(out_dir)]) == 1  # still incomplete specs
+        assert (out_dir / "table1.txt").exists()
+
+
 class TestEngineCommands:
     def test_engine_requires_known_graph(self):
         with pytest.raises(SystemExit):

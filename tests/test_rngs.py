@@ -214,3 +214,64 @@ class TestFactory:
     def test_kwargs_forwarded(self):
         rng = make_rng("lfsr", seed=33)
         assert "seed=33" in rng.name
+
+
+class TestDefaultSeed:
+    """The ambient seed the runner installs around shard execution."""
+
+    def test_no_ambient_seed_keeps_builder_defaults(self):
+        from repro.rng import get_default_seed
+
+        assert get_default_seed() is None
+        assert "seed=1" in make_rng("lfsr").name
+
+    def test_ambient_seed_reaches_seedable_specs(self):
+        from repro.rng import default_seed, get_default_seed
+
+        with default_seed(42):
+            assert get_default_seed() == 42
+            assert "seed=43" in make_rng("lfsr").name  # folded: 1 + 42 % 255
+        assert get_default_seed() is None
+
+    def test_out_of_range_seed_folds_into_lfsr_domain(self):
+        from repro.rng import default_seed
+
+        with default_seed(0):
+            assert "seed=1" in make_rng("lfsr").name
+        with default_seed(255):  # 255 % 255 == 0 -> folded to 1
+            assert "seed=1" in make_rng("lfsr").name
+        with default_seed(10**9):
+            make_rng("lfsr").sequence(8)  # any int is a valid ambient seed
+
+    def test_explicit_seed_wins_over_ambient(self):
+        from repro.rng import default_seed
+
+        with default_seed(42):
+            assert "seed=33" in make_rng("lfsr", seed=33).name
+
+    def test_seedless_specs_unaffected(self):
+        from repro.rng import default_seed
+
+        base = make_rng("vdc").sequence(32)
+        with default_seed(42):
+            assert np.array_equal(make_rng("vdc").sequence(32), base)
+            assert np.array_equal(
+                make_rng("halton3").sequence(32), make_rng("halton3").sequence(32)
+            )
+
+    def test_nesting_restores_previous_seed(self):
+        from repro.rng import default_seed, get_default_seed
+
+        with default_seed(1):
+            with default_seed(2):
+                assert get_default_seed() == 2
+            assert get_default_seed() == 1
+
+    def test_system_rng_is_seedable(self):
+        from repro.rng import default_seed
+
+        with default_seed(7):
+            a = make_rng("system").sequence(32)
+        with default_seed(8):
+            b = make_rng("system").sequence(32)
+        assert not np.array_equal(a, b)

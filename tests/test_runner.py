@@ -1,0 +1,334 @@
+"""Tests for the experiment orchestration layer (repro.runner)."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import table2, table3
+from repro.analysis.experiments import ExperimentResult
+from repro.runner import (
+    FIDELITIES,
+    SPEC_REGISTRY,
+    ResultStore,
+    code_version,
+    execute_shard,
+    get_spec,
+    jsonify,
+    load_results,
+    run_all,
+    run_many,
+    run_spec,
+    write_archives,
+    write_experiments_md,
+)
+from repro.runner.workers import ShardTask
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestSpecs:
+    def test_registry_covers_every_experiment(self):
+        from repro.analysis import ALL_EXPERIMENTS
+
+        assert set(SPEC_REGISTRY) == set(ALL_EXPERIMENTS)
+
+    def test_every_spec_has_all_fidelities(self):
+        for spec in SPEC_REGISTRY.values():
+            for fidelity in FIDELITIES:
+                assert fidelity in spec.fidelities
+
+    def test_table2_expands_into_15_shards(self):
+        spec = get_spec("table2")
+        shards = spec.shards(spec.params("smoke"))
+        assert len(shards) == 15
+        assert shards[0].label == "synchronizer/vdc+halton3"
+        assert shards[0].kwargs["config"] == ("synchronizer", "vdc", "halton3")
+        assert "configs" not in shards[0].kwargs
+
+    def test_single_shard_specs(self):
+        for name in ("table1", "fig1", "claims", "power_breakdown",
+                     "fault_tolerance", "propagation"):
+            spec = get_spec(name)
+            assert spec.shard_count(spec.params("smoke")) == 1
+
+    def test_exhaustive_matches_bench_settings(self):
+        # The archives under benchmarks/results/ were generated with these
+        # parameters; the exhaustive preset must reproduce them exactly.
+        assert get_spec("table2").params("exhaustive") == {
+            "n": 256, "step": 1,
+            "configs": get_spec("table2").fidelities["exhaustive"]["configs"],
+        }
+        assert get_spec("table4").params("exhaustive")["image_size"] == 32
+        assert get_spec("ablation_save_depth").params("exhaustive")["depths"] == (1, 2, 4, 8, 16)
+
+    def test_overrides_apply_only_to_known_params(self):
+        spec = get_spec("table2")
+        params = spec.params("default", {"step": 32, "bogus": 1})
+        assert params["step"] == 32
+        assert "bogus" not in params
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError, match="unknown experiment spec"):
+            get_spec("table99")
+
+    def test_unknown_fidelity_raises(self):
+        with pytest.raises(KeyError, match="no fidelity"):
+            get_spec("table2").params("ultra")
+
+    def test_grid_summary_reports_pairs(self):
+        spec = get_spec("table2")
+        assert "4096 pairs/shard" in spec.grid_summary(spec.params("smoke"))
+
+
+class TestStore:
+    def test_round_trip(self, store):
+        key = store.shard_key("t", "s", "m:f", {"a": 1}, None)
+        assert key not in store
+        store.put(key, {"x": 1.5}, meta={"spec": "t"})
+        assert key in store
+        assert store.get(key) == {"x": 1.5}
+
+    def test_key_depends_on_everything(self, store):
+        base = store.shard_key("t", "s", "m:f", {"a": 1}, None)
+        assert store.shard_key("t2", "s", "m:f", {"a": 1}, None) != base
+        assert store.shard_key("t", "s2", "m:f", {"a": 1}, None) != base
+        assert store.shard_key("t", "s", "m:g", {"a": 1}, None) != base
+        assert store.shard_key("t", "s", "m:f", {"a": 2}, None) != base
+        assert store.shard_key("t", "s", "m:f", {"a": 1}, 7) != base
+
+    def test_code_version_changes_keys(self, tmp_path):
+        a = ResultStore(tmp_path, version="aaaa")
+        b = ResultStore(tmp_path, version="bbbb")
+        assert (a.shard_key("t", "s", "m:f", {}, None)
+                != b.shard_key("t", "s", "m:f", {}, None))
+
+    def test_stale_detection_and_prune(self, tmp_path):
+        old = ResultStore(tmp_path, version="old0")
+        key = old.shard_key("t", "s", "m:f", {}, None)
+        old.put(key, {"x": 1})
+        new = ResultStore(tmp_path, version="new0")
+        assert new.stale_keys() == [key]
+        assert new.prune_stale() == 1
+        assert new.stale_keys() == []
+
+    def test_jsonify_numpy(self):
+        import numpy as np
+
+        out = jsonify({"a": np.float64(0.5), "b": np.int64(3),
+                       "c": (1, 2), "d": np.arange(2), "e": np.bool_(True)})
+        assert out == {"a": 0.5, "b": 3, "c": [1, 2], "d": [0, 1], "e": True}
+        assert json.dumps(out)  # JSON-native all the way down
+
+    def test_code_version_is_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestWorkers:
+    def test_execute_single_shard_serializes_result(self):
+        spec = get_spec("table1")
+        [shard] = spec.shards(spec.params("smoke"))
+        payload = execute_shard(ShardTask("table1", 0, "table1", shard.fn, shard.kwargs))
+        assert payload["experiment_id"] == "table1"
+        assert json.dumps(payload)
+
+    def test_seed_reaches_seed_accepting_shards(self):
+        spec = get_spec("fault_tolerance")
+        [shard] = spec.shards(spec.params("smoke"))
+        base = execute_shard(ShardTask("fault_tolerance", 0, "s", shard.fn, shard.kwargs))
+        same = execute_shard(ShardTask("fault_tolerance", 0, "s", shard.fn, shard.kwargs))
+        other = execute_shard(
+            ShardTask("fault_tolerance", 0, "s", shard.fn, shard.kwargs, seed=123)
+        )
+        assert base == same
+        assert base != other
+
+    def test_ambient_seed_reaches_factory_rngs(self):
+        shard = get_spec("table2").shards(get_spec("table2").params("smoke"))[1]
+        assert shard.label == "synchronizer/lfsr+vdc"  # lfsr is seedable
+        base = execute_shard(ShardTask("table2", 1, shard.label, shard.fn, shard.kwargs))
+        seeded = execute_shard(
+            ShardTask("table2", 1, shard.label, shard.fn, shard.kwargs, seed=99)
+        )
+        assert base["output_scc"] != seeded["output_scc"]
+
+
+class TestScheduler:
+    def test_sharded_equals_direct(self, store):
+        report = run_spec("table2", fidelity="smoke", store=store, log=None)
+        assert report.result == table2(n=256, step=4)
+        assert report.shard_count == 15
+        assert report.computed == 15 and report.cache_hits == 0
+
+    def test_second_run_is_all_cache_hits(self, store):
+        run_spec("table3", fidelity="smoke", store=store, log=None)
+        lines = []
+        report = run_spec("table3", fidelity="smoke", store=store, log=lines.append)
+        assert report.all_from_cache
+        assert report.cache_hits == 5 and report.computed == 0
+        assert sum(line.startswith("[runner] cache hit ") for line in lines) == 5
+        assert not any("cache miss" in line for line in lines)
+        assert report.result == table3(n=256, step=4)
+
+    def test_force_recomputes(self, store):
+        run_spec("table1", store=store, log=None)
+        report = run_spec("table1", store=store, force=True, log=None)
+        assert report.computed == 1 and report.cache_hits == 0
+
+    def test_parallel_equals_serial(self, tmp_path):
+        serial = run_spec(
+            "table2", fidelity="smoke", store=ResultStore(tmp_path / "a"), log=None
+        )
+        parallel = run_spec(
+            "table2", fidelity="smoke", jobs=4,
+            store=ResultStore(tmp_path / "b"), log=None,
+        )
+        assert parallel.result == serial.result
+
+    def test_seed_isolates_cache_entries(self, store):
+        base = run_spec("table2", fidelity="smoke", store=store, log=None)
+        seeded = run_spec("table2", fidelity="smoke", seed=11, store=store, log=None)
+        assert seeded.computed == 15  # different content addresses
+        assert seeded.result != base.result
+        again = run_spec("table2", fidelity="smoke", seed=11, store=store, log=None)
+        assert again.all_from_cache
+        assert again.result == seeded.result
+
+    def test_fidelity_change_recomputes(self, store):
+        run_spec("table3", fidelity="smoke", store=store, log=None)
+        report = run_spec(
+            "table3", fidelity="smoke", overrides={"step": 8}, store=store, log=None
+        )
+        assert report.computed == 5
+
+    def test_run_many_pools_specs(self, store):
+        reports = run_many(["table1", "fig1", "claims"], store=store, log=None)
+        assert [r.spec for r in reports] == ["table1", "fig1", "claims"]
+        assert all(isinstance(r.result, ExperimentResult) for r in reports)
+
+    def test_failing_shard_keeps_completed_payloads(self, store, monkeypatch):
+        """Payloads persist as each shard finishes: a crash mid-run loses
+        only the shards that never completed."""
+        import repro.runner.scheduler as scheduler_module
+
+        real = scheduler_module.execute_shard
+
+        def flaky(task):
+            if task.label == "Sync max":  # third of table3's five shards
+                raise RuntimeError("boom")
+            return real(task)
+
+        monkeypatch.setattr(scheduler_module, "execute_shard", flaky)
+        with pytest.raises(RuntimeError, match="boom"):
+            run_spec("table3", fidelity="smoke", store=store, log=None)
+        monkeypatch.setattr(scheduler_module, "execute_shard", real)
+        report = run_spec("table3", fidelity="smoke", store=store, log=None)
+        assert report.cache_hits == 2 and report.computed == 3
+        assert report.result == table3(n=256, step=4)
+
+    def test_interrupted_run_resumes(self, store):
+        # Simulate an interrupt: only some shards made it into the store.
+        spec = get_spec("table3")
+        params = spec.params("smoke")
+        for shard in spec.shards(params)[:2]:
+            key = store.shard_key(shard.spec, shard.label, shard.fn_ref,
+                                  shard.kwargs, None)
+            store.put(key, execute_shard(ShardTask(
+                shard.spec, shard.index, shard.label, shard.fn, shard.kwargs)))
+        report = run_spec("table3", fidelity="smoke", store=store, log=None)
+        assert report.cache_hits == 2 and report.computed == 3
+        assert report.result == table3(n=256, step=4)
+
+
+class TestReport:
+    def test_archives_round_trip(self, store, tmp_path):
+        reports = run_many(["table1", "fig1"], fidelity="smoke", store=store, log=None)
+        out = tmp_path / "archives"
+        results = load_results(store, fidelity="smoke", specs=["table1", "fig1"])
+        assert write_archives(results, out, log=None) == 0
+        for report in reports:
+            archived = (out / f"{report.spec}.txt").read_text()
+            assert archived == report.result.to_text() + "\n"
+
+    def test_check_mode_detects_drift(self, store, tmp_path):
+        run_spec("table1", fidelity="smoke", store=store, log=None)
+        out = tmp_path / "archives"
+        results = load_results(store, fidelity="smoke", specs=["table1"])
+        write_archives(results, out, log=None)
+        assert write_archives(results, out, check=True, log=None) == 0
+        (out / "table1.txt").write_text("tampered\n")
+        assert write_archives(results, out, check=True, log=None) == 1
+
+    def test_incomplete_spec_reported(self, store, tmp_path):
+        results = load_results(store, fidelity="smoke", specs=["table2"])
+        assert not results[0].complete
+        assert write_archives(results, tmp_path, log=None) == 1
+
+    def test_stale_manifest_not_served(self, tmp_path):
+        old = ResultStore(tmp_path / "s", version="old0")
+        run_spec("table1", fidelity="smoke", store=old, log=None)
+        new = ResultStore(tmp_path / "s", version="new0")
+        results = load_results(new, fidelity="smoke", specs=["table1"])
+        assert not results[0].complete and results[0].stale
+
+    def test_experiments_md(self, store, tmp_path):
+        run_many(["table1", "fig1"], fidelity="smoke", store=store, log=None)
+        results = load_results(store, fidelity="smoke", specs=["table1", "fig1"])
+        path = write_experiments_md(results, tmp_path / "EXPERIMENTS.md", log=None)
+        text = path.read_text()
+        assert "## table1 — PASS" in text
+        assert "Table I" in text
+
+
+@pytest.mark.slow
+class TestArchiveFidelity:
+    def test_exhaustive_regeneration_matches_committed_archives(self, store, tmp_path):
+        """The cheap exhaustive specs, end to end: runner -> store ->
+        report must reproduce the committed benchmark archives byte for
+        byte (the full set is enforced by the benchmark suite and the
+        runner-smoke CI job; these three keep the contract in tier-1)."""
+        import pathlib
+
+        archive_dir = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+        specs = ["fig2", "fault_tolerance", "propagation"]
+        run_many(specs, fidelity="exhaustive", store=store, log=None)
+        out = tmp_path / "regen"
+        results = load_results(store, fidelity="exhaustive", specs=specs)
+        assert write_archives(results, out, log=None) == 0
+        for name in specs:
+            assert (out / f"{name}.txt").read_bytes() == (
+                archive_dir / f"{name}.txt"
+            ).read_bytes(), f"{name} archive drifted"
+
+
+@pytest.mark.slow
+class TestSchedulerSlow:
+    def test_run_all_smoke(self, store):
+        reports = run_all(fidelity="smoke", store=store, log=None)
+        assert len(reports) == len(SPEC_REGISTRY)
+        failed = [r.spec for r in reports if not r.result.all_checks_pass]
+        assert not failed, f"shape checks failed for: {failed}"
+        again = run_all(fidelity="smoke", store=store, log=None)
+        assert all(r.all_from_cache for r in again)
+
+    @pytest.mark.skipif(
+        len(os.sched_getaffinity(0)) < 4 if hasattr(os, "sched_getaffinity") else True,
+        reason="parallel speedup needs >= 4 CPUs",
+    )
+    def test_parallel_speedup_floor(self, tmp_path):
+        import time
+
+        t = time.perf_counter()
+        run_all(fidelity="smoke", jobs=1, store=ResultStore(tmp_path / "serial"), log=None)
+        serial = time.perf_counter() - t
+        t = time.perf_counter()
+        run_all(fidelity="smoke", jobs=4, store=ResultStore(tmp_path / "par"), log=None)
+        parallel = time.perf_counter() - t
+        assert serial / parallel >= 3.0, (
+            f"expected >=3x at --jobs 4, got {serial / parallel:.2f}x "
+            f"({serial:.2f}s vs {parallel:.2f}s)"
+        )
