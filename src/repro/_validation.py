@@ -96,3 +96,41 @@ def check_power_of_two(value: int, *, name: str) -> int:
     if value & (value - 1):
         raise CircuitConfigurationError(f"{name} must be a power of two, got {value}")
     return value
+
+
+def check_stream_length(value: int, *, name: str = "length") -> int:
+    """Validate a logical stream length N and return it as an ``int``.
+
+    The single source of truth for stream-length validation across
+    ``bitstream``, ``engine``, and the CLI: N must be a positive integer
+    but is otherwise unconstrained — *odd* lengths (N not a multiple of
+    64) are explicitly supported everywhere. The packed backend stores
+    such streams with zeroed tail bits in the final uint64 word, and the
+    tile iterators emit a final partial tile of ``N mod tile_bits`` bits
+    whose packed form keeps the same zero-tail convention.
+
+    Raises:
+        EncodingError: if ``value`` is not a positive integer (the
+            historical error type of the packed layer's length checks).
+    """
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise EncodingError(
+            f"{name} must be an integer stream length, got {type(value).__name__}"
+        )
+    if value <= 0:
+        raise EncodingError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_tile_words(value: int, *, name: str = "tile_words") -> int:
+    """Validate a streaming tile size in 64-bit words and return it.
+
+    A tile is ``tile_words * 64`` stream bits; every tile but the last is
+    exactly that long, and the last covers the odd-length tail (see
+    :func:`check_stream_length`). Any positive integer is legal — tile
+    sizes need not divide the stream length or be powers of two.
+
+    Raises:
+        CircuitConfigurationError: if ``value`` is not a positive integer.
+    """
+    return check_positive_int(value, name=name)

@@ -53,12 +53,33 @@ from .metrics import (
     scc_batch_packed,
     value_of_bits,
 )
+from .metrics import scc_from_overlap_counts
 from .packed import PackedBitstreamBatch, pack_bits, unpack_bits, words_per_stream
+from .streaming import (
+    DEFAULT_TILE_WORDS,
+    OverlapAccumulator,
+    PackedTileSource,
+    TileAssembler,
+    ValueAccumulator,
+    iter_tiles,
+    tile_bounds,
+    tile_count,
+)
 
 __all__ = [
     "Bitstream",
     "BitstreamBatch",
     "PackedBitstreamBatch",
+    # streaming tile layer
+    "DEFAULT_TILE_WORDS",
+    "tile_bounds",
+    "tile_count",
+    "iter_tiles",
+    "PackedTileSource",
+    "ValueAccumulator",
+    "OverlapAccumulator",
+    "TileAssembler",
+    "scc_from_overlap_counts",
     "Encoding",
     "ones_to_value",
     "value_to_ones",

@@ -69,6 +69,7 @@ __all__ = [
     "scc",
     "scc_batch",
     "scc_batch_packed",
+    "scc_from_overlap_counts",
     "bias",
     "mean_absolute_error",
     "value_of_bits",
@@ -150,6 +151,17 @@ def _scc_from_counts(a, b, c, d) -> np.ndarray:
     with np.errstate(divide="ignore", invalid="ignore"):
         result = np.where(denom != 0, numerator / np.where(denom == 0, 1.0, denom), 0.0)
     return result
+
+
+def scc_from_overlap_counts(a, b, c, d) -> np.ndarray:
+    """Vectorised SCC from overlap-count arrays ``(a, b, c, d)``.
+
+    Public so streaming consumers can *accumulate* the integer counts
+    tile by tile (word popcounts per tile, summed) and compute the SCC
+    once at the end — the floats are identical to the whole-stream
+    kernels because the summed integers are.
+    """
+    return _scc_from_counts(a, b, c, d)
 
 
 def scc(x, y) -> float:

@@ -43,7 +43,7 @@ from typing import Iterable, Union
 
 import numpy as np
 
-from .._validation import as_bit_matrix
+from .._validation import as_bit_matrix, check_stream_length
 from ..exceptions import EncodingError, LengthMismatchError
 from .batch import BitstreamBatch
 from .bitstream import Bitstream
@@ -54,6 +54,7 @@ __all__ = [
     "WORD_BITS",
     "PackedBitstreamBatch",
     "pack_bits",
+    "pack_bits_unchecked",
     "unpack_bits",
     "words_per_stream",
 ]
@@ -68,8 +69,7 @@ _WORD_DTYPE = np.dtype("<u8")
 
 def words_per_stream(n: int) -> int:
     """Number of 64-bit words needed for an ``n``-bit stream."""
-    if n <= 0:
-        raise EncodingError(f"stream length must be positive, got {n}")
+    n = check_stream_length(n, name="stream length")
     return (n + WORD_BITS - 1) // WORD_BITS
 
 
@@ -87,7 +87,17 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     Bit ``t`` goes to bit ``t % 64`` of word ``t // 64``; tail bits of the
     last word are zero. 1-D input is treated as a single-stream batch.
     """
-    arr = as_bit_matrix(bits)
+    return pack_bits_unchecked(as_bit_matrix(bits))
+
+
+def pack_bits_unchecked(arr: np.ndarray) -> np.ndarray:
+    """:func:`pack_bits` without the 0/1 content validation.
+
+    For internal hot paths whose input is *constructed* as a 2-D 0/1
+    matrix (comparator outputs, kernel outputs): the ``np.unique`` scan
+    of :func:`~repro._validation.as_bit_matrix` costs more than the pack
+    itself on per-tile calls. Accepts uint8 or bool rows.
+    """
     n = arr.shape[1]
     byte_matrix = np.packbits(arr, axis=-1, bitorder="little")
     want_bytes = words_per_stream(n) * (WORD_BITS // 8)

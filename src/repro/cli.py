@@ -35,11 +35,32 @@ import pathlib
 import sys
 from typing import List, Optional
 
+from ._validation import check_stream_length, check_tile_words
 from .analysis import ALL_EXPERIMENTS, render_table
 from .engine import GRAPH_LIBRARY
+from .exceptions import CircuitConfigurationError, EncodingError
 from .hardware import components, report
 
 __all__ = ["main", "build_parser"]
+
+
+def _length_arg(text: str) -> int:
+    """Argparse type for stream lengths — the library's central
+    validator (:func:`repro._validation.check_stream_length`) instead of
+    an ad-hoc bound, so the CLI and the APIs reject exactly the same
+    values with the same rules (odd lengths allowed)."""
+    try:
+        return check_stream_length(int(text))
+    except (ValueError, EncodingError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _tile_words_arg(text: str) -> int:
+    """Argparse type for tile sizes via the central validator."""
+    try:
+        return check_tile_words(int(text))
+    except (ValueError, CircuitConfigurationError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,15 +134,20 @@ def build_parser() -> argparse.ArgumentParser:
         "engine", help="compile a named graph and show its execution plan"
     )
     engine_p.add_argument("graph", choices=sorted(GRAPH_LIBRARY))
-    engine_p.add_argument("--length", type=int, default=256,
+    engine_p.add_argument("--length", type=_length_arg, default=256,
                           help="stream length N for the audit")
     engine_p.add_argument("--tolerance", type=float, default=0.35)
+    engine_p.add_argument("--streaming", action="store_true",
+                          help="audit through the constant-memory tile "
+                               "scheduler (long N stay feasible)")
+    engine_p.add_argument("--tile-words", type=_tile_words_arg, default=4096,
+                          help="streaming tile size in 64-bit words")
 
     audit_p = sub.add_parser(
         "audit", help="engine-backed correlation audit of a named graph"
     )
     audit_p.add_argument("graph", choices=sorted(GRAPH_LIBRARY))
-    audit_p.add_argument("--length", type=int, default=256)
+    audit_p.add_argument("--length", type=_length_arg, default=256)
     audit_p.add_argument("--tolerance", type=float, default=0.35)
     audit_p.add_argument("--fix", action="store_true",
                          help="also run autofix and re-audit the fixed graph")
@@ -241,7 +267,10 @@ def _audit_table(audit, title: str) -> str:
     )
 
 
-def _cmd_engine(graph_name: str, length: int, tolerance: float) -> int:
+def _cmd_engine(
+    graph_name: str, length: int, tolerance: float,
+    streaming: bool = False, tile_words: int = 4096,
+) -> int:
     from .engine import build_graph, cache_info, compile_graph
 
     graph = build_graph(graph_name)
@@ -253,8 +282,19 @@ def _cmd_engine(graph_name: str, length: int, tolerance: float) -> int:
     print(f"plan cache: {outcome} (total {after['hits']} hits / "
           f"{after['misses']} misses, {after['size']} plans cached)")
     print()
-    audit = plan.audit(length, tolerance=tolerance)
-    print(_audit_table(audit, f"Engine audit — {graph_name} (N={length})"))
+    if streaming:
+        from .bitstream.streaming import tile_count
+
+        audit = plan.audit_streaming(
+            length, tile_words=tile_words, tolerance=tolerance
+        )
+        tiles = tile_count(length, tile_words)
+        title = (f"Streaming audit — {graph_name} "
+                 f"(N={length}, {tiles} tiles x {tile_words} words)")
+    else:
+        audit = plan.audit(length, tolerance=tolerance)
+        title = f"Engine audit — {graph_name} (N={length})"
+    print(_audit_table(audit, title))
     print(f"violations: {len(audit.violations)}/{len(audit.entries)}")
     return 0
 
@@ -310,7 +350,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "engine":
-        return _cmd_engine(args.graph, args.length, args.tolerance)
+        return _cmd_engine(args.graph, args.length, args.tolerance,
+                           args.streaming, args.tile_words)
     if args.command == "audit":
         return _cmd_audit(args.graph, args.length, args.tolerance, args.fix)
     return _cmd_costs()

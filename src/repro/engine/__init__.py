@@ -42,12 +42,14 @@ from .executor import (
 from .library import GRAPH_LIBRARY, build_graph, depth_chain_graph
 from .plan import (
     ExecutionPlan,
+    FusedChain,
     PlanStep,
     cache_info,
     clear_cache,
     compile_graph,
     graph_signature,
 )
+from .streaming import StreamingRun, audit_streaming, run_streaming
 
 # ``engine.compile(graph)`` is the documented spelling; ``compile_graph``
 # is the import-safe alias (no builtin shadowing at definition site).
@@ -59,7 +61,11 @@ __all__ = [
     "graph_signature",
     "ExecutionPlan",
     "PlanStep",
+    "FusedChain",
     "EngineRun",
+    "StreamingRun",
+    "run_streaming",
+    "audit_streaming",
     "BatchAudit",
     "BatchAuditEntry",
     "cache_info",

@@ -28,12 +28,14 @@ encodings, and every FSM node type.
 
 from __future__ import annotations
 
+import os
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from .._validation import check_positive_int
+from .._validation import check_stream_length
 from ..arith._coerce import broadcast_pair
 from ..bitstream.encoding import Encoding, ones_to_value
 from ..bitstream.metrics import popcount_words, scc_batch_packed
@@ -59,40 +61,79 @@ __all__ = [
 # ---------------------------------------------------------------------- #
 # Shared-sequence memos (deterministic, so caching is free speedup for
 # the audit -> splice -> re-audit loop, which replays the same RNGs).
+#
+# The memos are module-level and therefore shared by every thread that
+# evaluates plans in one process; all mutation happens under _SEQ_LOCK so
+# a concurrent eviction can never leave a half-written dict behind. The
+# cached arrays themselves are safe to share (treated as read-only by
+# every consumer). Forked worker processes inherit a snapshot of the
+# parent's caches *and locks*; the ``os.register_at_fork`` hook below
+# rebinds a fresh lock and drops the memos in every child, so a fork
+# taken while a parent thread held the lock can never deadlock a worker.
 # ---------------------------------------------------------------------- #
 
 _SEQ_CACHE_MAX = 128
+_SEQ_LOCK = threading.Lock()
 _SEQ_CACHE: Dict[tuple, np.ndarray] = {}
 # The MUX scaled adder's 0.5 select stream, packed, keyed by length —
 # the bits come from the interpreter's own mux_select_bits helper.
 _SELECT_CACHE: Dict[int, np.ndarray] = {}
 
 
+def _reinit_after_fork() -> None:
+    # A forked child inherits _SEQ_LOCK in whatever state some parent
+    # thread left it — possibly held by a thread that does not exist in
+    # the child, where acquiring it would deadlock forever. Rebind a
+    # fresh lock and drop the memos (pure caches; losing them costs one
+    # regeneration).
+    global _SEQ_LOCK
+    _SEQ_LOCK = threading.Lock()
+    _SEQ_CACHE.clear()
+    _SELECT_CACHE.clear()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows (spawn starts clean)
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
 def _rng_sequence(spec: str, kwargs: Tuple[Tuple[str, object], ...], length: int) -> np.ndarray:
     key = (spec, kwargs, length)
-    seq = _SEQ_CACHE.get(key)
+    with _SEQ_LOCK:
+        seq = _SEQ_CACHE.get(key)
     if seq is None:
-        if len(_SEQ_CACHE) >= _SEQ_CACHE_MAX:
-            _SEQ_CACHE.clear()
+        # Generation runs outside the lock (it can be slow); a racing
+        # thread may generate the same sequence twice, but both results
+        # are identical, so last-write-wins is harmless.
         seq = make_rng(spec, **dict(kwargs)).sequence(length)
-        _SEQ_CACHE[key] = seq
+        with _SEQ_LOCK:
+            if len(_SEQ_CACHE) >= _SEQ_CACHE_MAX:
+                _SEQ_CACHE.clear()
+            _SEQ_CACHE[key] = seq
     return seq
 
 
 def _select_words(length: int) -> np.ndarray:
-    words = _SELECT_CACHE.get(length)
+    with _SEQ_LOCK:
+        words = _SELECT_CACHE.get(length)
     if words is None:
-        if len(_SELECT_CACHE) >= _SEQ_CACHE_MAX:
-            _SELECT_CACHE.clear()
         words = pack_bits(mux_select_bits(length).reshape(1, -1))
-        _SELECT_CACHE[length] = words
+        with _SEQ_LOCK:
+            if len(_SELECT_CACHE) >= _SEQ_CACHE_MAX:
+                _SELECT_CACHE.clear()
+            _SELECT_CACHE[length] = words
     return words
 
 
 def clear_sequence_cache() -> None:
-    """Drop the memoised RNG/select sequences (test isolation hook)."""
-    _SEQ_CACHE.clear()
-    _SELECT_CACHE.clear()
+    """Drop the memoised RNG/select sequences.
+
+    Exposed as :func:`repro.engine.clear_sequence_cache` (test isolation
+    hook; forked workers are reset automatically by the at-fork hook)."""
+    with _SEQ_LOCK:
+        _SEQ_CACHE.clear()
+        _SELECT_CACHE.clear()
+    from .streaming import clear_select_tile_cache
+    clear_select_tile_cache()
 
 
 # ---------------------------------------------------------------------- #
@@ -331,7 +372,7 @@ def run_batch(
             Intermediate buffers are freed at their last use.
         encoding: value interpretation of the returned streams.
     """
-    check_positive_int(length, name="length")
+    check_stream_length(length)
     resolved, _, batch = _resolve_levels(plan, length, values, levels)
     kept, _, _ = _execute(
         plan, length, levels=resolved, keep=keep,
@@ -359,7 +400,7 @@ def audit(plan: ExecutionPlan, length: int = 256, *, tolerance: float = 0.35) ->
     Per-op SCC goes through :func:`scc_batch_packed` (same integer
     overlap counts as the unpacked kernel), values through popcounts.
     """
-    check_positive_int(length, name="length")
+    check_stream_length(length)
     resolved, _, _ = _resolve_levels(plan, length, None, None)
     _, node_values, op_scc = _execute(
         plan, length, levels=resolved, keep=(),
@@ -458,7 +499,7 @@ def audit_batch(
     overlap kernels once per operator instead of once per (operator,
     configuration) pair.
     """
-    check_positive_int(length, name="length")
+    check_stream_length(length)
     resolved, nominal, batch = _resolve_levels(plan, length, values, levels)
     _, node_values, op_scc = _execute(
         plan, length, levels=resolved, keep=(),

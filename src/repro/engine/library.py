@@ -14,7 +14,13 @@ from ..graph.graph import SCGraph
 from ..graph.nodes import TransformNode
 from ..rng import LFSR
 
-__all__ = ["GRAPH_LIBRARY", "build_graph", "depth_chain_graph"]
+__all__ = [
+    "GRAPH_LIBRARY",
+    "build_graph",
+    "depth_chain_graph",
+    "long_stream_graph",
+    "mux_chain_graph",
+]
 
 
 def correlated_multiply_graph() -> SCGraph:
@@ -110,6 +116,62 @@ def depth_chain_graph(depth: int = 8, values=None) -> SCGraph:
 def depth8_graph() -> SCGraph:
     """The benchmark's depth-8 chain (see :func:`depth_chain_graph`)."""
     return depth_chain_graph(8)
+
+
+def mux_chain_graph(depth: int = 64, sources: int = 3) -> SCGraph:
+    """A deep MUX scaled-add chain over a few period-cached sources.
+
+    The SC weighted-sum construction taken to depth: every level is a
+    2:1 scaled add of the running sum with one of ``sources`` recycled
+    inputs. This is the fusion benchmark's workload — one long run of
+    packed combinational nodes with single-consumer intermediates, i.e.
+    one fused super-step — and the op mix (MUX) is the one whose
+    in-place kernel beats the allocating kernel hardest.
+    """
+    specs = ["vdc", "lfsr", "counter"]
+    g = SCGraph()
+    for i in range(sources):
+        g.source(f"src{i}", 0.35 + 0.1 * (i % 3), specs[i % len(specs)])
+    prev = "src0"
+    for i in range(1, depth + 1):
+        g.op(f"n{i}", "scaled_add", prev, f"src{i % sources}")
+        prev = f"n{i}"
+    return g
+
+
+def long_stream_graph(width: int = 22) -> SCGraph:
+    """The paper's three manipulation stages with width-matched RNGs.
+
+    The library graphs drive their comparators with 8-bit RNGs, which is
+    exact at the paper's N = 256 but saturates for N > 256 (every level
+    exceeds the modulus). This graph widens the source registers to
+    ``width`` bits so D/S conversion stays meaningful up to N = 2**width
+    — the long-stream convergence regime the ``long_stream`` experiment
+    sweeps:
+
+    * synchronizer on an uncorrelated (VDC, Halton) pair feeding the
+      XOR subtractor (requires SCC = +1);
+    * desynchronizer on a maximally correlated shared-VDC pair feeding
+      the OR saturating adder (requires SCC = -1);
+    * decorrelator on the same correlated pair feeding the AND
+      multiplier (requires SCC = 0). Its 8-bit address LFSRs are kept
+      narrow on purpose: hardware reuses a short address generator
+      cyclically regardless of stream length.
+    """
+    g = SCGraph()
+    g.source("a", 0.7, "vdc", width=width)
+    g.source("b", 0.4, "halton3", width=width)
+    sx, sy = _splice(g, Synchronizer(depth=1), "a", "b", "sync")
+    g.op("diff", "sub", sx, sy)
+    g.source("c", 0.5, "vdc", width=width)
+    g.source("d", 0.3, "vdc", width=width)
+    dx, dy = _splice(g, Desynchronizer(depth=1), "c", "d", "desync")
+    g.op("sat", "sat_add", dx, dy)
+    kx, ky = _splice(
+        g, Decorrelator(LFSR(8, seed=45), LFSR(8, seed=142), depth=4), "c", "d", "deco"
+    )
+    g.op("prod", "mul", kx, ky)
+    return g
 
 
 GRAPH_LIBRARY: Dict[str, Callable[[], SCGraph]] = {

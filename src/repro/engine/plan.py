@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..exceptions import GraphCompilationError
 from ..graph.graph import SCGraph
@@ -46,6 +46,7 @@ from ..kernels import is_kernelized
 
 __all__ = [
     "PlanStep",
+    "FusedChain",
     "ExecutionPlan",
     "graph_signature",
     "compile_graph",
@@ -88,6 +89,32 @@ class PlanStep:
     group: Optional[int] = None
     # buffer liveness
     free_after: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FusedChain:
+    """A run of adjacent packed combinational steps fused into one
+    super-step.
+
+    The streaming executor evaluates the whole chain in a single pass
+    over the current tile: interior results live in two ping-pong scratch
+    buffers (in-place ufunc kernels, no per-node allocation) and are
+    never entered into the tile environment — only the chain head's
+    output is. Fusion is only legal when every interior output has
+    exactly one consumer (the next chain member) and is not *exposed*
+    (kept, audited, or value-accumulated); :meth:`ExecutionPlan.fused_schedule`
+    enforces both.
+    """
+
+    steps: Tuple[PlanStep, ...]
+
+    @property
+    def name(self) -> str:
+        """The chain head's node name (its only visible output)."""
+        return self.steps[-1].name
+
+    def __len__(self) -> int:
+        return len(self.steps)
 
 
 def _freeze(value):
@@ -202,6 +229,81 @@ class ExecutionPlan:
                 return s
         raise KeyError(name)
 
+    def consumer_counts(self) -> Dict[str, int]:
+        """How many scheduled steps read each node's output.
+
+        Both ports of a transform insertion count separately (each is its
+        own step), which naturally blocks fusion *through* a transform's
+        operands.
+        """
+        counts: Dict[str, int] = {s.name: 0 for s in self.steps}
+        for s in self.steps:
+            for dep in s.inputs:
+                counts[dep] += 1
+        return counts
+
+    def fused_schedule(
+        self, exposed: Optional[Iterable[str]] = None
+    ) -> List[Union[PlanStep, "FusedChain"]]:
+        """The schedule with runs of adjacent packed ops collapsed into
+        :class:`FusedChain` super-steps.
+
+        An op step joins the open chain when it consumes the chain head's
+        output and that output is *interior*: consumed by exactly one
+        step and not in ``exposed`` (node names whose buffers someone
+        outside the chain needs — kept streams, audited values, SCC
+        operands). ``exposed=None`` means every node is exposed, which
+        degenerates to the unfused schedule.
+
+        Steps that touch no chain member (a source feeding a later level,
+        an independent transform) do not break the chain — the chain is
+        emitted at its flush point, which is legal because deferring a
+        step never runs it before its inputs (every dependency precedes
+        it in the original order and is flushed first if it is a chain
+        member). Relative evaluation order of *dependent* steps is
+        preserved exactly; only which intermediate buffers exist changes.
+        """
+        if exposed is None:
+            return list(self.steps)
+        exposed_set: Set[str] = set(exposed)
+        counts = self.consumer_counts()
+        schedule: List[Union[PlanStep, FusedChain]] = []
+        chain: List[PlanStep] = []
+        chain_names: Set[str] = set()
+
+        def flush_chain() -> None:
+            if not chain:
+                return
+            if len(chain) == 1:
+                schedule.append(chain[0])
+            else:
+                schedule.append(FusedChain(steps=tuple(chain)))
+            chain.clear()
+            chain_names.clear()
+
+        for s in self.steps:
+            if s.kind == "op":
+                if chain:
+                    head = chain[-1]
+                    # The other operand can never be a chain *interior*:
+                    # interiors have exactly one (already-seen) consumer.
+                    fusable = (
+                        head.name in s.inputs
+                        and s.inputs.count(head.name) == 1
+                        and counts[head.name] == 1
+                        and head.name not in exposed_set
+                    )
+                    if not fusable:
+                        flush_chain()
+                chain.append(s)
+                chain_names.add(s.name)
+            else:
+                if chain_names.intersection(s.inputs):
+                    flush_chain()
+                schedule.append(s)
+        flush_chain()
+        return schedule
+
     def describe(self) -> str:
         """Human-readable schedule: one line per level, nodes annotated
         with their domain (the CLI's ``engine`` subcommand prints this)."""
@@ -242,6 +344,14 @@ class ExecutionPlan:
     def audit_batch(self, length: int = 256, **kwargs):
         from .executor import audit_batch as _audit_batch
         return _audit_batch(self, length, **kwargs)
+
+    def run_streaming(self, length: int = 256, **kwargs):
+        from .streaming import run_streaming as _run_streaming
+        return _run_streaming(self, length, **kwargs)
+
+    def audit_streaming(self, length: int = 256, **kwargs):
+        from .streaming import audit_streaming as _audit_streaming
+        return _audit_streaming(self, length, **kwargs)
 
     def expected_values(self) -> Dict[str, float]:
         """Exact float semantics per node — same loop, and therefore the

@@ -1,0 +1,478 @@
+"""Constant-memory tile streaming over compiled execution plans.
+
+:mod:`repro.engine.executor` materialises every node's full-length packed
+buffer — O(nodes × N × batch) memory, which walls off the long-stream
+regime (N ≥ 2^20) where the paper's SCC and value estimates converge.
+This module pumps fixed-size **word tiles** through the whole plan
+instead:
+
+1. the stream is split into tiles of ``tile_words`` uint64 words
+   (:func:`repro.bitstream.streaming.tile_bounds`);
+2. per tile, sources emit packed words on demand from *windowed* RNG
+   sequences (:class:`~repro.bitstream.streaming.PackedTileSource` — no
+   full-length comparator sequence ever exists), combinational ops run
+   word-parallel on the tile, and sequential transforms advance
+   *carriers* (:mod:`repro.kernels.streaming`) that hold FSM state across
+   tile boundaries;
+3. whole-stream quantities come from streaming accumulators — popcount
+   partial sums for values, overlap partial sums for pairwise SCC — so
+   nothing about a node needs retaining beyond a handful of integers.
+   Full streams are assembled only for nodes the caller explicitly keeps.
+
+On top of the tile walk sits a **fusion pass**
+(:meth:`~repro.engine.plan.ExecutionPlan.fused_schedule`): runs of
+adjacent packed ops whose intermediates nobody else reads collapse into
+one super-step evaluated in a single pass over the tile, with interior
+results ping-ponging between two reusable scratch buffers (in-place
+ufunc kernels — zero interior allocation, zero interior accumulation).
+
+Bit-exactness contract (enforced by ``tests/test_streaming.py`` for
+every :mod:`repro.engine.library` graph, both encodings, odd lengths,
+batches ≥ 1, across tile sizes):
+
+* :func:`run_streaming` with ``keep`` covering a node reproduces
+  :func:`repro.engine.executor.run_batch`'s words for it **bit for
+  bit**, at every tile size;
+* :func:`audit_streaming` returns a
+  :class:`~repro.graph.graph.GraphAudit` **float-identical** to
+  :func:`repro.engine.executor.audit` (the accumulated integer counts
+  equal the whole-stream counts, so the derived floats are equal too).
+
+Memory model: O(batch × tile_words) per live node within a tile, plus
+O(batch) integers per accumulated node, plus O(batch × N/64) *only* for
+explicitly kept nodes. ``keep=()`` is the constant-memory configuration
+the ``long_stream`` experiment and the N=2^22 CI smoke run in.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .._validation import check_stream_length, check_tile_words
+from ..arith._coerce import broadcast_pair
+from ..bitstream.encoding import Encoding, ones_to_value
+from ..bitstream.packed import pack_bits_unchecked, unpack_bits, words_per_stream
+from ..bitstream.streaming import (
+    DEFAULT_TILE_WORDS,
+    OverlapAccumulator,
+    PackedTileSource,
+    TileAssembler,
+    ValueAccumulator,
+    tile_bounds,
+    tile_count,
+)
+from ..exceptions import GraphCompilationError
+from ..graph.graph import AuditEntry, GraphAudit
+from ..graph.nodes import OP_LIBRARY, mux_select_window
+from ..kernels.streaming import PairCarrier, make_pair_carrier
+from ..rng import make_rng
+from .executor import _OP_KERNELS, _resolve_levels
+from .plan import ExecutionPlan, FusedChain
+
+__all__ = ["StreamingRun", "run_streaming", "audit_streaming"]
+
+_WORD_DTYPE = np.dtype("<u8")
+
+# ---------------------------------------------------------------------- #
+# Select-tile memo. The MUX scaled adder's 0.5 select stream is one
+# deterministic sequence, and a tile of it is keyed by (start, stop)
+# alone — independent of stream length — so tiles computed for one run
+# serve every later run (the long_stream sweep's shards share all their
+# early tiles). The halton7 radical inverse is the single most expensive
+# per-tile computation, so this memo matters; the cap bounds it to a few
+# MB at the default tile size (eviction degrades to recomputation, never
+# to wrong bits). Guarded by a lock like the executor's sequence memos;
+# cleared by repro.engine.clear_sequence_cache.
+# ---------------------------------------------------------------------- #
+
+_SELECT_TILE_MAX = 64
+_SELECT_TILE_LOCK = threading.Lock()
+_SELECT_TILE_CACHE: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
+
+
+def _reinit_after_fork() -> None:
+    # Same rationale as the executor's fork hook: the inherited lock may
+    # be held by a thread that does not exist in the child.
+    global _SELECT_TILE_LOCK
+    _SELECT_TILE_LOCK = threading.Lock()
+    _SELECT_TILE_CACHE.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
+def _select_tile(start: int, stop: int) -> np.ndarray:
+    key = (start, stop)
+    with _SELECT_TILE_LOCK:
+        words = _SELECT_TILE_CACHE.get(key)
+        if words is not None:
+            _SELECT_TILE_CACHE.move_to_end(key)
+            return words
+    words = pack_bits_unchecked(mux_select_window(start, stop).reshape(1, -1))
+    with _SELECT_TILE_LOCK:
+        _SELECT_TILE_CACHE[key] = words
+        while len(_SELECT_TILE_CACHE) > _SELECT_TILE_MAX:
+            _SELECT_TILE_CACHE.popitem(last=False)
+    return words
+
+
+def clear_select_tile_cache() -> None:
+    """Drop the memoised select tiles (invoked by
+    :func:`repro.engine.clear_sequence_cache`)."""
+    with _SELECT_TILE_LOCK:
+        _SELECT_TILE_CACHE.clear()
+
+
+# ---------------------------------------------------------------------- #
+# In-place word kernels for fused super-steps
+# ---------------------------------------------------------------------- #
+
+def _mux_into(a, b, select, out):
+    # The mux identity ``((x ^ y) & s) ^ x == (s & y) | (~s & x)`` runs
+    # the scaled adder in-place with no scratch operand.
+    np.bitwise_xor(a, b, out=out)
+    np.bitwise_and(out, select, out=out)
+    np.bitwise_xor(out, a, out=out)
+
+
+_INPLACE_KERNELS = {
+    "mul": lambda a, b, sel, out: np.bitwise_and(a, b, out=out),
+    "min": lambda a, b, sel, out: np.bitwise_and(a, b, out=out),
+    "sat_add": lambda a, b, sel, out: np.bitwise_or(a, b, out=out),
+    "max": lambda a, b, sel, out: np.bitwise_or(a, b, out=out),
+    "sub": lambda a, b, sel, out: np.bitwise_xor(a, b, out=out),
+    "scaled_add": _mux_into,
+}
+
+
+class _CompiledChain:
+    """One fused super-step, prepared once per run.
+
+    Each member is resolved to ``(kernel, a_name, b_name, rows)`` where a
+    ``None`` operand name means "the previous member's output" — so the
+    per-tile inner loop does no string matching, no shape broadcasting,
+    and no allocation (outputs ping-pong between two scratch buffers,
+    reallocated only when the tile shape changes, i.e. at the final
+    partial tile)."""
+
+    __slots__ = ("name", "members", "slots")
+
+    def __init__(self, chain: FusedChain, rows: Dict[str, int]) -> None:
+        self.name = chain.name
+        members = []
+        prev_name: Optional[str] = None
+        for step in chain.steps:
+            a_name, b_name = step.inputs
+            members.append((
+                _INPLACE_KERNELS[step.op],
+                None if a_name == prev_name else a_name,
+                None if b_name == prev_name else b_name,
+                rows[step.name],
+            ))
+            prev_name = step.name
+        self.members = members
+        self.slots: List[Optional[np.ndarray]] = [None, None]
+
+    def evaluate(
+        self,
+        env: Dict[str, np.ndarray],
+        select: Optional[np.ndarray],
+        tile_word_count: int,
+    ) -> np.ndarray:
+        slots = self.slots
+        prev: Optional[np.ndarray] = None
+        for i, (kernel, a_name, b_name, r) in enumerate(self.members):
+            a = prev if a_name is None else env[a_name]
+            b = prev if b_name is None else env[b_name]
+            out = slots[i & 1]
+            if out is None or out.shape[0] != r or out.shape[1] != tile_word_count:
+                out = np.empty((r, tile_word_count), dtype=_WORD_DTYPE)
+                slots[i & 1] = out
+            kernel(a, b, select, out)
+            prev = out
+        return prev
+
+
+# ---------------------------------------------------------------------- #
+# Rows (batch-dimension) propagation
+# ---------------------------------------------------------------------- #
+
+def _propagate_rows(plan: ExecutionPlan, levels: Dict[str, np.ndarray]) -> Dict[str, int]:
+    """Per-node row counts — 1 for configuration-independent nodes,
+    ``batch`` downstream of an overridden source (matches the executor's
+    numpy broadcasting exactly)."""
+    rows: Dict[str, int] = {}
+    for step in plan.steps:
+        if step.kind == "source":
+            rows[step.name] = int(levels[step.name].size)
+        else:
+            rows[step.name] = max(rows[d] for d in step.inputs)
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# Core tile walk
+# ---------------------------------------------------------------------- #
+
+def _stream_execute(
+    plan: ExecutionPlan,
+    length: int,
+    *,
+    levels: Dict[str, np.ndarray],
+    keep: Optional[Iterable[str]],
+    tile_words: int,
+    fuse: bool,
+    want_values_all: bool,
+    want_op_scc: bool,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], Dict[str, np.ndarray], int]:
+    """Walk every tile through the (possibly fused) schedule.
+
+    Returns ``(kept_words, ones, op_scc, fused_chains)`` where ``ones``
+    maps accumulated node names to integer 1-counts and ``op_scc`` maps
+    op names to per-row SCC arrays.
+    """
+    all_names = set(plan.node_order)
+    if keep is None:
+        keep_set = all_names
+    else:
+        keep_set = set(keep)
+        unknown = keep_set - all_names
+        if unknown:
+            raise GraphCompilationError(f"keep names not in graph: {sorted(unknown)}")
+
+    value_nodes = all_names if want_values_all else set(keep_set)
+    exposed = set(keep_set) | value_nodes
+    if want_op_scc:
+        for step in plan.steps:
+            if step.kind == "op":
+                exposed.update(step.inputs)
+    schedule = plan.fused_schedule(exposed if fuse else None)
+    fused_chains = sum(1 for item in schedule if isinstance(item, FusedChain))
+
+    rows = _propagate_rows(plan, levels)
+
+    # Per-run state: tile sources, transform carriers, accumulators,
+    # assemblers, scratch buffers.
+    sources: Dict[str, PackedTileSource] = {}
+    carriers: Dict[int, PairCarrier] = {}
+    for step in plan.steps:
+        if step.kind == "source":
+            sources[step.name] = PackedTileSource(
+                levels[step.name], make_rng(step.rng_spec, **dict(step.rng_kwargs))
+            )
+        elif step.kind == "transform" and step.group not in carriers:
+            batch = max(rows[d] for d in step.inputs)
+            carrier = make_pair_carrier(step.transform, length, batch)
+            if carrier is None:
+                raise GraphCompilationError(
+                    f"transform {step.name!r} ({step.transform.name}) has no "
+                    f"chunk-resumable streaming carrier; evaluate this plan "
+                    f"with run()/audit() instead"
+                )
+            carriers[step.group] = carrier
+
+    vacc = {name: ValueAccumulator(length) for name in value_nodes}
+    sccacc: Dict[str, OverlapAccumulator] = {}
+    if want_op_scc:
+        sccacc = {
+            s.name: OverlapAccumulator(length) for s in plan.steps if s.kind == "op"
+        }
+    assemblers = {name: TileAssembler(rows[name], length) for name in keep_set}
+    schedule = [
+        _CompiledChain(item, rows) if isinstance(item, FusedChain) else item
+        for item in schedule
+    ]
+
+    needs_select = any(s.op == "scaled_add" for s in plan.steps if s.kind == "op")
+
+    for start, stop in tile_bounds(length, tile_words):
+        tile_len = stop - start
+        tile_word_count = (tile_len + 63) // 64
+        select = _select_tile(start, stop) if needs_select else None
+        env: Dict[str, np.ndarray] = {}
+        group_out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+        for item in schedule:
+            if isinstance(item, _CompiledChain):
+                env[item.name] = item.evaluate(env, select, tile_word_count)
+                name = item.name
+            elif item.kind == "source":
+                env[item.name] = sources[item.name].tile(start, stop)
+                name = item.name
+            elif item.kind == "op":
+                a, b = (env[d] for d in item.inputs)
+                if want_op_scc:
+                    sccacc[item.name].update(a, b)
+                env[item.name] = _OP_KERNELS[item.op](a, b, select)
+                name = item.name
+            else:  # transform
+                if item.group not in group_out:
+                    xw, yw = (env[d] for d in item.inputs)
+                    xb = unpack_bits(xw, tile_len)
+                    yb = unpack_bits(yw, tile_len)
+                    xb, yb = broadcast_pair(xb, yb)
+                    ox, oy = carriers[item.group].step(xb, yb)
+                    group_out[item.group] = (pack_bits_unchecked(ox), pack_bits_unchecked(oy))
+                env[item.name] = group_out[item.group][item.port]
+                name = item.name
+
+            if name in vacc:
+                vacc[name].update(env[name])
+            if name in assemblers:
+                assemblers[name].write(start, env[name])
+
+    kept = {name: assemblers[name].words for name in plan.node_order if name in assemblers}
+    ones = {name: acc.ones for name, acc in vacc.items()}
+    op_scc = {name: acc.scc() for name, acc in sccacc.items()}
+    return kept, ones, op_scc, fused_chains
+
+
+# ---------------------------------------------------------------------- #
+# Public entry points
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class StreamingRun:
+    """Result of one tile-streamed evaluation.
+
+    ``packed`` holds full word matrices only for the nodes the caller
+    kept; ``ones`` holds accumulated 1-counts for kept nodes (plus any
+    value-accumulated ones), from which :meth:`values` derives the same
+    floats a materialised run would.
+    """
+
+    length: int
+    batch_size: int
+    encoding: Encoding
+    tile_words: int
+    tiles: int
+    fused_super_steps: int
+    packed: Dict[str, np.ndarray]
+    ones: Dict[str, np.ndarray]
+
+    @property
+    def names(self) -> List[str]:
+        return list(self.packed)
+
+    def words(self, name: str) -> np.ndarray:
+        """A kept node's full ``(rows, words)`` uint64 matrix."""
+        return self.packed[name]
+
+    def bits(self, name: str) -> np.ndarray:
+        """A kept node's streams unpacked to ``(rows, length)`` uint8."""
+        return unpack_bits(self.packed[name], self.length)
+
+    def values(self, name: str) -> np.ndarray:
+        """Per-configuration encoded values from the streaming popcount
+        accumulator (no bits were retained to compute these)."""
+        return ones_to_value(self.ones[name], self.length, self.encoding)
+
+
+def run_streaming(
+    plan: ExecutionPlan,
+    length: int = 256,
+    *,
+    tile_words: int = DEFAULT_TILE_WORDS,
+    values: Optional[Dict[str, Union[float, np.ndarray]]] = None,
+    levels: Optional[Dict[str, Union[int, np.ndarray]]] = None,
+    keep: Optional[Iterable[str]] = None,
+    encoding: Union[Encoding, str] = Encoding.UNIPOLAR,
+    fuse: bool = True,
+) -> StreamingRun:
+    """Evaluate a plan by pumping word tiles through the whole schedule.
+
+    Bit-identical to :func:`repro.engine.executor.run_batch` on every
+    node it keeps, at every tile size — but memory scales with
+    ``tile_words``, not ``length``, for everything *not* kept.
+
+    Args:
+        plan: a compiled :class:`~repro.engine.plan.ExecutionPlan` whose
+            transforms all have streaming carriers (every kernel-domain
+            circuit does; plans with ``fsm``-domain nodes are rejected).
+        length: stream length N (odd lengths fine; the last tile is
+            partial).
+        tile_words: tile size in 64-bit words (``tile_words * 64`` bits
+            per tile).
+        values / levels: per-source overrides, as in ``run_batch``.
+        keep: node names to materialise at full length. **Default keeps
+            every node** (matching ``run_batch``); pass ``()`` or a small
+            subset for constant-memory execution. Kept nodes also get
+            streaming value accumulators.
+        encoding: value interpretation of results.
+        fuse: collapse runs of adjacent packed ops into fused super-steps
+            (single pass over the tile, no interior buffers). Never
+            changes any bit — only which intermediates exist.
+    """
+    check_stream_length(length)
+    check_tile_words(tile_words)
+    resolved, _, batch = _resolve_levels(plan, length, values, levels)
+    kept, ones, _, fused = _stream_execute(
+        plan, length, levels=resolved, keep=keep, tile_words=tile_words,
+        fuse=fuse, want_values_all=False, want_op_scc=False,
+    )
+    return StreamingRun(
+        length=length,
+        batch_size=batch,
+        encoding=Encoding.coerce(encoding),
+        tile_words=tile_words,
+        tiles=tile_count(length, tile_words),
+        fused_super_steps=fused,
+        packed=kept,
+        ones=ones,
+    )
+
+
+def audit_streaming(
+    plan: ExecutionPlan,
+    length: int = 256,
+    *,
+    tile_words: int = DEFAULT_TILE_WORDS,
+    tolerance: float = 0.35,
+) -> GraphAudit:
+    """Streaming graph audit — float-identical to
+    :func:`repro.engine.executor.audit` at any tile size, with O(tile)
+    memory.
+
+    Node values accumulate as popcount partial sums and per-op SCC as
+    overlap partial sums; the summed integers equal the whole-stream
+    counts, so every derived float matches the materialised audit
+    exactly. This is what makes N = 2^22 correlation audits (the
+    ``long_stream`` experiment) possible at all.
+    """
+    check_stream_length(length)
+    check_tile_words(tile_words)
+    resolved, _, _ = _resolve_levels(plan, length, None, None)
+    _, ones, op_scc, _ = _stream_execute(
+        plan, length, levels=resolved, keep=(), tile_words=tile_words,
+        fuse=True, want_values_all=True, want_op_scc=True,
+    )
+    expected = plan.expected_values()
+    node_values = {
+        name: float(count[0]) / float(length) for name, count in ones.items()
+    }
+    entries: List[AuditEntry] = []
+    for step in plan.steps:
+        if step.kind != "op":
+            continue
+        required = OP_LIBRARY[step.op]["required"]
+        measured = float(op_scc[step.name][0])
+        violated = required is not None and abs(measured - required) > tolerance
+        entries.append(
+            AuditEntry(
+                node=step.name,
+                op=step.op,
+                required_scc=required,
+                measured_scc=measured,
+                expected_value=expected[step.name],
+                measured_value=node_values[step.name],
+                violated=violated,
+            )
+        )
+    return GraphAudit(entries=entries, values=node_values, expected=expected)

@@ -27,7 +27,8 @@ from ..core.fsm import PairTransform
 from ..exceptions import CircuitConfigurationError
 from ..rng import make_rng
 
-__all__ = ["Node", "SourceNode", "OpNode", "TransformNode", "OP_LIBRARY", "mux_select_bits"]
+__all__ = ["Node", "SourceNode", "OpNode", "TransformNode", "OP_LIBRARY",
+           "mux_select_bits", "mux_select_window"]
 
 
 class Node:
@@ -85,15 +86,25 @@ class SourceNode(Node):
 # ``expected`` is the scalar exact-float semantics the interpreter uses;
 # ``expected_batch`` is the vectorised twin the execution engine applies
 # to whole configuration batches (python min/max/abs reject arrays).
-def mux_select_bits(length: int) -> np.ndarray:
-    """The scaled adder's 0.5 select stream (fresh low-discrepancy RNG).
+def mux_select_window(start: int, stop: int) -> np.ndarray:
+    """Bits ``[start, stop)`` of the scaled adder's 0.5 select stream.
 
-    Single source of truth: the interpreter's emit below and the engine's
-    packed mux kernel (:mod:`repro.engine.executor`) both call this, so
-    the two backends cannot drift apart on select bits.
+    Single source of truth: the interpreter's emit below, the engine's
+    packed mux kernel (:mod:`repro.engine.executor`), and the streaming
+    executor's per-tile select (:mod:`repro.engine.streaming`) all derive
+    from this comparator, so no backend can drift on select bits. The
+    window is value-exact against the full sequence (windowed RNG
+    contract, :meth:`repro.rng.base.StreamRNG.sequence_window`).
     """
     select_rng = make_rng("halton7")
-    return (select_rng.sequence(length) < select_rng.modulus // 2).astype(np.uint8)
+    window = select_rng.sequence_window(start, stop)
+    return (window < select_rng.modulus // 2).astype(np.uint8)
+
+
+def mux_select_bits(length: int) -> np.ndarray:
+    """The scaled adder's 0.5 select stream (fresh low-discrepancy RNG):
+    the first ``length`` bits of :func:`mux_select_window`."""
+    return mux_select_window(0, length)
 
 
 def _mux_add_emit(bits: List[np.ndarray], length: int) -> np.ndarray:

@@ -39,7 +39,19 @@ from .dispatch import (
     tfm_kernel,
     use_backend,
 )
-from .steppers import STRATEGIES, choose_chunk, choose_strategy, state_trajectory
+from .steppers import (
+    STRATEGIES,
+    choose_chunk,
+    choose_strategy,
+    state_trajectory,
+    step_chunk,
+)
+from .streaming import (
+    PairCarrier,
+    StreamCarrier,
+    make_pair_carrier,
+    make_stream_carrier,
+)
 from .tables import (
     MAX_TABLE_STATES,
     CompiledFSM,
@@ -56,8 +68,13 @@ __all__ = [
     "MAX_TABLE_STATES",
     "STRATEGIES",
     "state_trajectory",
+    "step_chunk",
     "choose_chunk",
     "choose_strategy",
+    "PairCarrier",
+    "StreamCarrier",
+    "make_pair_carrier",
+    "make_stream_carrier",
     "get_backend",
     "set_backend",
     "use_backend",

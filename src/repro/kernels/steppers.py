@@ -36,6 +36,7 @@ from .tables import CompiledFSM
 __all__ = [
     "state_trajectory",
     "chunked_outputs",
+    "step_chunk",
     "choose_chunk",
     "choose_strategy",
     "STRATEGIES",
@@ -279,6 +280,81 @@ def chunked_outputs(
             out_y[:, t] = fsm.steady.out_y[sym_t, state]
         state = next_state[sym_t, state]
     return out_x, out_y, state
+
+
+def step_chunk(
+    fsm: CompiledFSM,
+    state: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    remaining_after: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Resumable chunk execution: advance the FSM over one chunk of the
+    stream, carrying state across chunk boundaries.
+
+    One-shot stepping restarts the FSM from its initial state on every
+    call — fine for whole streams, impossible for tile streaming, where a
+    stream arrives as a sequence of chunks. ``step_chunk`` instead takes
+    the state the previous chunk ended in and returns the state this one
+    ends in, so splitting a stream at *any* boundaries reproduces the
+    one-shot run bit for bit::
+
+        state = initial
+        for chunk in chunks:
+            state, ox, oy = step_chunk(fsm, state, cx, cy,
+                                       remaining_after=cycles_after_chunk)
+
+    Args:
+        fsm: a compiled pair FSM (``n_symbols == 4``, ``outputs >= 1``;
+            trajectory-only circuits resume via
+            :func:`state_trajectory`'s ``initial`` argument instead).
+        state: ``(batch,)`` states entering the chunk (start a stream
+            with ``fsm.initial_state`` everywhere).
+        x, y: ``(batch, chunk_len)`` input bit planes.
+        remaining_after: stream cycles that follow this chunk (0 for the
+            final chunk). Flush-mode circuits consult it to decide which
+            cycles fall in the tail region: a cycle with
+            ``remaining <= len(fsm.tails)`` steps its per-remaining tail
+            table — even when the tail region straddles chunk boundaries.
+
+    Returns:
+        ``(state_after, out_x, out_y)`` — ``out_y`` is ``None`` for
+        single-output circuits.
+    """
+    if fsm.n_symbols != 4 or not fsm.outputs:
+        raise ValueError(
+            f"step_chunk needs a pair FSM with outputs (got n_symbols="
+            f"{fsm.n_symbols}, outputs={fsm.outputs})"
+        )
+    if remaining_after < 0:
+        raise ValueError(f"remaining_after must be >= 0, got {remaining_after}")
+    batch, length = x.shape
+    two = fsm.steady.out_y is not None
+    # Cycles of this chunk that fall in the flush-tail region (remaining
+    # counts down to remaining_after + 1 at the chunk's last cycle).
+    tail_here = max(0, min(length, len(fsm.tails) - remaining_after))
+    steady_len = length - tail_here
+    state = state.astype(fsm.steady.next_state.dtype, copy=True)
+    if steady_len:
+        ox_steady, oy_steady, state = chunked_outputs(
+            fsm, x[:, :steady_len], y[:, :steady_len], state
+        )
+    out_x = np.empty((batch, length), dtype=np.uint8)
+    out_y = np.empty((batch, length), dtype=np.uint8) if two else None
+    if steady_len:
+        out_x[:, :steady_len] = ox_steady
+        if two:
+            out_y[:, :steady_len] = oy_steady
+    for t in range(steady_len, length):
+        remaining = length - t + remaining_after
+        table = fsm.tails[remaining - 1]
+        sym_t = (x[:, t] << np.uint8(1)) | y[:, t]
+        out_x[:, t] = table.out_x[sym_t, state]
+        if two:
+            out_y[:, t] = table.out_y[sym_t, state]
+        state = table.next_state[sym_t, state]
+    return state, out_x, out_y
 
 
 def _scan_trajectory(

@@ -1,0 +1,285 @@
+"""Resumable (carry-state) execution of sequential circuits.
+
+The kernels in :mod:`repro.kernels.dispatch` evaluate a whole stream per
+call: every circuit restarts from its initial state. Tile streaming needs
+the opposite — a stream arrives chunk by chunk, and the circuit's state
+must survive the chunk boundary. This module wraps each kernelized
+circuit type in a **carrier**: a small stateful object created once per
+stream evaluation whose ``step(...)`` consumes consecutive chunks and is
+bit-identical to the one-shot kernel over the concatenation.
+
+Carrier construction mirrors :func:`repro.kernels.dispatch.is_kernelized`:
+
+* table-compiled pair FSMs (synchronizer, desynchronizer, flush modes
+  included) resume via :func:`repro.kernels.steppers.step_chunk`;
+* the shuffle buffer carries its ``depth``-slot contents plus the stream
+  offset (addresses come from the RNG's window API);
+* the isolator carries its last ``delay`` input bits;
+* the TFM carries its estimate register; its auxiliary comparator
+  sequence is windowed;
+* decorrelator / isolator-pair / TFM-pair / series compositions compose
+  carriers of their parts.
+
+:func:`make_pair_carrier` returns ``None`` for circuits without a
+resumable lowering — callers fall back to whole-stream evaluation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .dispatch import compiled_kernel
+from .steppers import state_trajectory, step_chunk
+from .tables import CompiledFSM
+
+__all__ = ["PairCarrier", "StreamCarrier", "make_pair_carrier", "make_stream_carrier"]
+
+
+class StreamCarrier(abc.ABC):
+    """Resumable one-in / one-out circuit execution."""
+
+    @abc.abstractmethod
+    def step(self, bits: np.ndarray) -> np.ndarray:
+        """Consume the next ``(batch, chunk_len)`` chunk; return the
+        like-shaped output chunk."""
+
+
+class PairCarrier(abc.ABC):
+    """Resumable two-in / two-out circuit execution."""
+
+    @abc.abstractmethod
+    def step(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume the next chunk of both operands; return both outputs."""
+
+
+# ---------------------------------------------------------------------- #
+# Table-compiled pair FSMs
+# ---------------------------------------------------------------------- #
+
+class TablePairCarrier(PairCarrier):
+    """Carrier over a compiled two-output transition-table FSM.
+
+    ``total_length`` lets flush-mode circuits locate the end-of-stream
+    tail region across chunk boundaries (``step_chunk`` receives how many
+    cycles remain after each chunk).
+    """
+
+    def __init__(self, fsm: CompiledFSM, total_length: int, batch: int) -> None:
+        self._fsm = fsm
+        self._remaining = int(total_length)
+        self._state = np.full(
+            batch, fsm.initial_state, dtype=fsm.steady.next_state.dtype
+        )
+
+    def step(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        self._remaining -= x.shape[1]
+        if self._remaining < 0:
+            raise ValueError("carrier stepped past the declared stream length")
+        self._state, out_x, out_y = step_chunk(
+            self._fsm, self._state, x, y, remaining_after=self._remaining
+        )
+        return out_x, out_y
+
+
+# ---------------------------------------------------------------------- #
+# Stream circuits with dedicated carriers
+# ---------------------------------------------------------------------- #
+
+class ShuffleCarrier(StreamCarrier):
+    """Shuffle buffer with carried slot contents.
+
+    Within a chunk the gather trick of
+    :func:`repro.kernels.dispatch.shuffle_kernel` applies unchanged; a
+    slot not yet written *in this chunk* falls back to the carried buffer
+    contents instead of the initial fill, and slots written in the chunk
+    update the carry from their last write.
+    """
+
+    def __init__(self, buffer, batch: int) -> None:
+        self._buffer = buffer
+        self._contents = buffer._initial_buffer(batch)    # (batch, depth)
+        self._offset = 0
+
+    def step(self, bits: np.ndarray) -> np.ndarray:
+        buffer = self._buffer
+        length = bits.shape[1]
+        addresses = buffer.rng.integers_window(
+            self._offset, self._offset + length, buffer.depth
+        )
+        self._offset += length
+        prev = np.full(length, -1, dtype=np.int64)
+        slot_last = np.full(buffer.depth, -1, dtype=np.int64)
+        for slot in range(buffer.depth):
+            hits = np.flatnonzero(addresses == slot)
+            if hits.size:
+                slot_last[slot] = hits[-1]
+                if hits.size > 1:
+                    prev[hits[1:]] = hits[:-1]
+        fallback = self._contents[:, addresses]            # (batch, length)
+        gathered = bits[:, np.maximum(prev, 0)]
+        out = np.where(prev[None, :] >= 0, gathered, fallback).astype(np.uint8)
+        # Update the carry: each slot keeps the bit of its last write in
+        # this chunk (untouched slots keep their carried contents).
+        written = slot_last >= 0
+        if written.any():
+            self._contents[:, written] = bits[:, slot_last[written]]
+        return out
+
+
+class IsolatorCarrier(StreamCarrier):
+    """Fixed delay line with a carried ``delay``-bit history."""
+
+    def __init__(self, isolator, batch: int) -> None:
+        self._history = np.full(
+            (batch, isolator.delay), isolator._fill, dtype=np.uint8
+        )
+
+    def step(self, bits: np.ndarray) -> np.ndarray:
+        length = bits.shape[1]
+        extended = np.concatenate([self._history, bits], axis=1)
+        self._history = extended[:, length:]
+        return np.ascontiguousarray(extended[:, :length])
+
+
+class TFMCarrier(StreamCarrier):
+    """Tracking forecast memory with a carried estimate register."""
+
+    def __init__(self, tfm, fsm: CompiledFSM, batch: int) -> None:
+        self._tfm = tfm
+        self._fsm = fsm
+        self._offset = 0
+        self._state = np.full(
+            batch, fsm.initial_state, dtype=fsm.steady.next_state.dtype
+        )
+
+    def step(self, bits: np.ndarray) -> np.ndarray:
+        tfm = self._tfm
+        length = bits.shape[1]
+        states, self._state = state_trajectory(
+            self._fsm,
+            np.ascontiguousarray(bits, dtype=np.uint8),
+            strategy="chunked",
+            initial=self._state,
+        )
+        window = tfm._rng.sequence_window(self._offset, self._offset + length)
+        self._offset += length
+        rand = (window * (tfm._max + 1)) // tfm._rng.modulus
+        return (rand[None, :] < states.astype(np.int64)).astype(np.uint8)
+
+
+class SeriesStreamCarrier(StreamCarrier):
+    def __init__(self, stages) -> None:
+        self._stages = stages
+
+    def step(self, bits: np.ndarray) -> np.ndarray:
+        for stage in self._stages:
+            bits = stage.step(bits)
+        return bits
+
+
+# ---------------------------------------------------------------------- #
+# Pair adapters
+# ---------------------------------------------------------------------- #
+
+class TwoStreamPairCarrier(PairCarrier):
+    """A pair circuit made of one independent stream carrier per operand
+    (decorrelator, TFM pair)."""
+
+    def __init__(self, carrier_x: StreamCarrier, carrier_y: StreamCarrier) -> None:
+        self._cx = carrier_x
+        self._cy = carrier_y
+
+    def step(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return self._cx.step(x), self._cy.step(y)
+
+
+class PassthroughYPairCarrier(PairCarrier):
+    """X passes through combinationally; Y goes through a stream carrier
+    (isolator-pair insertion)."""
+
+    def __init__(self, carrier_y: StreamCarrier) -> None:
+        self._cy = carrier_y
+
+    def step(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        return x, self._cy.step(y)
+
+
+class SeriesPairCarrier(PairCarrier):
+    def __init__(self, stages) -> None:
+        self._stages = stages
+
+    def step(self, x: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        for stage in self._stages:
+            x, y = stage.step(x, y)
+        return x, y
+
+
+# ---------------------------------------------------------------------- #
+# Factories
+# ---------------------------------------------------------------------- #
+
+def make_stream_carrier(transform, total_length: int, batch: int) -> Optional[StreamCarrier]:
+    """A resumable carrier for a stream transform, or ``None``."""
+    from ..core.compose import SeriesStream
+    from ..core.isolator import Isolator
+    from ..core.shuffle_buffer import ShuffleBuffer
+    from ..core.tfm import TrackingForecastMemory
+
+    if type(transform) is ShuffleBuffer:
+        return ShuffleCarrier(transform, batch)
+    if type(transform) is Isolator:
+        return IsolatorCarrier(transform, batch)
+    if type(transform) is TrackingForecastMemory:
+        fsm = compiled_kernel(transform)
+        if fsm is None:
+            return None
+        return TFMCarrier(transform, fsm, batch)
+    if type(transform) is SeriesStream:
+        stages = [
+            make_stream_carrier(stage, total_length, batch)
+            for stage in transform.stages
+        ]
+        if any(stage is None for stage in stages):
+            return None
+        return SeriesStreamCarrier(stages)
+    return None
+
+
+def make_pair_carrier(transform, total_length: int, batch: int) -> Optional[PairCarrier]:
+    """A resumable carrier for a pair transform, or ``None`` when the
+    circuit has no chunk-resumable lowering (callers fall back to
+    whole-stream evaluation)."""
+    from ..core.compose import SeriesPair
+    from ..core.decorrelator import Decorrelator
+    from ..core.isolator import IsolatorPair
+    from ..core.tfm import TFMPair
+
+    if type(transform) is Decorrelator:
+        cx = make_stream_carrier(transform.buffer_x, total_length, batch)
+        cy = make_stream_carrier(transform.buffer_y, total_length, batch)
+        return TwoStreamPairCarrier(cx, cy)
+    if type(transform) is IsolatorPair:
+        return PassthroughYPairCarrier(
+            IsolatorCarrier(transform._isolator, batch)
+        )
+    if type(transform) is TFMPair:
+        cx = make_stream_carrier(transform._tfm_x, total_length, batch)
+        cy = make_stream_carrier(transform._tfm_y, total_length, batch)
+        if cx is None or cy is None:
+            return None
+        return TwoStreamPairCarrier(cx, cy)
+    if type(transform) is SeriesPair:
+        stages = [
+            make_pair_carrier(stage, total_length, batch)
+            for stage in transform.stages
+        ]
+        if any(stage is None for stage in stages):
+            return None
+        return SeriesPairCarrier(stages)
+    fsm = compiled_kernel(transform)
+    if fsm is not None and fsm.outputs == 2 and fsm.n_symbols == 4:
+        return TablePairCarrier(fsm, total_length, batch)
+    return None

@@ -39,6 +39,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .._validation import check_tile_words
 from ..core.synchronizer import Synchronizer
 from ..exceptions import PipelineError
 from ..hardware import EFFECTIVE_CYCLE_US, Netlist, components, report
@@ -178,16 +179,25 @@ class SCAccelerator:
         only on the in-tile row, so every tile shares one comparator
         matrix and the batch is bit-identical to per-tile conversion.
         """
+        return self._convert_tiles_window(tiles_values, 0, self._n)
+
+    def _convert_tiles_window(
+        self, tiles_values: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """One time window of :meth:`_convert_tiles` — the LFSR phase
+        schedule indexes the cached period at absolute cycle positions,
+        so windows concatenate bit-identically to the one-shot
+        conversion."""
         n = self._n
         tiles, h, w = tiles_values.shape
         levels = np.rint(tiles_values.reshape(tiles, -1) * n).astype(np.int64)
         period = self._lfsr_period_seq.size
         rows = np.repeat(np.arange(h, dtype=np.int64), w)
         phases = ((rows // self._config.input_row_group) * self._config.input_phase_step) % period
-        idx = (phases[:, None] + np.arange(n)[None, :]) % period
-        r = self._lfsr_period_seq[idx]                       # (pixels, N)
+        idx = (phases[:, None] + np.arange(start, stop)[None, :]) % period
+        r = self._lfsr_period_seq[idx]                       # (pixels, window)
         bits = (levels[:, :, None] > r[None, :, :]).astype(np.uint8)
-        return bits.reshape(tiles, h, w, n)
+        return bits.reshape(tiles, h, w, stop - start)
 
     def _regenerate(self, blurred: np.ndarray) -> np.ndarray:
         """Shared-RNG regeneration of one tile (see :meth:`_regenerate_tiles`)."""
@@ -235,15 +245,100 @@ class SCAccelerator:
             blurred = self._regenerate_tiles(blurred)
         return self._detector.detect_tiles_values(blurred)
 
-    def process(self, image: np.ndarray, *, backend: str = "auto") -> AcceleratorResult:
+    def _blurred_window(
+        self, patches: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Convert + blur one time window of a patch stack."""
+        input_bits = self._convert_tiles_window(patches, start, stop)
+        return self._blur.blur_tiles_window(input_bits, start, stop, self._n)
+
+    def _process_tiles_streaming(
+        self, patches: np.ndarray, tile_words: int
+    ) -> np.ndarray:
+        """Streaming tile processing: pump the *time axis* in windows of
+        ``tile_words * 64`` cycles through convert → blur →
+        (regenerate) → detect, accumulating edge popcounts — float-
+        identical to :meth:`_process_tiles` with memory O(window) in the
+        stream length.
+
+        The synchronizer variant's pair FSMs carry state across windows
+        via :mod:`repro.kernels.streaming` carriers; the regeneration
+        variant needs each blurred stream's total 1-count *before* it can
+        re-encode, so it runs two window passes: convert + blur to
+        accumulate counts, then a cheap re-encode + detect pass built
+        from those counts alone — still O(window) memory.
+        """
+        from ..bitstream.streaming import tile_bounds
+        from ..kernels.streaming import make_pair_carrier
+
+        cfg = self._config
+        n = self._n
+        tiles = patches.shape[0]
+        bt = cfg.blur_tile
+        pairs = tiles * (bt - 1) * (bt - 1)
+
+        regen_counts = None
+        if cfg.variant == "regeneration":
+            regen_counts = np.zeros((tiles * bt * bt,), dtype=np.int64)
+            for start, stop in tile_bounds(n, tile_words):
+                blurred = self._blurred_window(patches, start, stop)
+                regen_counts += blurred.reshape(tiles * bt * bt, -1).sum(
+                    axis=1, dtype=np.int64
+                )
+            regen_seq = self._regen_rng  # windowed below
+
+        carriers = (None, None)
+        if self._detector.uses_pair_transform:
+            factory = self._detector._factory
+            carriers = tuple(
+                make_pair_carrier(factory(), n, pairs) for _ in range(2)
+            )
+            if any(c is None for c in carriers):
+                raise PipelineError(
+                    "pair transform has no streaming carrier; use backend='auto'"
+                )
+
+        edge_ones = np.zeros((pairs,), dtype=np.int64)
+        for start, stop in tile_bounds(n, tile_words):
+            if cfg.variant == "regeneration":
+                # The re-encoded bits depend only on the pass-one counts
+                # and the regeneration sequence — no need to blur again.
+                window = regen_seq.sequence_window(start, stop)
+                flat = regen_counts[:, None] > window[None, :]
+                blurred = flat.astype(np.uint8).reshape(tiles, bt, bt, stop - start)
+            else:
+                blurred = self._blurred_window(patches, start, stop)
+            g00, g11, g01, g10 = SCRobertsCross._corners(blurred)
+            if carriers[0] is not None:
+                g00, g11 = carriers[0].step(g00, g11)
+                g01, g10 = carriers[1].step(g01, g10)
+            d1 = np.bitwise_xor(g00, g11)
+            d2 = np.bitwise_xor(g01, g10)
+            select = self._detector._select_bits_window(start, stop)
+            z = np.where(select[None, :] == 1, d2, d1)
+            edge_ones += z.sum(axis=1, dtype=np.int64)
+        values = edge_ones / float(n)
+        return values.reshape(tiles, bt - 1, bt - 1)
+
+    def process(
+        self,
+        image: np.ndarray,
+        *,
+        backend: str = "auto",
+        tile_words: int = 1024,
+    ) -> AcceleratorResult:
         """Run the full tiled pipeline over an image and score it.
 
         ``backend="auto"`` (default) batches all tiles into one
         engine-routed pass; ``"interpreter"`` runs the per-tile reference
-        loop. Outputs are identical.
+        loop; ``"streaming"`` pumps the stream-length axis in windows of
+        ``tile_words * 64`` cycles with FSM state carried across windows
+        — memory O(window) instead of O(N) per pixel, for long-stream
+        configurations. Outputs are identical across all three.
         """
-        if backend not in ("auto", "engine", "interpreter"):
+        if backend not in ("auto", "engine", "interpreter", "streaming"):
             raise PipelineError(f"unknown backend {backend!r}")
+        check_tile_words(tile_words)
         image = np.asarray(image, dtype=np.float64)
         if image.ndim != 2:
             raise PipelineError(f"expected a 2-D image, got ndim={image.ndim}")
@@ -262,14 +357,21 @@ class SCAccelerator:
                 patch = image[r : r + cfg.tile, c : c + cfg.tile]
                 out[r : r + stride, c : c + stride] = self.process_tile(patch)
         else:
-            per_tile_bytes = cfg.blur_tile**2 * 9 * cfg.stream_length
+            window = (
+                min(cfg.stream_length, tile_words * 64)
+                if backend == "streaming" else cfg.stream_length
+            )
+            per_tile_bytes = cfg.blur_tile**2 * 9 * window
             chunk = max(1, _ENGINE_CHUNK_BYTES // per_tile_bytes)
             for start in range(0, tiles, chunk):
                 batch = origins[start : start + chunk]
                 patches = np.stack(
                     [image[r : r + cfg.tile, c : c + cfg.tile] for r, c in batch]
                 )
-                tile_values = self._process_tiles(patches)
+                if backend == "streaming":
+                    tile_values = self._process_tiles_streaming(patches, tile_words)
+                else:
+                    tile_values = self._process_tiles(patches)
                 # Same write order as the reference loop, so overlapping
                 # clamped-edge tiles resolve identically.
                 for (r, c), values in zip(batch, tile_values):

@@ -16,6 +16,30 @@ Every generator in this package is deterministic and replayable:
 :meth:`StreamRNG.sequence` always returns the same values for the same
 constructor arguments, and :meth:`StreamRNG.reset` rewinds the internal
 cursor used by the streaming :meth:`StreamRNG.next_value` interface.
+
+Windowed generation
+-------------------
+
+The tile-streaming execution core (:mod:`repro.engine.streaming`) pumps
+fixed-size chunks of a stream through a whole plan, so it needs *windows*
+``sequence(stop)[start:stop]`` of a sequence without materialising the
+``stop``-element prefix. :meth:`StreamRNG.sequence_window` (and the
+derived :meth:`StreamRNG.integers_window` / :meth:`StreamRNG.sequence_at`)
+provide exactly that, with three resolution strategies, best first:
+
+1. a subclass :meth:`StreamRNG._generate_window` override computing the
+   window directly (Halton's radical inverse is index-addressable);
+2. a finite ``period`` property no larger than
+   :data:`PERIOD_CACHE_LIMIT`: one period is generated once, cached on
+   the instance, and indexed modulo the period (VDC, LFSR, counter,
+   Sobol, rotated views);
+3. the always-correct fallback ``_generate(stop)[start:]`` — O(stop)
+   memory, used only by generators that are neither windowable nor
+   periodic (the PCG-backed :class:`~repro.rng.system.SystemRNG`).
+
+All three are value-exact: ``sequence_window(s, e)`` equals
+``sequence(e)[s:e]`` element for element (property-tested in
+``tests/test_streaming.py``).
 """
 
 from __future__ import annotations
@@ -25,9 +49,15 @@ from typing import Optional
 
 import numpy as np
 
-from .._validation import check_positive_int
+from .._validation import check_non_negative_int, check_positive_int
 
-__all__ = ["StreamRNG"]
+__all__ = ["StreamRNG", "PERIOD_CACHE_LIMIT"]
+
+# Periods up to this many values may be materialised (and cached on the
+# instance) to serve windowed generation; 2**16 int64s = 512 KiB, far
+# below one streaming tile. Every built-in periodic generator is width-8
+# by default (period <= 256), so the cap only guards pathological widths.
+PERIOD_CACHE_LIMIT = 1 << 16
 
 
 class StreamRNG(abc.ABC):
@@ -41,6 +71,11 @@ class StreamRNG(abc.ABC):
         self._modulus = check_positive_int(modulus, name="modulus")
         self._cursor = 0
         self._cache: Optional[np.ndarray] = None
+        self._period_cache: Optional[np.ndarray] = None
+        # (phase, length) -> expanded window memo for the period path.
+        # Tile streaming asks for the same (start % period, tile) window
+        # on every full tile, so one slot hits almost always.
+        self._window_memo: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # Abstract surface
@@ -49,6 +84,21 @@ class StreamRNG(abc.ABC):
     @abc.abstractmethod
     def _generate(self, length: int) -> np.ndarray:
         """Return the first ``length`` sequence values in ``[0, modulus)``."""
+
+    def _generate_window(self, start: int, stop: int) -> Optional[np.ndarray]:
+        """Subclass hook: values at indices ``[start, stop)`` computed
+        directly, or ``None`` when the generator has no closed-form
+        window (the base class then falls back to period indexing or
+        prefix generation)."""
+        return None
+
+    def _generate_at(self, indices: np.ndarray) -> Optional[np.ndarray]:
+        """Subclass hook: values at arbitrary absolute ``indices``, or
+        ``None`` when the generator is not index-addressable (the base
+        class then falls back to period indexing or prefix generation —
+        the latter is O(max index), so index-addressable generators
+        should implement this)."""
+        return None
 
     @property
     @abc.abstractmethod
@@ -78,6 +128,96 @@ class StreamRNG(abc.ABC):
     def fractions(self, length: int) -> np.ndarray:
         """The sequence scaled into ``[0, 1)`` as float64."""
         return self.sequence(length) / float(self._modulus)
+
+    # ------------------------------------------------------------------ #
+    # Windowed generation (constant-memory tile streaming)
+    # ------------------------------------------------------------------ #
+
+    def _period_values(self) -> Optional[np.ndarray]:
+        """One full period of the sequence, cached on the instance — or
+        ``None`` when the generator is aperiodic or its period exceeds
+        :data:`PERIOD_CACHE_LIMIT`."""
+        if self._period_cache is None:
+            period = getattr(self, "period", None)
+            if period is None or period > PERIOD_CACHE_LIMIT:
+                return None
+            values = self._generate(int(period)).astype(np.int64, copy=False)
+            values.setflags(write=False)
+            self._period_cache = values
+        return self._period_cache
+
+    def sequence_window(self, start: int, stop: int) -> np.ndarray:
+        """Values at indices ``[start, stop)`` — exactly
+        ``sequence(stop)[start:stop]`` — without materialising the prefix
+        when the generator is windowable or periodic (see the module
+        docstring for the resolution order)."""
+        start = check_non_negative_int(start, name="start")
+        if stop < start:
+            raise ValueError(f"window stop {stop} precedes start {start}")
+        if stop == start:
+            return np.empty(0, dtype=np.int64)
+        window = self._generate_window(start, stop)
+        if window is None:
+            # Prefer the period path even for start=0: generators with a
+            # slow sequential _generate (the LFSR's per-step python loop)
+            # then pay one period, not one tile, per window.
+            period = self._period_values()
+            if period is not None:
+                p = period.size
+                phase = start % p
+                length = stop - start
+                if self._window_memo is not None:
+                    memo_phase, memo_length, memo = self._window_memo
+                    if memo_phase == phase and memo_length == length:
+                        return memo
+                # Cyclic tiling of the rolled period: one C-level tile
+                # instead of an arange + modulo + gather over the window.
+                reps = (length + p - 1) // p
+                window = np.tile(
+                    np.roll(period, -phase) if phase else period, reps
+                )[:length]
+                window.setflags(write=False)
+                self._window_memo = (phase, length, window)
+            elif start == 0:
+                window = self.sequence(stop)
+            else:
+                window = self._generate(stop)[start:]
+        if window.shape != (stop - start,):
+            raise AssertionError(
+                f"{type(self).__name__} window has shape {window.shape}, "
+                f"expected ({stop - start},)"
+            )
+        return window.astype(np.int64, copy=False)
+
+    def sequence_at(self, indices: np.ndarray) -> np.ndarray:
+        """Values at arbitrary absolute ``indices`` (int64 array).
+
+        Periodic generators serve this from the cached period; aperiodic
+        ones fall back to generating the ``max(indices) + 1`` prefix.
+        Used by consumers whose index pattern is not a contiguous window
+        (the image pipeline's phase-rotated select taps).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return np.empty(indices.shape, dtype=np.int64)
+        if indices.min() < 0:
+            raise ValueError("sequence indices must be non-negative")
+        values = self._generate_at(indices)
+        if values is not None:
+            return values.astype(np.int64, copy=False)
+        period = self._period_values()
+        if period is not None:
+            return period[indices % period.size]
+        return self._generate(int(indices.max()) + 1)[indices]
+
+    def fractions_window(self, start: int, stop: int) -> np.ndarray:
+        """Windowed :meth:`fractions`."""
+        return self.sequence_window(start, stop) / float(self._modulus)
+
+    def integers_window(self, start: int, stop: int, high: int) -> np.ndarray:
+        """Windowed :meth:`integers`: the window rescaled to ``[0, high)``."""
+        high = check_positive_int(high, name="high")
+        return (self.sequence_window(start, stop) * high) // self._modulus
 
     def integers(self, length: int, high: int) -> np.ndarray:
         """The sequence rescaled to integers in ``[0, high)``.

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import check_non_negative_int, check_positive_int
-from .base import StreamRNG
+from .base import PERIOD_CACHE_LIMIT, StreamRNG
 
 __all__ = ["CounterRNG"]
 
@@ -37,5 +37,22 @@ class CounterRNG(StreamRNG):
     def width(self) -> int:
         return self._width
 
+    @property
+    def period(self) -> int:
+        """One full ramp: ``2**width`` cycles."""
+        return self.modulus
+
     def _generate(self, length: int) -> np.ndarray:
         return (np.arange(length, dtype=np.int64) + self._offset) % self.modulus
+
+    def _generate_window(self, start: int, stop: int):
+        # Narrow counters decline: tiling the cached ramp beats an
+        # arange + modulo over the window.
+        if self.modulus <= PERIOD_CACHE_LIMIT:
+            return None
+        return (np.arange(start, stop, dtype=np.int64) + self._offset) % self.modulus
+
+    def _generate_at(self, indices: np.ndarray):
+        if self.modulus <= PERIOD_CACHE_LIMIT:
+            return None
+        return (indices + self._offset) % self.modulus

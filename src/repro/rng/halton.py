@@ -71,6 +71,16 @@ class Halton(StreamRNG):
         return self._width
 
     def _generate(self, length: int) -> np.ndarray:
-        index = np.arange(self._phase, self._phase + length, dtype=np.int64)
-        fracs = radical_inverse(index, self._base)
+        return self._generate_window(0, length)
+
+    def _generate_window(self, start: int, stop: int) -> np.ndarray:
+        # The radical inverse is index-addressable, so a window costs
+        # O(stop - start) regardless of where it starts — the aperiodic
+        # generator the tile-streaming sources still window for free.
+        return self._generate_at(
+            np.arange(start, stop, dtype=np.int64)
+        )
+
+    def _generate_at(self, indices: np.ndarray) -> np.ndarray:
+        fracs = radical_inverse(indices + self._phase, self._base)
         return np.minimum((fracs * self.modulus).astype(np.int64), self.modulus - 1)

@@ -57,6 +57,11 @@ class RotatedView(StreamRNG):
     def phase(self) -> int:
         return self._phase
 
+    @property
+    def period(self) -> int:
+        """The parent's period (views only change the starting offset)."""
+        return self._period
+
     def _generate(self, length: int) -> np.ndarray:
         # One parent period suffices: index modulo the period.
         base = self._parent.sequence(self._period)

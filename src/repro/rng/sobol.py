@@ -14,13 +14,13 @@ standard Sobol construction.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .._validation import check_non_negative_int, check_positive_int
 from ..exceptions import RNGConfigurationError
-from .base import StreamRNG
+from .base import PERIOD_CACHE_LIMIT, StreamRNG
 
 __all__ = ["Sobol"]
 
@@ -123,6 +123,14 @@ class Sobol(StreamRNG):
     def width(self) -> int:
         return self._width
 
+    @property
+    def period(self) -> int:
+        """``2**width``: each clamped flip index ``j < width - 1`` occurs
+        ``2**(width-1-j)`` times per period and ``width - 1`` twice — all
+        even counts, so the XOR accumulation returns to 0 and the sequence
+        repeats (checked against the direct recurrence in the tests)."""
+        return self.modulus
+
     def _generate(self, length: int) -> np.ndarray:
         total = self._phase + length
         # Gray-code stepping, fully vectorised: output t XORs in the
@@ -138,3 +146,38 @@ class Sobol(StreamRNG):
         out[0] = 0
         np.bitwise_xor.accumulate(self._directions[flip], out=out[1:])
         return out[self._phase :]
+
+    def _generate_window(self, start: int, stop: int) -> Optional[np.ndarray]:
+        # Below index 2**width the flip clamp never fires, so the prefix
+        # scan equals the textbook Gray-order closed form
+        # ``out[t] = XOR of v_j over the set bits j of gray(t)`` — which
+        # is index-addressable: O(width * window) work, O(window) memory.
+        # Past 2**width the clamp breaks the closed form; narrow widths
+        # and out-of-range windows decline (return None) and fall back to
+        # the period path (the clamped sequence repeats every 2**width
+        # values, and tiling the cached period is cheaper anyway).
+        if self.modulus <= PERIOD_CACHE_LIMIT or self._phase + stop > self.modulus:
+            return None
+        return self._closed_form_at(
+            np.arange(start, stop, dtype=np.int64)
+        )
+
+    def _generate_at(self, indices: np.ndarray) -> Optional[np.ndarray]:
+        if (
+            self.modulus <= PERIOD_CACHE_LIMIT
+            or self._phase + int(indices.max()) >= self.modulus
+        ):
+            return None
+        return self._closed_form_at(indices)
+
+    def _closed_form_at(self, indices: np.ndarray) -> np.ndarray:
+        t = indices + self._phase
+        gray = t ^ (t >> 1)
+        out = np.zeros(t.shape, dtype=np.int64)
+        for j in range(self._width):
+            np.bitwise_xor(
+                out,
+                np.where((gray >> j) & 1 == 1, self._directions[j], 0),
+                out=out,
+            )
+        return out

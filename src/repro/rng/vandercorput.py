@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import check_non_negative_int, check_positive_int
-from .base import StreamRNG
+from .base import PERIOD_CACHE_LIMIT, StreamRNG
 
 __all__ = ["VanDerCorput"]
 
@@ -63,3 +63,18 @@ class VanDerCorput(StreamRNG):
     def _generate(self, length: int) -> np.ndarray:
         index = (np.arange(length, dtype=np.int64) + self._phase) % self.modulus
         return _reverse_bits(index, self._width)
+
+    def _generate_window(self, start: int, stop: int):
+        # Bit reversal is index-addressable, so windows cost O(window)
+        # at any width — wide-register VDC sources stay streamable even
+        # when the period is too large for the period cache. Narrow
+        # registers decline (return None): tiling the cached period is
+        # cheaper than ``width`` shift passes over the window.
+        if self.period <= PERIOD_CACHE_LIMIT:
+            return None
+        return self._generate_at(np.arange(start, stop, dtype=np.int64))
+
+    def _generate_at(self, indices: np.ndarray):
+        if self.period <= PERIOD_CACHE_LIMIT:
+            return None
+        return _reverse_bits((indices + self._phase) % self.modulus, self._width)

@@ -293,6 +293,26 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             merge_fn=merge_single,
             fidelities=trivial,
         ),
+        ExperimentSpec(
+            name="long_stream",
+            title="Long-stream convergence — SCC/value vs N (streaming execution)",
+            shard_fn=_exp._long_stream_shard,
+            merge_fn=_exp._long_stream_merge,
+            axis="exponents",
+            axis_arg="exponent",
+            fidelities={
+                # One shard per stream length 2^e; each runs through the
+                # constant-memory streaming executor, so even the 2^22
+                # shard fits in a CI worker.
+                "smoke": {"tile_words": 2048,
+                          "exponents": _exp._LONG_STREAM_EXPONENTS_SMOKE},
+                "default": {"tile_words": 4096,
+                            "exponents": _exp._LONG_STREAM_EXPONENTS_DEFAULT},
+                "exhaustive": {"tile_words": 4096,
+                               "exponents": _exp._LONG_STREAM_EXPONENTS_EXHAUSTIVE},
+            },
+            label_fn=lambda e: f"N=2^{e}",
+        ),
     ]
     registry = {spec.name: spec for spec in specs}
     missing = set(_exp.ALL_EXPERIMENTS) - set(registry)

@@ -23,6 +23,15 @@ from .store import jsonify
 
 __all__ = ["ShardTask", "execute_shard"]
 
+# Worker cache hygiene: forked workers inherit the engine's module-level
+# sequence/select memos (and their locks) *as of the fork instant* —
+# including, in a threaded parent, a lock held by a thread that does not
+# exist in the child. The ``os.register_at_fork`` hooks in
+# ``repro.engine.executor`` / ``repro.engine.streaming`` rebind fresh
+# locks and drop those memos in every forked child, and spawn-started
+# workers import fresh modules, so shards always start with clean,
+# unlocked caches — no per-shard reset is needed here.
+
 
 @dataclass(frozen=True)
 class ShardTask:

@@ -111,7 +111,7 @@ class TestExperiments:
         expected = {"table1", "fig1", "fig2", "table2", "table3", "table4",
                     "claims", "ablation_save_depth", "ablation_composition",
                     "ablation_buffer_depth", "fault_tolerance", "propagation",
-                    "power_breakdown"}
+                    "power_breakdown", "long_stream"}
         assert expected == set(ALL_EXPERIMENTS)
 
     def test_fault_tolerance_experiment(self):

@@ -23,6 +23,7 @@ DOCTEST_MODULES = [
     "repro.bitstream.batch",
     "repro.bitstream.metrics",
     "repro.bitstream.packed",
+    "repro.bitstream.streaming",
 ]
 
 
