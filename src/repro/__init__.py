@@ -103,7 +103,7 @@ from .rng import LFSR, CounterRNG, Halton, Sobol, StreamRNG, SystemRNG, VanDerCo
 # orchestrates the analysis layer on top of everything.
 from . import engine, kernels, runner
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

@@ -122,6 +122,20 @@ def check_stream_length(value: int, *, name: str = "length") -> int:
     return int(value)
 
 
+def check_jobs(value: int, *, name: str = "jobs") -> int:
+    """Validate a worker-process count and return it.
+
+    The single source of truth for every ``jobs=`` knob (streaming
+    executor, accelerator, runner, CLI): any positive integer is legal —
+    ``1`` means inline sequential execution, and counts beyond the
+    available CPUs merely oversubscribe the pool.
+
+    Raises:
+        CircuitConfigurationError: if ``value`` is not a positive integer.
+    """
+    return check_positive_int(value, name=name)
+
+
 def check_tile_words(value: int, *, name: str = "tile_words") -> int:
     """Validate a streaming tile size in 64-bit words and return it.
 

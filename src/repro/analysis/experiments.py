@@ -865,7 +865,7 @@ _LONG_STREAM_EXPONENTS_DEFAULT = (14, 16, 18, 20)
 _LONG_STREAM_EXPONENTS_EXHAUSTIVE = (14, 16, 18, 20, 22)
 
 
-def _long_stream_shard(exponent: int, *, tile_words: int = 4096) -> dict:
+def _long_stream_shard(exponent: int, *, tile_words: int = 4096, jobs: int = 1) -> dict:
     """One stream length N = 2**exponent of the convergence sweep.
 
     Builds the width-matched manipulation graph
@@ -875,6 +875,11 @@ def _long_stream_shard(exponent: int, *, tile_words: int = 4096) -> dict:
     Peak memory is O(tile), which is what makes the N = 2**22 shard
     runnable at all: the materialised engine would hold every node's
     full-length buffer plus 32 MB of comparator sequence per source.
+
+    ``jobs > 1`` runs the prefix-scanned parallel tile scheduler
+    (:mod:`repro.engine.parallel`); the payload is identical at any job
+    count — only wall-clock changes — so ``jobs`` is an execution
+    parameter, not part of the result's content address.
     """
     from ..engine import compile_graph
     from ..engine.library import long_stream_graph
@@ -882,7 +887,7 @@ def _long_stream_shard(exponent: int, *, tile_words: int = 4096) -> dict:
 
     n = 1 << exponent
     plan = compile_graph(long_stream_graph(exponent))
-    audit = audit_streaming(plan, n, tile_words=tile_words)
+    audit = audit_streaming(plan, n, tile_words=tile_words, jobs=jobs)
     stages = {}
     for node, label in (("diff", "sync"), ("sat", "desync"), ("prod", "deco")):
         entry = next(e for e in audit.entries if e.node == node)
@@ -945,15 +950,18 @@ def _long_stream_merge(params: dict, payloads: List[dict]) -> ExperimentResult:
 def long_stream(
     exponents: Sequence[int] = _LONG_STREAM_EXPONENTS_DEFAULT,
     tile_words: int = 4096,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """SCC/value convergence of the manipulation circuits over N = 2^14..2^22.
 
     Impossible on the materialised engine at the top lengths; the
     streaming executor's tile scheduler (O(tile) memory) makes the sweep
-    routine. See :func:`repro.engine.streaming.run_streaming`.
+    routine. See :func:`repro.engine.streaming.run_streaming`. ``jobs``
+    fans each audit out across the parallel tile scheduler — results are
+    bit-identical at any job count.
     """
     payloads = [
-        _long_stream_shard(exponent, tile_words=tile_words)
+        _long_stream_shard(exponent, tile_words=tile_words, jobs=jobs)
         for exponent in exponents
     ]
     return _long_stream_merge(

@@ -182,6 +182,20 @@ class ValueAccumulator:
         else:
             self._ones += counts
 
+    def merge(self, other: "ValueAccumulator") -> None:
+        """Fold another accumulator's partial counts into this one.
+
+        Integer addition, so merging per-span partials in span order is
+        exactly the sequential accumulation — the parallel tile
+        scheduler's determinism hinges on this.
+        """
+        if other._ones is None:
+            return
+        if self._ones is None:
+            self._ones = other._ones.copy()
+        else:
+            self._ones += other._ones
+
     @property
     def ones(self) -> np.ndarray:
         if self._ones is None:
@@ -218,6 +232,20 @@ class OverlapAccumulator:
             self._a += a
             self._ones_x = self._ones_x + ones_x
             self._ones_y = self._ones_y + ones_y
+
+    def merge(self, other: "OverlapAccumulator") -> None:
+        """Fold another accumulator's partial overlap counts into this
+        one (integer sums — see :meth:`ValueAccumulator.merge`)."""
+        if other._a is None:
+            return
+        if self._a is None:
+            self._a = other._a.copy()
+            self._ones_x = other._ones_x.copy()
+            self._ones_y = other._ones_y.copy()
+        else:
+            self._a += other._a
+            self._ones_x = self._ones_x + other._ones_x
+            self._ones_y = self._ones_y + other._ones_y
 
     def counts(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """The accumulated ``(a, b, c, d)`` overlap counts."""

@@ -35,7 +35,7 @@ import pathlib
 import sys
 from typing import List, Optional
 
-from ._validation import check_stream_length, check_tile_words
+from ._validation import check_jobs, check_stream_length, check_tile_words
 from .analysis import ALL_EXPERIMENTS, render_table
 from .engine import GRAPH_LIBRARY
 from .exceptions import CircuitConfigurationError, EncodingError
@@ -59,6 +59,14 @@ def _tile_words_arg(text: str) -> int:
     """Argparse type for tile sizes via the central validator."""
     try:
         return check_tile_words(int(text))
+    except (ValueError, CircuitConfigurationError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _jobs_arg(text: str) -> int:
+    """Argparse type for worker counts via the central validator."""
+    try:
+        return check_jobs(int(text))
     except (ValueError, CircuitConfigurationError) as exc:
         raise argparse.ArgumentTypeError(str(exc))
 
@@ -142,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "scheduler (long N stay feasible)")
     engine_p.add_argument("--tile-words", type=_tile_words_arg, default=4096,
                           help="streaming tile size in 64-bit words")
+    engine_p.add_argument("--jobs", type=_jobs_arg, default=1,
+                          help="span workers for the parallel tile "
+                               "scheduler (streaming only; results are "
+                               "bit-identical at any count)")
 
     audit_p = sub.add_parser(
         "audit", help="engine-backed correlation audit of a named graph"
@@ -269,7 +281,7 @@ def _audit_table(audit, title: str) -> str:
 
 def _cmd_engine(
     graph_name: str, length: int, tolerance: float,
-    streaming: bool = False, tile_words: int = 4096,
+    streaming: bool = False, tile_words: int = 4096, jobs: int = 1,
 ) -> int:
     from .engine import build_graph, cache_info, compile_graph
 
@@ -286,11 +298,12 @@ def _cmd_engine(
         from .bitstream.streaming import tile_count
 
         audit = plan.audit_streaming(
-            length, tile_words=tile_words, tolerance=tolerance
+            length, tile_words=tile_words, tolerance=tolerance, jobs=jobs
         )
         tiles = tile_count(length, tile_words)
+        suffix = f", jobs={jobs}" if jobs > 1 else ""
         title = (f"Streaming audit — {graph_name} "
-                 f"(N={length}, {tiles} tiles x {tile_words} words)")
+                 f"(N={length}, {tiles} tiles x {tile_words} words{suffix})")
     else:
         audit = plan.audit(length, tolerance=tolerance)
         title = f"Engine audit — {graph_name} (N={length})"
@@ -351,7 +364,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "engine":
         return _cmd_engine(args.graph, args.length, args.tolerance,
-                           args.streaming, args.tile_words)
+                           args.streaming, args.tile_words, args.jobs)
     if args.command == "audit":
         return _cmd_audit(args.graph, args.length, args.tolerance, args.fix)
     return _cmd_costs()

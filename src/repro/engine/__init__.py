@@ -49,6 +49,7 @@ from .plan import (
     compile_graph,
     graph_signature,
 )
+from .parallel import plan_waves, spans_for
 from .streaming import StreamingRun, audit_streaming, run_streaming
 
 # ``engine.compile(graph)`` is the documented spelling; ``compile_graph``
@@ -66,6 +67,8 @@ __all__ = [
     "StreamingRun",
     "run_streaming",
     "audit_streaming",
+    "plan_waves",
+    "spans_for",
     "BatchAudit",
     "BatchAuditEntry",
     "cache_info",

@@ -1,0 +1,517 @@
+"""Multicore tile streaming: the prefix-scanned parallel span scheduler.
+
+:mod:`repro.engine.streaming` walks tiles strictly in order because FSM
+carriers thread state tile-to-tile — one core, no matter how many exist.
+This module lifts the trick that erased the per-bit loop in
+:mod:`repro.kernels.steppers` (compose transition functions
+independently, prefix-scan to recover every entry state — Hillis &
+Steele) from *bits* to *tiles*:
+
+1. **Phase 1 — compose.** The tile sequence is split into ``jobs``
+   contiguous spans. Each worker walks its span once, evaluating only
+   the sub-graph feeding the sequential transforms, and folds every
+   transform's chunk into a **state map**
+   (:mod:`repro.kernels.streaming` composers) — a summary of "entry
+   state → exit state" for the whole span, computed *without knowing the
+   entry state*. Purely combinational plans (no transform groups) skip
+   this phase entirely.
+2. **Phase 2 — scan.** A prefix scan over the ``jobs`` span maps (cheap:
+   one ``apply`` per span per transform group, in the parent) yields
+   every span's entry state for every carrier.
+3. **Phase 3 — evaluate.** All spans run in parallel through the same
+   fused tile walk the sequential executor uses, each seeded at its
+   scanned entry states. Workers return popcount/overlap accumulator
+   partials and span-local word buffers for kept nodes; the parent
+   merges them **in span order** — integer summation, so the totals are
+   the sequential totals and every derived float is identical.
+
+Transforms whose inputs depend on other transforms' outputs (e.g.
+``fsm_zoo``'s isolator downstream of the synchronizer) are handled by
+**waves**: phase 1 repeats per dependency depth, with already-resolved
+carriers evaluated at their scanned entry states while the next wave's
+maps compose. Plans containing a transform without a composer (series
+compositions) and single-tile streams fall back to the sequential walk
+— silently, because the results are identical either way.
+
+Workers are forked (the plan, with its unpicklable transform closures,
+travels by address-space inheritance; entry states, the only per-task
+payload, are small arrays) and inherit the engine's memo caches as of
+the fork instant; the ``os.register_at_fork`` hooks in
+:mod:`repro.engine.executor` / :mod:`repro.engine.streaming` rebind
+their locks in every child, so the pool is safe even under a threaded
+parent. Platforms without ``fork`` run the span tasks inline — same
+code path, same bits, no parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arith._coerce import broadcast_pair
+from ..bitstream.packed import unpack_bits, pack_bits_unchecked
+from ..bitstream.streaming import (
+    OverlapAccumulator,
+    TileAssembler,
+    ValueAccumulator,
+    tile_bounds,
+)
+from ..kernels.streaming import make_pair_carrier, make_pair_composer
+from .executor import _OP_KERNELS
+from .plan import ExecutionPlan, FusedChain
+from .streaming import (
+    _CompiledChain,
+    _keep_and_exposed,
+    _make_sources,
+    _propagate_rows,
+    _select_tile,
+    _stream_execute,
+    _walk_tiles,
+)
+
+__all__ = ["plan_waves", "spans_for"]
+
+
+# ---------------------------------------------------------------------- #
+# Static analysis: waves and spans
+# ---------------------------------------------------------------------- #
+
+def plan_waves(plan: ExecutionPlan) -> Tuple[Dict[int, int], Dict[int, Tuple[str, ...]]]:
+    """Group transform groups into dependency **waves**.
+
+    A group's wave is the number of transform groups on its deepest
+    input path: wave-0 groups read only sources/ops over sources and can
+    compose their maps immediately; a wave-``w`` group's inputs need the
+    scanned entry states of waves ``< w`` first. Returns
+    ``(wave_of_group, group_inputs)``.
+    """
+    avail: Dict[str, int] = {}
+    wave_of: Dict[int, int] = {}
+    group_inputs: Dict[int, Tuple[str, ...]] = {}
+    for s in plan.steps:
+        if s.kind == "source":
+            avail[s.name] = 0
+        elif s.kind == "op":
+            avail[s.name] = max(avail[d] for d in s.inputs)
+        else:
+            g = s.group
+            if g not in wave_of:
+                wave_of[g] = max(avail[d] for d in s.inputs)
+                group_inputs[g] = s.inputs
+            avail[s.name] = wave_of[g] + 1
+    return wave_of, group_inputs
+
+
+def _ancestors(plan: ExecutionPlan, targets: Iterable[str]) -> set:
+    """Every node (targets included) on a path into ``targets``."""
+    step_by_name = {s.name: s for s in plan.steps}
+    needed: set = set()
+    stack = list(targets)
+    while stack:
+        name = stack.pop()
+        if name in needed:
+            continue
+        needed.add(name)
+        stack.extend(step_by_name[name].inputs)
+    return needed
+
+
+def spans_for(length: int, tile_words: int, jobs: int) -> List[Tuple[int, int]]:
+    """Split the tile sequence into ≤ ``jobs`` contiguous, balanced
+    spans of whole tiles; returns absolute ``(start_bit, stop_bit)``
+    per span (span starts are tile starts, hence word-aligned)."""
+    bounds = list(tile_bounds(length, tile_words))
+    k = max(1, min(jobs, len(bounds)))
+    base, extra = divmod(len(bounds), k)
+    spans: List[Tuple[int, int]] = []
+    index = 0
+    for i in range(k):
+        count = base + (1 if i < extra else 0)
+        spans.append((bounds[index][0], bounds[index + count - 1][1]))
+        index += count
+    return spans
+
+
+# ---------------------------------------------------------------------- #
+# Worker context (inherited by forked workers; never pickled)
+# ---------------------------------------------------------------------- #
+
+class _Context:
+    """Everything span workers need, installed as a module global in the
+    parent immediately before the pool forks."""
+
+    __slots__ = (
+        "plan", "length", "levels", "rows", "tile_words", "spans",
+        "schedule", "needs_select", "keep_set", "value_nodes",
+        "want_op_scc", "phase1",
+    )
+
+    def __init__(self) -> None:
+        self.phase1: Dict[int, dict] = {}
+
+
+_CTX: Optional[_Context] = None
+
+
+def _span_bounds(span: Tuple[int, int]) -> List[Tuple[int, int]]:
+    """The span's tiles, with absolute stream offsets."""
+    start, stop = span
+    ctx = _CTX
+    return [
+        (start + s, start + e)
+        for s, e in tile_bounds(stop - start, ctx.tile_words)
+    ]
+
+
+def _seeded_carriers(
+    groups: Iterable[int], span_start: int, entries: Dict[int, Any]
+) -> Dict[int, Any]:
+    ctx = _CTX
+    carriers = {}
+    group_batch = _group_batches(ctx.plan, ctx.rows)
+    for g in groups:
+        carrier = make_pair_carrier(
+            _group_transform(ctx.plan, g), ctx.length, group_batch[g], span_start
+        )
+        carrier.set_state(entries[g])
+        carriers[g] = carrier
+    return carriers
+
+
+def _group_transform(plan: ExecutionPlan, group: int):
+    for s in plan.steps:
+        if s.kind == "transform" and s.group == group:
+            return s.transform
+    raise KeyError(group)
+
+
+def _group_batches(plan: ExecutionPlan, rows: Dict[str, int]) -> Dict[int, int]:
+    batches: Dict[int, int] = {}
+    for s in plan.steps:
+        if s.kind == "transform" and s.group not in batches:
+            batches[s.group] = max(rows[d] for d in s.inputs)
+    return batches
+
+
+def _phase1_task(
+    span_index: int, wave: int, entries: Dict[int, Any]
+) -> Dict[int, Any]:
+    """Compose one span's state maps for every wave-``wave`` transform
+    group; earlier waves' carriers run seeded at their scanned entry
+    states. Returns ``{group: state_map}``."""
+    ctx = _CTX
+    info = ctx.phase1[wave]
+    span = ctx.spans[span_index]
+    bounds = _span_bounds(span)
+    group_batch = _group_batches(ctx.plan, ctx.rows)
+
+    sources = _make_sources(ctx.plan, ctx.levels)
+    carriers = _seeded_carriers(info["carrier_groups"], span[0], entries)
+    composers = {
+        g: make_pair_composer(
+            _group_transform(ctx.plan, g), ctx.length, group_batch[g], span[0]
+        )
+        for g in info["groups"]
+    }
+    needed = info["needed"]
+
+    for start, stop in bounds:
+        tile_len = stop - start
+        select = _select_tile(start, stop) if info["needs_select"] else None
+        env: Dict[str, np.ndarray] = {}
+        group_out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for item in ctx.plan.steps:
+            if item.kind == "source":
+                if item.name in needed:
+                    env[item.name] = sources[item.name].tile(start, stop)
+            elif item.kind == "op":
+                if item.name in needed:
+                    a, b = (env[d] for d in item.inputs)
+                    env[item.name] = _OP_KERNELS[item.op](a, b, select)
+            else:
+                g = item.group
+                if g in composers:
+                    if g not in group_out:
+                        group_out[g] = ()
+                        xw, yw = (env[d] for d in item.inputs)
+                        xb = unpack_bits(xw, tile_len)
+                        yb = unpack_bits(yw, tile_len)
+                        xb, yb = broadcast_pair(xb, yb)
+                        composers[g].step(xb, yb)
+                elif g in carriers and item.name in needed:
+                    if g not in group_out:
+                        xw, yw = (env[d] for d in item.inputs)
+                        xb = unpack_bits(xw, tile_len)
+                        yb = unpack_bits(yw, tile_len)
+                        xb, yb = broadcast_pair(xb, yb)
+                        ox, oy = carriers[g].step(xb, yb)
+                        group_out[g] = (
+                            pack_bits_unchecked(ox), pack_bits_unchecked(oy)
+                        )
+                    env[item.name] = group_out[g][item.port]
+    return {g: composers[g].state_map for g in composers}
+
+
+class _SpanSink:
+    """A kept node's words for one span (the parallel counterpart of
+    :class:`~repro.bitstream.streaming.TileAssembler`, covering only the
+    span's word range)."""
+
+    __slots__ = ("words", "_w0")
+
+    def __init__(self, rows: int, span: Tuple[int, int]) -> None:
+        self._w0 = span[0] // 64
+        span_words = (span[1] - span[0] + 63) // 64
+        self.words = np.zeros((rows, span_words), dtype="<u8")
+
+    def write(self, start: int, tile_words_matrix: np.ndarray) -> None:
+        w = start // 64 - self._w0
+        self.words[:, w : w + tile_words_matrix.shape[1]] = tile_words_matrix
+
+
+def _phase3_task(
+    span_index: int, entries: Dict[int, Any]
+) -> Tuple[Dict[str, ValueAccumulator], Dict[str, OverlapAccumulator], Dict[str, np.ndarray]]:
+    """Evaluate one span through the fused tile walk, seeded at the
+    scanned entry states; return accumulator partials + span buffers."""
+    ctx = _CTX
+    span = ctx.spans[span_index]
+    bounds = _span_bounds(span)
+
+    sources = _make_sources(ctx.plan, ctx.levels)
+    carriers = _seeded_carriers(
+        set(s.group for s in ctx.plan.steps if s.kind == "transform"),
+        span[0], entries,
+    )
+    vacc = {name: ValueAccumulator(ctx.length) for name in ctx.value_nodes}
+    sccacc: Dict[str, OverlapAccumulator] = {}
+    if ctx.want_op_scc:
+        sccacc = {
+            s.name: OverlapAccumulator(ctx.length)
+            for s in ctx.plan.steps if s.kind == "op"
+        }
+    sinks = {
+        name: _SpanSink(ctx.rows[name], span) for name in ctx.keep_set
+    }
+    schedule = [
+        _CompiledChain(item, ctx.rows) if isinstance(item, FusedChain) else item
+        for item in ctx.schedule
+    ]
+    _walk_tiles(
+        schedule, sources, carriers, bounds,
+        needs_select=ctx.needs_select, vacc=vacc, sccacc=sccacc,
+        writers=sinks,
+    )
+    return vacc, sccacc, {name: sink.words for name, sink in sinks.items()}
+
+
+# ---------------------------------------------------------------------- #
+# Pool plumbing
+# ---------------------------------------------------------------------- #
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` where the
+    platform has no fork (workers then run inline — identical results,
+    no parallelism)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+def _run_tasks(pool: Optional[ProcessPoolExecutor], fn, arglists: Sequence[tuple]) -> List:
+    """Run one batch of span tasks, preserving span order in the result
+    list (futures may *complete* out of order; merging stays ordered)."""
+    if pool is None:
+        return [fn(*args) for args in arglists]
+    futures = [pool.submit(fn, *args) for args in arglists]
+    return [future.result() for future in futures]
+
+
+def _composable(plan: ExecutionPlan, length: int, rows: Dict[str, int]) -> bool:
+    """True when every transform group's state maps compose (the
+    parallel scheduler's precondition); series compositions return
+    ``None`` composers and force the sequential fallback."""
+    seen = set()
+    for s in plan.steps:
+        if s.kind != "transform" or s.group in seen:
+            continue
+        seen.add(s.group)
+        batch = max(rows[d] for d in s.inputs)
+        if make_pair_composer(s.transform, length, batch) is None:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# The three-phase scheduler
+# ---------------------------------------------------------------------- #
+
+def _parallel_stream_execute(
+    plan: ExecutionPlan,
+    length: int,
+    *,
+    levels: Dict[str, np.ndarray],
+    keep,
+    tile_words: int,
+    fuse: bool,
+    want_values_all: bool,
+    want_op_scc: bool,
+    jobs: int,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], Dict[str, np.ndarray], int]:
+    """Parallel counterpart of
+    :func:`repro.engine.streaming._stream_execute` — same return tuple,
+    bit-/float-identical results, spans evaluated across a worker pool.
+    Falls back to the sequential walk when there is nothing to
+    parallelise (a single span) or a carrier does not compose."""
+    global _CTX
+
+    rows = _propagate_rows(plan, levels)
+    spans = spans_for(length, tile_words, jobs)
+
+    def _sequential():
+        return _stream_execute(
+            plan, length, levels=levels, keep=keep, tile_words=tile_words,
+            fuse=fuse, want_values_all=want_values_all,
+            want_op_scc=want_op_scc,
+        )
+
+    if len(spans) < 2 or not _composable(plan, length, rows):
+        return _sequential()
+
+    keep_set, value_nodes, exposed = _keep_and_exposed(
+        plan, keep, want_values_all, want_op_scc
+    )
+    schedule = plan.fused_schedule(exposed if fuse else None)
+    fused_chains = sum(1 for item in schedule if isinstance(item, FusedChain))
+    needs_select = any(
+        s.op == "scaled_add" for s in plan.steps if s.kind == "op"
+    )
+
+    wave_of, group_inputs = plan_waves(plan)
+    waves = sorted(set(wave_of.values()))
+    step_port_names = {
+        (s.group, s.port): s.name for s in plan.steps if s.kind == "transform"
+    }
+
+    # Per-wave phase-1 prescription: which groups compose, which earlier
+    # carriers must run, and the sub-graph feeding them.
+    phase1: Dict[int, dict] = {}
+    for w in waves:
+        wave_groups = [g for g, wv in wave_of.items() if wv == w]
+        targets = set()
+        for g in wave_groups:
+            targets.update(group_inputs[g])
+        needed = _ancestors(plan, targets)
+        carrier_groups = [
+            g for g, wv in wave_of.items()
+            if wv < w and any(
+                step_port_names[(g, p)] in needed for p in (0, 1)
+            )
+        ]
+        wave_needs_select = any(
+            s.kind == "op" and s.op == "scaled_add" and s.name in needed
+            for s in plan.steps
+        )
+        phase1[w] = {
+            "groups": wave_groups,
+            "carrier_groups": carrier_groups,
+            "needed": needed,
+            "needs_select": wave_needs_select,
+        }
+
+    # Install the worker context *before* the pool forks: workers read
+    # it by inheritance, so per-task pickles carry only entry states.
+    ctx = _Context()
+    ctx.plan = plan
+    ctx.length = length
+    ctx.levels = levels
+    ctx.rows = rows
+    ctx.tile_words = tile_words
+    ctx.spans = spans
+    ctx.schedule = schedule
+    ctx.needs_select = needs_select
+    ctx.keep_set = keep_set
+    ctx.value_nodes = value_nodes
+    ctx.want_op_scc = want_op_scc
+    ctx.phase1 = phase1
+    _CTX = ctx
+
+    group_batch = _group_batches(plan, rows)
+    algebra = {
+        g: make_pair_composer(_group_transform(plan, g), length, group_batch[g])
+        for g in wave_of
+    }
+    initial_state = {
+        g: make_pair_carrier(
+            _group_transform(plan, g), length, group_batch[g]
+        ).get_state()
+        for g in wave_of
+    }
+
+    mp_context = _fork_context()
+    pool: Optional[ProcessPoolExecutor] = None
+    if mp_context is not None:
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(spans)), mp_context=mp_context
+        )
+    try:
+        # Phases 1 + 2, once per wave. Spans' entry states accumulate in
+        # span_entries; purely combinational plans have no waves and go
+        # straight to phase 3.
+        span_entries: List[Dict[int, Any]] = [dict() for _ in spans]
+        for w in waves:
+            info = phase1[w]
+            tasks = [
+                (
+                    i, w,
+                    {g: span_entries[i][g] for g in info["carrier_groups"]},
+                )
+                for i in range(len(spans))
+            ]
+            span_maps = _run_tasks(pool, _phase1_task, tasks)
+            for g in info["groups"]:
+                state = initial_state[g]
+                for i in range(len(spans)):
+                    span_entries[i][g] = state
+                    state = algebra[g].apply(span_maps[i][g], state)
+
+        # Phase 3: evaluate every span with known entry states.
+        results = _run_tasks(
+            pool, _phase3_task,
+            [(i, span_entries[i]) for i in range(len(spans))],
+        )
+    finally:
+        if pool is not None:
+            pool.shutdown()
+        _CTX = None
+
+    # Ordered merge: accumulator partials sum span by span (integer
+    # addition — the totals are the sequential totals); kept words land
+    # at their spans' word offsets regardless of completion order.
+    vacc = {name: ValueAccumulator(length) for name in value_nodes}
+    sccacc: Dict[str, OverlapAccumulator] = {}
+    if want_op_scc:
+        sccacc = {
+            s.name: OverlapAccumulator(length)
+            for s in plan.steps if s.kind == "op"
+        }
+    assemblers = {name: TileAssembler(rows[name], length) for name in keep_set}
+    for span, (span_vacc, span_sccacc, span_words) in zip(spans, results):
+        for name, acc in span_vacc.items():
+            vacc[name].merge(acc)
+        for name, acc in span_sccacc.items():
+            sccacc[name].merge(acc)
+        for name, words in span_words.items():
+            assemblers[name].write(span[0], words)
+
+    kept = {
+        name: assemblers[name].words
+        for name in plan.node_order if name in assemblers
+    }
+    ones = {name: acc.ones for name, acc in vacc.items()}
+    op_scc = {name: acc.scc() for name, acc in sccacc.items()}
+    return kept, ones, op_scc, fused_chains

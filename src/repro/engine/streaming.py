@@ -54,7 +54,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from .._validation import check_stream_length, check_tile_words
+from .._validation import check_jobs, check_stream_length, check_tile_words
 from ..arith._coerce import broadcast_pair
 from ..bitstream.encoding import Encoding, ones_to_value
 from ..bitstream.packed import pack_bits_unchecked, unpack_bits, words_per_stream
@@ -221,6 +221,119 @@ def _propagate_rows(plan: ExecutionPlan, levels: Dict[str, np.ndarray]) -> Dict[
 # Core tile walk
 # ---------------------------------------------------------------------- #
 
+def _keep_and_exposed(
+    plan: ExecutionPlan,
+    keep: Optional[Iterable[str]],
+    want_values_all: bool,
+    want_op_scc: bool,
+) -> Tuple[set, set, set]:
+    """Resolve ``keep`` and derive the value-accumulated and fusion-
+    exposed node sets (shared by the sequential and parallel walks)."""
+    all_names = set(plan.node_order)
+    if keep is None:
+        keep_set = all_names
+    else:
+        keep_set = set(keep)
+        unknown = keep_set - all_names
+        if unknown:
+            raise GraphCompilationError(f"keep names not in graph: {sorted(unknown)}")
+    value_nodes = all_names if want_values_all else set(keep_set)
+    exposed = set(keep_set) | value_nodes
+    if want_op_scc:
+        for step in plan.steps:
+            if step.kind == "op":
+                exposed.update(step.inputs)
+    return keep_set, value_nodes, exposed
+
+
+def _make_sources(
+    plan: ExecutionPlan, levels: Dict[str, np.ndarray]
+) -> Dict[str, PackedTileSource]:
+    return {
+        step.name: PackedTileSource(
+            levels[step.name], make_rng(step.rng_spec, **dict(step.rng_kwargs))
+        )
+        for step in plan.steps
+        if step.kind == "source"
+    }
+
+
+def _make_carriers(
+    plan: ExecutionPlan,
+    length: int,
+    rows: Dict[str, int],
+    start: int = 0,
+) -> Dict[int, PairCarrier]:
+    """One carrier per transform group, positioned at ``start`` (0 for
+    the sequential walk; a span's first bit for parallel spans)."""
+    carriers: Dict[int, PairCarrier] = {}
+    for step in plan.steps:
+        if step.kind == "transform" and step.group not in carriers:
+            batch = max(rows[d] for d in step.inputs)
+            carrier = make_pair_carrier(step.transform, length, batch, start)
+            if carrier is None:
+                raise GraphCompilationError(
+                    f"transform {step.name!r} ({step.transform.name}) has no "
+                    f"chunk-resumable streaming carrier; evaluate this plan "
+                    f"with run()/audit() instead"
+                )
+            carriers[step.group] = carrier
+    return carriers
+
+
+def _walk_tiles(
+    schedule: List,
+    sources: Dict[str, PackedTileSource],
+    carriers: Dict[int, PairCarrier],
+    bounds: Iterable[Tuple[int, int]],
+    *,
+    needs_select: bool,
+    vacc: Dict[str, ValueAccumulator],
+    sccacc: Dict[str, OverlapAccumulator],
+    writers: Dict[str, TileAssembler],
+) -> None:
+    """Pump the given tiles through a compiled schedule — the one inner
+    loop shared by the sequential executor and each parallel span worker
+    (:mod:`repro.engine.parallel`). Tile ``bounds`` carry *absolute*
+    stream offsets, so sources window their RNGs and flush-tail carriers
+    count remaining cycles identically in either caller."""
+    for start, stop in bounds:
+        tile_len = stop - start
+        tile_word_count = (tile_len + 63) // 64
+        select = _select_tile(start, stop) if needs_select else None
+        env: Dict[str, np.ndarray] = {}
+        group_out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+        for item in schedule:
+            if isinstance(item, _CompiledChain):
+                env[item.name] = item.evaluate(env, select, tile_word_count)
+                name = item.name
+            elif item.kind == "source":
+                env[item.name] = sources[item.name].tile(start, stop)
+                name = item.name
+            elif item.kind == "op":
+                a, b = (env[d] for d in item.inputs)
+                if sccacc and item.name in sccacc:
+                    sccacc[item.name].update(a, b)
+                env[item.name] = _OP_KERNELS[item.op](a, b, select)
+                name = item.name
+            else:  # transform
+                if item.group not in group_out:
+                    xw, yw = (env[d] for d in item.inputs)
+                    xb = unpack_bits(xw, tile_len)
+                    yb = unpack_bits(yw, tile_len)
+                    xb, yb = broadcast_pair(xb, yb)
+                    ox, oy = carriers[item.group].step(xb, yb)
+                    group_out[item.group] = (pack_bits_unchecked(ox), pack_bits_unchecked(oy))
+                env[item.name] = group_out[item.group][item.port]
+                name = item.name
+
+            if name in vacc:
+                vacc[name].update(env[name])
+            if name in writers:
+                writers[name].write(start, env[name])
+
+
 def _stream_execute(
     plan: ExecutionPlan,
     length: int,
@@ -238,21 +351,9 @@ def _stream_execute(
     maps accumulated node names to integer 1-counts and ``op_scc`` maps
     op names to per-row SCC arrays.
     """
-    all_names = set(plan.node_order)
-    if keep is None:
-        keep_set = all_names
-    else:
-        keep_set = set(keep)
-        unknown = keep_set - all_names
-        if unknown:
-            raise GraphCompilationError(f"keep names not in graph: {sorted(unknown)}")
-
-    value_nodes = all_names if want_values_all else set(keep_set)
-    exposed = set(keep_set) | value_nodes
-    if want_op_scc:
-        for step in plan.steps:
-            if step.kind == "op":
-                exposed.update(step.inputs)
+    keep_set, value_nodes, exposed = _keep_and_exposed(
+        plan, keep, want_values_all, want_op_scc
+    )
     schedule = plan.fused_schedule(exposed if fuse else None)
     fused_chains = sum(1 for item in schedule if isinstance(item, FusedChain))
 
@@ -260,23 +361,8 @@ def _stream_execute(
 
     # Per-run state: tile sources, transform carriers, accumulators,
     # assemblers, scratch buffers.
-    sources: Dict[str, PackedTileSource] = {}
-    carriers: Dict[int, PairCarrier] = {}
-    for step in plan.steps:
-        if step.kind == "source":
-            sources[step.name] = PackedTileSource(
-                levels[step.name], make_rng(step.rng_spec, **dict(step.rng_kwargs))
-            )
-        elif step.kind == "transform" and step.group not in carriers:
-            batch = max(rows[d] for d in step.inputs)
-            carrier = make_pair_carrier(step.transform, length, batch)
-            if carrier is None:
-                raise GraphCompilationError(
-                    f"transform {step.name!r} ({step.transform.name}) has no "
-                    f"chunk-resumable streaming carrier; evaluate this plan "
-                    f"with run()/audit() instead"
-                )
-            carriers[step.group] = carrier
+    sources = _make_sources(plan, levels)
+    carriers = _make_carriers(plan, length, rows)
 
     vacc = {name: ValueAccumulator(length) for name in value_nodes}
     sccacc: Dict[str, OverlapAccumulator] = {}
@@ -292,41 +378,11 @@ def _stream_execute(
 
     needs_select = any(s.op == "scaled_add" for s in plan.steps if s.kind == "op")
 
-    for start, stop in tile_bounds(length, tile_words):
-        tile_len = stop - start
-        tile_word_count = (tile_len + 63) // 64
-        select = _select_tile(start, stop) if needs_select else None
-        env: Dict[str, np.ndarray] = {}
-        group_out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-
-        for item in schedule:
-            if isinstance(item, _CompiledChain):
-                env[item.name] = item.evaluate(env, select, tile_word_count)
-                name = item.name
-            elif item.kind == "source":
-                env[item.name] = sources[item.name].tile(start, stop)
-                name = item.name
-            elif item.kind == "op":
-                a, b = (env[d] for d in item.inputs)
-                if want_op_scc:
-                    sccacc[item.name].update(a, b)
-                env[item.name] = _OP_KERNELS[item.op](a, b, select)
-                name = item.name
-            else:  # transform
-                if item.group not in group_out:
-                    xw, yw = (env[d] for d in item.inputs)
-                    xb = unpack_bits(xw, tile_len)
-                    yb = unpack_bits(yw, tile_len)
-                    xb, yb = broadcast_pair(xb, yb)
-                    ox, oy = carriers[item.group].step(xb, yb)
-                    group_out[item.group] = (pack_bits_unchecked(ox), pack_bits_unchecked(oy))
-                env[item.name] = group_out[item.group][item.port]
-                name = item.name
-
-            if name in vacc:
-                vacc[name].update(env[name])
-            if name in assemblers:
-                assemblers[name].write(start, env[name])
+    _walk_tiles(
+        schedule, sources, carriers, tile_bounds(length, tile_words),
+        needs_select=needs_select, vacc=vacc, sccacc=sccacc,
+        writers=assemblers,
+    )
 
     kept = {name: assemblers[name].words for name in plan.node_order if name in assemblers}
     ones = {name: acc.ones for name, acc in vacc.items()}
@@ -385,6 +441,7 @@ def run_streaming(
     keep: Optional[Iterable[str]] = None,
     encoding: Union[Encoding, str] = Encoding.UNIPOLAR,
     fuse: bool = True,
+    jobs: int = 1,
 ) -> StreamingRun:
     """Evaluate a plan by pumping word tiles through the whole schedule.
 
@@ -409,14 +466,29 @@ def run_streaming(
         fuse: collapse runs of adjacent packed ops into fused super-steps
             (single pass over the tile, no interior buffers). Never
             changes any bit — only which intermediates exist.
+        jobs: worker processes for the parallel tile scheduler
+            (:mod:`repro.engine.parallel`): tiles are split into
+            contiguous spans whose carrier entry states come from a
+            prefix scan over composed state maps, so results stay
+            bit-identical to ``jobs=1`` at every tile size. ``1`` (the
+            default) runs the sequential walk; plans whose carriers do
+            not compose (series compositions) silently fall back to it.
     """
     check_stream_length(length)
     check_tile_words(tile_words)
+    check_jobs(jobs)
     resolved, _, batch = _resolve_levels(plan, length, values, levels)
-    kept, ones, _, fused = _stream_execute(
-        plan, length, levels=resolved, keep=keep, tile_words=tile_words,
-        fuse=fuse, want_values_all=False, want_op_scc=False,
-    )
+    if jobs > 1:
+        from .parallel import _parallel_stream_execute
+        kept, ones, _, fused = _parallel_stream_execute(
+            plan, length, levels=resolved, keep=keep, tile_words=tile_words,
+            fuse=fuse, want_values_all=False, want_op_scc=False, jobs=jobs,
+        )
+    else:
+        kept, ones, _, fused = _stream_execute(
+            plan, length, levels=resolved, keep=keep, tile_words=tile_words,
+            fuse=fuse, want_values_all=False, want_op_scc=False,
+        )
     return StreamingRun(
         length=length,
         batch_size=batch,
@@ -435,6 +507,7 @@ def audit_streaming(
     *,
     tile_words: int = DEFAULT_TILE_WORDS,
     tolerance: float = 0.35,
+    jobs: int = 1,
 ) -> GraphAudit:
     """Streaming graph audit — float-identical to
     :func:`repro.engine.executor.audit` at any tile size, with O(tile)
@@ -444,15 +517,25 @@ def audit_streaming(
     overlap partial sums; the summed integers equal the whole-stream
     counts, so every derived float matches the materialised audit
     exactly. This is what makes N = 2^22 correlation audits (the
-    ``long_stream`` experiment) possible at all.
+    ``long_stream`` experiment) possible at all. ``jobs > 1`` runs the
+    prefix-scanned parallel tile scheduler; the merged integer partial
+    sums equal the sequential sums, so every derived float is identical.
     """
     check_stream_length(length)
     check_tile_words(tile_words)
+    check_jobs(jobs)
     resolved, _, _ = _resolve_levels(plan, length, None, None)
-    _, ones, op_scc, _ = _stream_execute(
-        plan, length, levels=resolved, keep=(), tile_words=tile_words,
-        fuse=True, want_values_all=True, want_op_scc=True,
-    )
+    if jobs > 1:
+        from .parallel import _parallel_stream_execute
+        _, ones, op_scc, _ = _parallel_stream_execute(
+            plan, length, levels=resolved, keep=(), tile_words=tile_words,
+            fuse=True, want_values_all=True, want_op_scc=True, jobs=jobs,
+        )
+    else:
+        _, ones, op_scc, _ = _stream_execute(
+            plan, length, levels=resolved, keep=(), tile_words=tile_words,
+            fuse=True, want_values_all=True, want_op_scc=True,
+        )
     expected = plan.expected_values()
     node_values = {
         name: float(count[0]) / float(length) for name, count in ones.items()

@@ -37,6 +37,7 @@ __all__ = [
     "state_trajectory",
     "chunked_outputs",
     "step_chunk",
+    "compose_chunk",
     "choose_chunk",
     "choose_strategy",
     "STRATEGIES",
@@ -355,6 +356,69 @@ def step_chunk(
             out_y[:, t] = table.out_y[sym_t, state]
         state = table.next_state[sym_t, state]
     return state, out_x, out_y
+
+
+def compose_chunk(
+    fsm: CompiledFSM,
+    maps: np.ndarray,
+    symbols: np.ndarray,
+    *,
+    remaining_after: int = 0,
+) -> np.ndarray:
+    """Advance a batch of *state maps* over one symbol chunk.
+
+    Where :func:`step_chunk` advances one concrete state per row, this
+    advances the whole transition *function*: ``maps[b, s]`` is the state
+    row ``b`` would be in after the already-composed prefix **if** it had
+    entered that prefix in state ``s``. Feeding consecutive chunks
+    composes their transition functions, so a span of a stream can be
+    summarised as a single ``(batch, n_states)`` map without knowing the
+    span's entry state — the enabler for prefix-scanned parallel tile
+    scheduling (:mod:`repro.engine.parallel`).
+
+    The steady region advances ``k`` symbols per gather through the same
+    composed chunk LUT as the trajectory steppers; flush-tail cycles
+    (``remaining <= len(fsm.tails)``) step their per-remaining tail
+    table exactly as :func:`step_chunk` does, so maps composed across a
+    tail-straddling boundary stay exact.
+
+    Args:
+        fsm: compiled transition tables (any ``n_symbols``).
+        maps: ``(batch, n_states)`` prefix maps (start a span with the
+            identity map ``arange(n_states)`` broadcast over the batch).
+        symbols: ``(batch, length)`` symbol indices.
+        remaining_after: stream cycles that follow this chunk.
+
+    Returns the advanced ``(batch, n_states)`` maps (a fresh array; the
+    input is never mutated).
+    """
+    if remaining_after < 0:
+        raise ValueError(f"remaining_after must be >= 0, got {remaining_after}")
+    batch, length = symbols.shape
+    n_states = fsm.n_states
+    if maps.shape != (batch, n_states):
+        raise ValueError(
+            f"maps shape {maps.shape} does not match (batch, n_states) = "
+            f"({batch}, {n_states})"
+        )
+    maps = maps.astype(fsm.steady.next_state.dtype, copy=True)
+    tail_here = max(0, min(length, len(fsm.tails) - remaining_after))
+    steady_len = length - tail_here
+    k = choose_chunk(fsm.n_symbols, n_states)
+    chunks = steady_len // k
+    if chunks:
+        flat = _composed_table(fsm, k, fused=False).ravel()
+        sym3 = symbols[:, : chunks * k].reshape(batch, chunks, k)
+        codes = _chunk_codes(sym3, fsm.n_symbols, k).astype(np.int64)
+        for c in range(chunks):
+            maps = flat.take(codes[:, c, None] * n_states + maps)
+    for t in range(chunks * k, steady_len):
+        maps = fsm.steady.next_state[symbols[:, t, None], maps]
+    for t in range(steady_len, length):
+        remaining = length - t + remaining_after
+        table = fsm.tails[remaining - 1]
+        maps = table.next_state[symbols[:, t, None], maps]
+    return maps
 
 
 def _scan_trajectory(

@@ -39,7 +39,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from .._validation import check_tile_words
+from .._validation import check_jobs, check_tile_words
 from ..core.synchronizer import Synchronizer
 from ..exceptions import PipelineError
 from ..hardware import EFFECTIVE_CYCLE_US, Netlist, components, report
@@ -59,6 +59,104 @@ VARIANTS = ("none", "regeneration", "synchronizer")
 # engine path processes tiles in chunks sized to stay under this many
 # bytes — large images keep the vectorisation win at bounded memory.
 _ENGINE_CHUNK_BYTES = 64 << 20
+
+# Worker context for the parallel streaming backend: installed as a
+# module global immediately before the span pool forks, so workers read
+# the accelerator (with its unpicklable factory closure), the patch
+# stack, and the span table by address-space inheritance — per-task
+# pickles carry only a span index plus small state arrays. Mirrors
+# ``repro.engine.parallel._CTX``.
+_STREAM_CTX = None
+
+
+def _stream_windows(span, tile_words):
+    """A span's time windows, with absolute cycle offsets."""
+    from ..bitstream.streaming import tile_bounds
+
+    start, stop = span
+    return [
+        (start + s, start + e)
+        for s, e in tile_bounds(stop - start, tile_words)
+    ]
+
+
+def _stream_counts_task(span_index: int) -> np.ndarray:
+    """Regeneration pass 1 over one span: blurred 1-count partials
+    (integer sums — span partials merge to the sequential totals)."""
+    acc, patches, tile_words, spans = _STREAM_CTX
+    tiles = patches.shape[0]
+    bt = acc._config.blur_tile
+    counts = np.zeros((tiles * bt * bt,), dtype=np.int64)
+    for start, stop in _stream_windows(spans[span_index], tile_words):
+        blurred = acc._blurred_window(patches, start, stop)
+        counts += blurred.reshape(tiles * bt * bt, -1).sum(axis=1, dtype=np.int64)
+    return counts
+
+
+def _stream_compose_task(span_index: int):
+    """Synchronizer phase 1 over one span: walk the span's windows once
+    (convert + blur + corners) folding both pair FSMs' transitions into
+    state maps, without knowing the span's entry states."""
+    from ..kernels.streaming import make_pair_composer
+
+    acc, patches, tile_words, spans = _STREAM_CTX
+    span = spans[span_index]
+    tiles = patches.shape[0]
+    bt = acc._config.blur_tile
+    pairs = tiles * (bt - 1) * (bt - 1)
+    factory = acc._detector._factory
+    composers = tuple(
+        make_pair_composer(factory(), acc._n, pairs, span[0]) for _ in range(2)
+    )
+    for start, stop in _stream_windows(span, tile_words):
+        blurred = acc._blurred_window(patches, start, stop)
+        g00, g11, g01, g10 = SCRobertsCross._corners(blurred)
+        composers[0].step(g00, g11)
+        composers[1].step(g01, g10)
+    return composers[0].state_map, composers[1].state_map
+
+
+def _stream_detect_task(span_index: int, states, regen_counts) -> np.ndarray:
+    """Phase 3 over one span: detect with carriers seeded at the scanned
+    entry states (``states`` is None for carrier-free variants), return
+    the span's edge popcount partials."""
+    from ..kernels.streaming import make_pair_carrier
+
+    acc, patches, tile_words, spans = _STREAM_CTX
+    span = spans[span_index]
+    cfg = acc._config
+    n = acc._n
+    tiles = patches.shape[0]
+    bt = cfg.blur_tile
+    pairs = tiles * (bt - 1) * (bt - 1)
+
+    carriers = (None, None)
+    if states is not None:
+        factory = acc._detector._factory
+        carriers = tuple(
+            make_pair_carrier(factory(), n, pairs, span[0]) for _ in range(2)
+        )
+        carriers[0].set_state(states[0])
+        carriers[1].set_state(states[1])
+
+    edge_ones = np.zeros((pairs,), dtype=np.int64)
+    for start, stop in _stream_windows(span, tile_words):
+        if regen_counts is not None:
+            window = acc._regen_rng.sequence_window(start, stop)
+            flat = regen_counts[:, None] > window[None, :]
+            blurred = flat.astype(np.uint8).reshape(tiles, bt, bt, stop - start)
+        else:
+            blurred = acc._blurred_window(patches, start, stop)
+        g00, g11, g01, g10 = SCRobertsCross._corners(blurred)
+        if carriers[0] is not None:
+            g00, g11 = carriers[0].step(g00, g11)
+            g01, g10 = carriers[1].step(g01, g10)
+        d1 = np.bitwise_xor(g00, g11)
+        d2 = np.bitwise_xor(g01, g10)
+        select = acc._detector._select_bits_window(start, stop)
+        z = np.where(select[None, :] == 1, d2, d1)
+        edge_ones += z.sum(axis=1, dtype=np.int64)
+    return edge_ones
 
 
 @dataclass(frozen=True)
@@ -253,7 +351,7 @@ class SCAccelerator:
         return self._blur.blur_tiles_window(input_bits, start, stop, self._n)
 
     def _process_tiles_streaming(
-        self, patches: np.ndarray, tile_words: int
+        self, patches: np.ndarray, tile_words: int, jobs: int = 1
     ) -> np.ndarray:
         """Streaming tile processing: pump the *time axis* in windows of
         ``tile_words * 64`` cycles through convert → blur →
@@ -267,7 +365,18 @@ class SCAccelerator:
         re-encode, so it runs two window passes: convert + blur to
         accumulate counts, then a cheap re-encode + detect pass built
         from those counts alone — still O(window) memory.
+
+        ``jobs > 1`` splits the time axis into contiguous window spans
+        evaluated across a forked worker pool
+        (:meth:`_process_tiles_streaming_parallel`); outputs are
+        float-identical at any job count.
         """
+        if jobs > 1:
+            parallel = self._process_tiles_streaming_parallel(
+                patches, tile_words, jobs
+            )
+            if parallel is not None:
+                return parallel
         from ..bitstream.streaming import tile_bounds
         from ..kernels.streaming import make_pair_carrier
 
@@ -320,12 +429,102 @@ class SCAccelerator:
         values = edge_ones / float(n)
         return values.reshape(tiles, bt - 1, bt - 1)
 
+    def _process_tiles_streaming_parallel(
+        self, patches: np.ndarray, tile_words: int, jobs: int
+    ) -> Optional[np.ndarray]:
+        """Span-parallel streaming detection over the time axis, or
+        ``None`` when there is nothing to parallelise (a single span, no
+        fork, a non-composing pair transform) — the caller then runs the
+        sequential window walk.
+
+        Same three-phase scan as :mod:`repro.engine.parallel`: the
+        synchronizer variant composes both pair FSMs' state maps per span
+        (phase 1), prefix-scans them for span entry states (phase 2), and
+        detects all spans in parallel (phase 3), summing integer edge
+        popcounts in span order — float-identical to sequential. The
+        blur is recomputed in phase 3 (state maps need the corners, the
+        detector needs them again seeded), so the synchronizer variant
+        scales ~jobs/2; the carrier-free variants skip phase 1 and scale
+        ~jobs (regeneration's two passes each parallelise directly).
+        """
+        global _STREAM_CTX
+        from concurrent.futures import ProcessPoolExecutor
+        from ..engine.parallel import _fork_context, _run_tasks, spans_for
+        from ..kernels.streaming import make_pair_carrier, make_pair_composer
+
+        cfg = self._config
+        n = self._n
+        tiles = patches.shape[0]
+        bt = cfg.blur_tile
+        pairs = tiles * (bt - 1) * (bt - 1)
+        spans = spans_for(n, tile_words, jobs)
+        if len(spans) < 2:
+            return None
+
+        sync = self._detector.uses_pair_transform
+        if sync:
+            factory = self._detector._factory
+            algebra = tuple(
+                make_pair_composer(factory(), n, pairs) for _ in range(2)
+            )
+            if any(a is None for a in algebra):
+                return None
+            initial = tuple(
+                make_pair_carrier(factory(), n, pairs).get_state()
+                for _ in range(2)
+            )
+
+        _STREAM_CTX = (self, patches, tile_words, spans)
+        mp_context = _fork_context()
+        pool = None
+        if mp_context is not None:
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(spans)), mp_context=mp_context
+            )
+        try:
+            regen_counts = None
+            if cfg.variant == "regeneration":
+                partials = _run_tasks(
+                    pool, _stream_counts_task, [(i,) for i in range(len(spans))]
+                )
+                regen_counts = np.zeros((tiles * bt * bt,), dtype=np.int64)
+                for partial in partials:
+                    regen_counts += partial
+
+            span_states = [None] * len(spans)
+            if sync:
+                span_maps = _run_tasks(
+                    pool, _stream_compose_task, [(i,) for i in range(len(spans))]
+                )
+                states = initial
+                for i, maps in enumerate(span_maps):
+                    span_states[i] = states
+                    states = tuple(
+                        algebra[c].apply(maps[c], states[c]) for c in range(2)
+                    )
+
+            partials = _run_tasks(
+                pool, _stream_detect_task,
+                [(i, span_states[i], regen_counts) for i in range(len(spans))],
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+            _STREAM_CTX = None
+
+        edge_ones = np.zeros((pairs,), dtype=np.int64)
+        for partial in partials:
+            edge_ones += partial
+        values = edge_ones / float(n)
+        return values.reshape(tiles, bt - 1, bt - 1)
+
     def process(
         self,
         image: np.ndarray,
         *,
         backend: str = "auto",
         tile_words: int = 1024,
+        jobs: int = 1,
     ) -> AcceleratorResult:
         """Run the full tiled pipeline over an image and score it.
 
@@ -335,10 +534,18 @@ class SCAccelerator:
         ``tile_words * 64`` cycles with FSM state carried across windows
         — memory O(window) instead of O(N) per pixel, for long-stream
         configurations. Outputs are identical across all three.
+
+        ``jobs`` applies to the streaming backend only: time-window spans
+        are evaluated across a forked worker pool with synchronizer state
+        handed off via prefix-scanned state maps
+        (:meth:`_process_tiles_streaming_parallel`), float-identical to
+        ``jobs=1``. The other backends are already one vectorised pass
+        and ignore it.
         """
         if backend not in ("auto", "engine", "interpreter", "streaming"):
             raise PipelineError(f"unknown backend {backend!r}")
         check_tile_words(tile_words)
+        check_jobs(jobs)
         image = np.asarray(image, dtype=np.float64)
         if image.ndim != 2:
             raise PipelineError(f"expected a 2-D image, got ndim={image.ndim}")
@@ -369,7 +576,9 @@ class SCAccelerator:
                     [image[r : r + cfg.tile, c : c + cfg.tile] for r, c in batch]
                 )
                 if backend == "streaming":
-                    tile_values = self._process_tiles_streaming(patches, tile_words)
+                    tile_values = self._process_tiles_streaming(
+                        patches, tile_words, jobs
+                    )
                 else:
                     tile_values = self._process_tiles(patches)
                 # Same write order as the reference loop, so overlapping

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.experiments import ExperimentResult
-from .spec import SPEC_REGISTRY, ExperimentSpec, Shard, get_spec
+from .spec import SPEC_REGISTRY, ExperimentSpec, Shard, content_params, get_spec
 from .store import DEFAULT_STORE_ENV, ResultStore
 from .workers import ShardTask, execute_shard
 
@@ -106,8 +106,11 @@ def run_many(
         plan = {"spec": spec, "params": params, "shards": shards,
                 "keys": [], "hits": 0}
         for shard in shards:
+            # Execution-only kwargs (jobs) are stripped from the address:
+            # a shard's payload is bit-identical at any worker count, so
+            # runs at different ``jobs`` share cache entries.
             key = store.shard_key(
-                shard.spec, shard.label, shard.fn_ref, shard.kwargs, seed
+                shard.spec, shard.label, shard.fn_ref, shard.content_kwargs, seed
             )
             plan["keys"].append(key)
             if not force and key in store:
@@ -142,7 +145,7 @@ def run_many(
                 meta={
                     "spec": task.spec,
                     "shard": task.label,
-                    "kwargs": task.kwargs,
+                    "kwargs": content_params(task.kwargs),
                     "seed": seed,
                     "fidelity": fidelity,
                 },
@@ -171,7 +174,7 @@ def run_many(
             payloads.append(payload)
         result = spec.merge_fn(plan["params"], payloads)
         store.write_manifest(
-            spec.name, fidelity, seed, plan["params"],
+            spec.name, fidelity, seed, content_params(plan["params"]),
             [{"label": shard.label, "key": key}
              for shard, key in zip(plan["shards"], plan["keys"])],
         )

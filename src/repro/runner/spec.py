@@ -31,14 +31,30 @@ from ..analysis.sweeps import pair_count
 
 __all__ = [
     "FIDELITIES",
+    "EXECUTION_PARAMS",
     "Shard",
     "ExperimentSpec",
     "SPEC_REGISTRY",
     "get_spec",
     "merge_single",
+    "content_params",
 ]
 
 FIDELITIES = ("smoke", "default", "exhaustive")
+
+# Parameters that control *how* a shard executes, never *what* it
+# computes — its payload is bit-identical at any value (the parallel tile
+# scheduler's contract, tests/test_parallel_streaming.py). They are
+# excluded from content addresses, stored metadata, and manifests, so a
+# run at ``jobs=4`` hits the cache of — and archives byte-identically to
+# — a run at ``jobs=1``.
+EXECUTION_PARAMS = frozenset({"jobs"})
+
+
+def content_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """``params`` with execution-only keys stripped — the portion that
+    participates in content addressing and manifests."""
+    return {k: v for k, v in params.items() if k not in EXECUTION_PARAMS}
 
 
 def merge_single(params: Mapping[str, Any], payloads: List[dict]) -> ExperimentResult:
@@ -63,6 +79,13 @@ class Shard:
         content-address, so moving/renaming a shard function invalidates
         its cached payloads)."""
         return f"{self.fn.__module__}:{self.fn.__qualname__}"
+
+    @property
+    def content_kwargs(self) -> Dict[str, Any]:
+        """The kwargs that determine the payload — execution-only keys
+        (:data:`EXECUTION_PARAMS`) stripped, so e.g. ``jobs`` never
+        perturbs a shard's content address."""
+        return content_params(self.kwargs)
 
 
 def _default_label(value: Any) -> str:
@@ -132,7 +155,7 @@ class ExperimentSpec:
         if "n" in params and "step" in params:
             parts.append(f"{pair_count(params['n'], params['step'])} pairs/shard")
         for key, value in params.items():
-            if key in ("n", "step") or key == self.axis:
+            if key in ("n", "step") or key == self.axis or key in EXECUTION_PARAMS:
                 continue
             parts.append(f"{key}={value}")
         if self.axis is not None:
@@ -303,12 +326,14 @@ def _build_registry() -> Dict[str, ExperimentSpec]:
             fidelities={
                 # One shard per stream length 2^e; each runs through the
                 # constant-memory streaming executor, so even the 2^22
-                # shard fits in a CI worker.
-                "smoke": {"tile_words": 2048,
+                # shard fits in a CI worker. ``jobs`` (an execution
+                # param — see EXECUTION_PARAMS) fans each shard's audit
+                # across the parallel tile scheduler.
+                "smoke": {"tile_words": 2048, "jobs": 1,
                           "exponents": _exp._LONG_STREAM_EXPONENTS_SMOKE},
-                "default": {"tile_words": 4096,
+                "default": {"tile_words": 4096, "jobs": 1,
                             "exponents": _exp._LONG_STREAM_EXPONENTS_DEFAULT},
-                "exhaustive": {"tile_words": 4096,
+                "exhaustive": {"tile_words": 4096, "jobs": 1,
                                "exponents": _exp._LONG_STREAM_EXPONENTS_EXHAUSTIVE},
             },
             label_fn=lambda e: f"N=2^{e}",

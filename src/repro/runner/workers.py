@@ -31,6 +31,14 @@ __all__ = ["ShardTask", "execute_shard"]
 # locks and drop those memos in every forked child, and spawn-started
 # workers import fresh modules, so shards always start with clean,
 # unlocked caches — no per-shard reset is needed here.
+#
+# Shards may themselves fork: a shard running with ``jobs > 1`` (the
+# ``long_stream`` audits) spawns the parallel tile scheduler's span
+# workers (``repro.engine.parallel``) from *this* worker process. The
+# same at-fork hooks fire on that second-level fork, so nested span
+# workers also start with fresh locks; jobs-within-jobs multiplies
+# process counts, which is why the CLI threads one ``--jobs`` value to
+# either the shard pool or the tile scheduler, not both.
 
 
 @dataclass(frozen=True)

@@ -3,6 +3,72 @@
 import numpy as np
 
 
+def assert_backends_equivalent(
+    graph, length, *, tile_words=(7,), jobs=2, audit=False
+):
+    """The cross-backend equivalence matrix, as one assertion.
+
+    Pins the repo's core contract for a single ``(graph, length)``:
+
+        interpreter == engine == streaming == parallel streaming
+
+    Every node's bit stream must be *identical* (not approximately
+    equal) across all four execution routes, at every requested tile
+    size, with the parallel tile scheduler running ``jobs`` span
+    workers. With ``audit=True`` the four audit routes are compared
+    too — float-exact, because streaming and parallel totals are the
+    same integers the materialised engine counts.
+    """
+    from repro import engine
+
+    if isinstance(tile_words, int):
+        tile_words = (tile_words,)
+
+    interp = graph.run(length, backend="interpreter")
+    plan = engine.compile(graph)
+    eng = plan.run(length)
+    assert list(interp) == list(eng)
+    for name in interp:
+        assert np.array_equal(interp[name], eng[name]), (
+            "interpreter vs engine", name, length,
+        )
+
+    for tw in tile_words:
+        stream = engine.run_streaming(plan, length, tile_words=tw)
+        par = engine.run_streaming(plan, length, tile_words=tw, jobs=jobs)
+        for name in interp:
+            assert np.array_equal(stream.bits(name)[0], eng[name]), (
+                "engine vs streaming", name, length, tw,
+            )
+            assert np.array_equal(par.words(name), stream.words(name)), (
+                "streaming vs parallel", name, length, tw, jobs,
+            )
+            assert np.array_equal(par.ones[name], stream.ones[name]), (
+                "streaming vs parallel ones", name, length, tw, jobs,
+            )
+
+    if audit:
+        a_interp = graph.audit(length, backend="interpreter")
+        a_eng = graph.audit(length, backend="engine")
+        assert a_interp.entries == a_eng.entries  # every field, float-exact
+        assert a_interp.values == a_eng.values
+        assert a_interp.expected == a_eng.expected
+        for tw in tile_words:
+            a_stream = engine.audit_streaming(plan, length, tile_words=tw)
+            a_par = engine.audit_streaming(
+                plan, length, tile_words=tw, jobs=jobs
+            )
+            assert a_stream.values == a_eng.values
+            for eng_entry, got in zip(a_eng.entries, a_stream.entries):
+                assert eng_entry.node == got.node
+                assert eng_entry.measured_scc == got.measured_scc
+                assert eng_entry.measured_value == got.measured_value
+                assert eng_entry.violated == got.violated
+            assert a_par.entries == a_stream.entries
+            assert a_par.values == a_stream.values
+            assert a_par.expected == a_stream.expected
+
+
 def make_pair_batch(rng_x, rng_y, n=256, step=16):
     """Small exhaustive pair batch: comparator D/S through two RNGs.
 

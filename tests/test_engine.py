@@ -16,30 +16,24 @@ from repro.bitstream.packed import unpack_bits
 from repro.engine.library import GRAPH_LIBRARY, build_graph, depth_chain_graph
 from repro.exceptions import GraphCompilationError
 from repro.graph.nodes import Node, TransformNode
+from tests.helpers import assert_backends_equivalent
 
 LENGTHS = [7, 64, 100, 256, 333]
-
-
-def assert_runs_identical(graph, length):
-    interp = graph.run(length, backend="interpreter")
-    eng = engine.compile(graph).run(length)
-    assert list(interp) == list(eng)
-    for name in interp:
-        assert np.array_equal(interp[name], eng[name]), (name, length)
 
 
 class TestRunEquivalence:
     @pytest.mark.parametrize("name", sorted(GRAPH_LIBRARY))
     @pytest.mark.parametrize("length", LENGTHS)
     def test_library_graphs_bit_identical(self, name, length):
-        assert_runs_identical(build_graph(name), length)
+        # interpreter == engine == streaming == parallel streaming.
+        assert_backends_equivalent(build_graph(name), length)
 
     @pytest.mark.parametrize("length", [100, 256])
     def test_autofixed_graphs_bit_identical(self, length):
         # Autofix inserts every transform kind depending on the violation;
-        # the fixed graphs must still round-trip through the engine.
+        # the fixed graphs must still round-trip through every backend.
         report = autofix(build_graph("correlated_multiply"), iterations=3)
-        assert_runs_identical(report.fixed_graph, length)
+        assert_backends_equivalent(report.fixed_graph, length)
 
     def test_default_backend_is_engine_and_matches(self):
         g = build_graph("mixed_pipeline")
@@ -63,12 +57,8 @@ class TestAuditEquivalence:
     @pytest.mark.parametrize("name", sorted(GRAPH_LIBRARY))
     @pytest.mark.parametrize("length", [100, 256, 333])
     def test_audit_entries_identical(self, name, length):
-        g = build_graph(name)
-        interp = g.audit(length, backend="interpreter")
-        eng = g.audit(length, backend="engine")
-        assert interp.entries == eng.entries  # every field, float-exact
-        assert interp.values == eng.values
-        assert interp.expected == eng.expected
+        # Float-exact audits across all four execution routes.
+        assert_backends_equivalent(build_graph(name), length, audit=True)
 
     def test_autofix_identical_across_backends(self):
         g1 = build_graph("mixed_pipeline")
@@ -286,7 +276,7 @@ class TestPlanAndCache:
         g.source("a", 0.5, "lfsr", taps=[8, 6, 5, 4])
         g.source("b", 0.5, "halton3")
         g.op("p", "mul", "a", "b")
-        assert_runs_identical(g, 64)
+        assert_backends_equivalent(g, 64)
 
     def test_batch_audit_arrays_are_writable(self):
         plan = engine.compile(build_graph("correlated_multiply"))

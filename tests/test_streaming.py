@@ -59,6 +59,7 @@ from repro.exceptions import EncodingError, GraphCompilationError
 from repro.kernels import compiled_kernel, make_pair_carrier, step_chunk
 from repro.kernels.dispatch import _run_tables
 from repro.rng import LFSR, make_rng
+from tests.helpers import assert_backends_equivalent
 
 # Tile sizes from the issue's acceptance grid, in 64-bit words.
 TILE_WORDS_GRID = (1, 7, 64, 4096)
@@ -276,14 +277,11 @@ class TestRunStreamingIdentity:
     @pytest.mark.parametrize("graph_name", sorted(GRAPH_LIBRARY))
     @pytest.mark.parametrize("length", [1, 63, 257, 1000])
     def test_bit_identity_all_library_graphs(self, graph_name, length):
-        plan = compile_graph(build_graph(graph_name))
-        ref = run_batch(plan, length)
-        for tile_words in (1, 7, 64):
-            result = run_streaming(plan, length, tile_words=tile_words)
-            for name in plan.node_order:
-                assert np.array_equal(result.words(name), ref.words(name)), (
-                    graph_name, length, tile_words, name,
-                )
+        # The shared cross-backend matrix: interpreter == engine ==
+        # streaming == parallel streaming at every tile size.
+        assert_backends_equivalent(
+            build_graph(graph_name), length, tile_words=(1, 7, 64)
+        )
 
     @pytest.mark.parametrize("encoding", ["unipolar", "bipolar"])
     def test_encodings_and_values(self, encoding):
@@ -328,16 +326,10 @@ class TestRunStreamingIdentity:
 
     @pytest.mark.parametrize("graph_name", sorted(GRAPH_LIBRARY))
     def test_audit_streaming_float_identity(self, graph_name):
-        plan = compile_graph(build_graph(graph_name))
         for length in (63, 700):
-            reference = audit(plan, length)
-            streamed = audit_streaming(plan, length, tile_words=5)
-            assert reference.values == streamed.values
-            for ref_entry, got_entry in zip(reference.entries, streamed.entries):
-                assert ref_entry.node == got_entry.node
-                assert ref_entry.measured_scc == got_entry.measured_scc
-                assert ref_entry.measured_value == got_entry.measured_value
-                assert ref_entry.violated == got_entry.violated
+            assert_backends_equivalent(
+                build_graph(graph_name), length, tile_words=(5,), audit=True
+            )
 
     def test_long_stream_graph_width_matched_audit(self):
         plan = compile_graph(long_stream_graph(14))
