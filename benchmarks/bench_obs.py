@@ -1,0 +1,290 @@
+"""Bench: observability overhead — disabled is free, enabled is cheap.
+
+The instrumentation of :mod:`repro.obs` is permanently wired into the
+execution stack, so its cost model is a tracked number like any other
+perf claim:
+
+* **disabled overhead** — with no session active every instrumentation
+  point is one module-global load plus an identity/None check. The bound
+  is proven *analytically*: measure the per-call cost of the disabled
+  ``span()`` / ``counter_add()`` paths in a tight loop, count how many
+  instrumentation events the workload actually emits (by tracing it
+  once), and bound overhead as ``events x per_call_cost / wall_time``.
+  This is robust on noisy shared runners where a differential timing of
+  a sub-percent effect would drown in scheduler jitter. Floor: <= 2%.
+* **enabled overhead** — the same analytic construction with the
+  *enabled* per-call cost (span append + counter bump inside a live
+  session). Differential traced-vs-untraced timings are archived as
+  context but not asserted: the workloads' run-to-run variance on a
+  shared box (±15%) swamps the sub-1% effect. Floor: <= 10%.
+* **bit identity** — the traced runs must produce byte-identical words
+  to the untraced runs (checked here on top of the hypothesis property
+  in ``tests/test_obs.py``).
+
+``python benchmarks/bench_obs.py --disabled-floor`` runs just the
+analytic disabled-path proof (the CI gate); a full run archives
+``benchmarks/results/obs.txt`` and ``BENCH_obs.json``.
+"""
+
+import pathlib
+import sys
+import time
+
+import numpy as np
+import pytest
+
+import _snapshot
+from repro import engine, obs
+from repro.engine.library import build_graph, long_stream_graph
+from repro.engine.streaming import run_streaming
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+MAX_DISABLED_OVERHEAD = 0.02
+MAX_ENABLED_OVERHEAD = 0.10
+
+ENGINE_GRAPHS = ("fsm_zoo", "mixed_pipeline", "correlated_multiply")
+ENGINE_N = 1 << 14
+STREAM_EXP = 18
+STREAM_N = 1 << STREAM_EXP
+STREAM_TILE_WORDS = 512
+
+NULL_CALL_LOOPS = 200_000
+ENABLED_CALL_LOOPS = 20_000
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _engine_sweep():
+    out = {}
+    for name in ENGINE_GRAPHS:
+        plan = engine.compile_graph(build_graph(name))
+        run = plan.run_batch(ENGINE_N)
+        out[name] = {node: run.words(node) for node in run.names}
+    return out
+
+
+def _stream_run():
+    plan = engine.compile_graph(long_stream_graph(STREAM_EXP))
+    result = run_streaming(plan, STREAM_N, tile_words=STREAM_TILE_WORDS)
+    return {name: np.array(v) for name, v in result.ones.items()}
+
+
+def _null_call_cost_s() -> float:
+    """Per-call wall cost of the *disabled* instrumentation paths."""
+    assert not obs.enabled()
+    span = obs.span
+    counter = obs.counter_add
+
+    def spans():
+        for _ in range(NULL_CALL_LOOPS):
+            with span("bench.null"):
+                pass
+
+    def counters():
+        for _ in range(NULL_CALL_LOOPS):
+            counter("bench.null")
+
+    per_span = _best_of(spans) / NULL_CALL_LOOPS
+    per_counter = _best_of(counters) / NULL_CALL_LOOPS
+    # One bound for both kinds of instrumentation point.
+    return max(per_span, per_counter)
+
+
+def _enabled_call_cost_s() -> float:
+    """Per-call wall cost of the *enabled* instrumentation paths."""
+    span = obs.span
+    counter = obs.counter_add
+
+    def spans():
+        for _ in range(ENABLED_CALL_LOOPS):
+            with span("bench.enabled"):
+                pass
+
+    def counters():
+        for _ in range(ENABLED_CALL_LOOPS):
+            counter("bench.enabled")
+
+    worst = 0.0
+    for fn in (spans, counters):
+        best = float("inf")
+        for _ in range(3):
+            # Fresh session per repeat so the span buffer stays bounded.
+            with obs.observe():
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+        worst = max(worst, best / ENABLED_CALL_LOOPS)
+    return worst
+
+
+def _event_count(workload) -> int:
+    """How many instrumentation events the workload emits, by tracing it."""
+    with obs.observe() as trace:
+        workload()
+    spans = len(trace.spans)
+    counter_calls = sum(
+        1 for _ in trace.metrics["counters"]
+    ) + int(sum(trace.metrics["counters"].values()))
+    return spans + counter_calls
+
+
+def measure_disabled_overhead():
+    """Analytic disabled-path bound for both workloads.
+
+    Returns ``(overhead_fraction, per_call_s, details)`` where the
+    fraction is the *worst* workload's ``events x per_call / wall``.
+    """
+    per_call = _null_call_cost_s()
+    details = {}
+    worst = 0.0
+    for label, workload in (("engine_sweep", _engine_sweep),
+                            ("stream_run", _stream_run)):
+        events = _event_count(workload)
+        wall = _best_of(workload)
+        fraction = events * per_call / wall
+        details[label] = {
+            "events": events,
+            "wall_ms": wall * 1e3,
+            "overhead_fraction": fraction,
+        }
+        worst = max(worst, fraction)
+    return worst, per_call, details
+
+
+def measure_enabled_overhead():
+    """Analytic enabled-path bound plus bit-identity.
+
+    Returns ``(overhead_fraction, per_call_s, details)``. The asserted
+    fraction is ``events x enabled_per_call / untraced_wall`` per
+    workload (worst of the two); the differential traced-vs-untraced
+    timing is recorded alongside for context only — on a shared box the
+    workloads' run-to-run variance swamps the sub-1% effect.
+    """
+    per_call = _enabled_call_cost_s()
+    results = {}
+    worst = 0.0
+    for label, workload in (("engine_sweep", _engine_sweep),
+                            ("stream_run", _stream_run)):
+        base_out = workload()
+        untraced = _best_of(workload)
+
+        def traced_once():
+            with obs.observe():
+                return workload()
+
+        traced_out = traced_once()
+        traced = _best_of(traced_once)
+        for key in base_out:
+            if isinstance(base_out[key], dict):
+                for node in base_out[key]:
+                    assert np.array_equal(base_out[key][node],
+                                          traced_out[key][node]), (
+                        "tracing changed bits", label, key, node,
+                    )
+            else:
+                assert np.array_equal(base_out[key], traced_out[key]), (
+                    "tracing changed bits", label, key,
+                )
+        events = _event_count(workload)
+        fraction = events * per_call / untraced
+        worst = max(worst, fraction)
+        results[label] = {
+            "untraced_ms": untraced * 1e3,
+            "traced_ms": traced * 1e3,
+            "events": events,
+            "overhead_fraction": fraction,
+            "differential_fraction": traced / untraced - 1.0,
+        }
+    return worst, per_call, results
+
+
+def _run_and_archive():
+    disabled_worst, per_call, disabled_details = measure_disabled_overhead()
+    enabled_worst, enabled_call, enabled_details = measure_enabled_overhead()
+    lines = [
+        "observability overhead (repro.obs)",
+        f"{'measurement':<46} {'value':>14}",
+        f"{'disabled per-call cost (ns)':<46} {per_call * 1e9:>14.1f}",
+        f"{'enabled per-call cost (ns)':<46} {enabled_call * 1e9:>14.1f}",
+    ]
+    for label, d in disabled_details.items():
+        lines.append(
+            f"{'disabled bound: ' + label:<46} "
+            f"{d['overhead_fraction'] * 100:>13.3f}%"
+        )
+        _snapshot.add_entry(
+            "obs", op=f"disabled bound ({label})", wall_ms=d["wall_ms"],
+            config={"events": d["events"],
+                    "per_call_ns": round(per_call * 1e9, 1),
+                    "overhead_pct": round(d["overhead_fraction"] * 100, 4)},
+        )
+    for label, d in enabled_details.items():
+        lines.append(
+            f"{'enabled bound: ' + label:<46} "
+            f"{d['overhead_fraction'] * 100:>13.3f}%"
+        )
+        _snapshot.add_entry(
+            "obs", op=f"enabled bound ({label})", wall_ms=d["traced_ms"],
+            config={"untraced_ms": round(d["untraced_ms"], 3),
+                    "events": d["events"],
+                    "per_call_ns": round(enabled_call * 1e9, 1),
+                    "overhead_pct": round(d["overhead_fraction"] * 100, 4),
+                    "differential_pct":
+                        round(d["differential_fraction"] * 100, 2)},
+        )
+    text = "\n".join(lines)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "obs.txt").write_text(text + "\n")
+    _snapshot.write("obs")
+    print("\n" + text)
+    return disabled_worst, enabled_worst, text
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return _run_and_archive()
+
+
+def test_disabled_overhead_floor(measured):
+    disabled_worst, _, text = measured
+    assert disabled_worst <= MAX_DISABLED_OVERHEAD, (
+        f"disabled instrumentation bound {disabled_worst * 100:.3f}% exceeds "
+        f"{MAX_DISABLED_OVERHEAD * 100:.0f}%\n{text}"
+    )
+
+
+def test_enabled_overhead_floor(measured):
+    _, enabled_worst, text = measured
+    assert enabled_worst <= MAX_ENABLED_OVERHEAD, (
+        f"enabled tracing bound {enabled_worst * 100:.3f}% exceeds "
+        f"{MAX_ENABLED_OVERHEAD * 100:.0f}%\n{text}"
+    )
+
+
+if __name__ == "__main__":
+    if "--disabled-floor" in sys.argv:
+        worst, per_call, details = measure_disabled_overhead()
+        print(f"disabled per-call cost: {per_call * 1e9:.1f} ns")
+        for label, d in details.items():
+            print(f"  {label}: {d['events']} events over "
+                  f"{d['wall_ms']:.1f} ms -> "
+                  f"{d['overhead_fraction'] * 100:.4f}% bound")
+        if worst > MAX_DISABLED_OVERHEAD:
+            print(f"FAIL: {worst * 100:.3f}% > "
+                  f"{MAX_DISABLED_OVERHEAD * 100:.0f}%")
+            sys.exit(1)
+        print(f"OK: worst disabled bound {worst * 100:.4f}% <= "
+              f"{MAX_DISABLED_OVERHEAD * 100:.0f}%")
+        sys.exit(0)
+    disabled_worst, enabled_worst, _ = _run_and_archive()
+    status = (disabled_worst <= MAX_DISABLED_OVERHEAD
+              and enabled_worst <= MAX_ENABLED_OVERHEAD)
+    sys.exit(0 if status else 1)

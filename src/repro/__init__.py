@@ -33,7 +33,10 @@ builds on and contributes to:
   tolerance);
 * :mod:`repro.runner` — declarative experiment orchestration: specs ->
   shards -> process pool -> content-addressed result store -> reports;
-* :mod:`repro.cli` — ``python -m repro {list,run,all,report,costs}``.
+* :mod:`repro.obs` — zero-dependency observability: fork-coherent span
+  tracing, typed metrics with cross-process aggregation, Chrome-trace /
+  stats / profile-tree exporters (free when disabled);
+* :mod:`repro.cli` — ``python -m repro {list,run,all,report,costs,stats}``.
 
 Quickstart::
 
@@ -100,10 +103,11 @@ from .rng import LFSR, CounterRNG, Halton, Sobol, StreamRNG, SystemRNG, VanDerCo
 
 # Imported last: the engine consumes the graph layer above; the kernel
 # layer compiles the core/arith circuits it is imported after; the runner
-# orchestrates the analysis layer on top of everything.
-from . import engine, kernels, runner
+# orchestrates the analysis layer on top of everything; obs is observed
+# by all of them but depends on none.
+from . import engine, kernels, obs, runner
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -164,9 +168,10 @@ __all__ = [
     "SCGraph",
     "autofix",
     "AutofixReport",
-    # execution engine + time-parallel sequential kernels
+    # execution engine + time-parallel sequential kernels + observability
     "engine",
     "kernels",
+    "obs",
     # fault injection
     "flip_bits",
     "flip_binary_words",

@@ -10,6 +10,8 @@ Commands:
   ``run --list`` enumerates the specs with grid sizes and shard counts;
   the legacy ``--step N`` / ``--out FILE`` flags keep working;
 * ``all [--step N] [--out-dir DIR]`` — legacy alias for ``run all``;
+* ``stats [--store DIR]`` — render the newest recorded observability
+  stats document (written by traced/profiled runs) from the store;
 * ``report [--fidelity F] [--out-dir DIR] [--md FILE] [--check]`` —
   regenerate the published artifacts (``benchmarks/results``-style
   tables, EXPERIMENTS.md) from the store without re-running anything;
@@ -26,6 +28,16 @@ CI-sized). ``--store DIR`` (or ``$REPRO_STORE``) relocates the result
 store, ``--seed S`` makes every factory-made seedable RNG derive from S
 and is recorded in each stored result's content address. Named graphs
 come from :data:`repro.engine.library.GRAPH_LIBRARY`.
+
+Observability (:mod:`repro.obs`): ``run``/``all``/``engine`` accept
+``--trace out.json`` (Chrome trace-event JSON, Perfetto-loadable) and
+``--profile`` (human span tree on stdout). Traced runs also persist the
+trace and a stats document under ``<store>/obs/`` — artifacts keyed by
+wall-clock stamp, deliberately *outside* the content-addressed object
+space (like ``--jobs``, tracing never changes a result bit, so it must
+not change a content address either). ``run``/``all`` print one summary
+line per spec by default; ``-v`` restores the per-shard cache hit/miss
+lines (now routed through the ``repro.runner`` logger).
 """
 
 from __future__ import annotations
@@ -71,6 +83,18 @@ def _jobs_arg(text: str) -> int:
         raise argparse.ArgumentTypeError(str(exc))
 
 
+def _add_obs_args(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument("-v", "--verbose", action="store_true",
+                            help="per-shard cache hit/miss lines (default "
+                                 "prints only run summaries)")
+    sub_parser.add_argument("--trace", type=pathlib.Path, default=None,
+                            help="record the run and write a Chrome "
+                                 "trace-event JSON (Perfetto-loadable)")
+    sub_parser.add_argument("--profile", action="store_true",
+                            help="record the run and print the span "
+                                 "profile tree")
+
+
 def build_parser() -> argparse.ArgumentParser:
     from .runner import FIDELITIES
 
@@ -87,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("experiment", nargs="?", default=None,
                        choices=sorted(ALL_EXPERIMENTS) + ["all"],
                        help="spec name, or 'all' for every registered spec")
+    run_p.add_argument("fidelity_pos", nargs="?", default=None,
+                       choices=FIDELITIES, metavar="fidelity",
+                       help="fidelity preset as a positional shorthand "
+                            "('repro run table2 smoke')")
     run_p.add_argument("--list", action="store_true", dest="list_specs",
                        help="enumerate registered specs with grid sizes and "
                             "shard counts, then exit")
@@ -110,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "or ./.repro-store)")
     run_p.add_argument("--out", type=pathlib.Path, default=None,
                        help="also write the table(s) to this file")
+    _add_obs_args(run_p)
 
     all_p = sub.add_parser("all", help="run every experiment (alias of 'run all')")
     all_p.add_argument("--out-dir", type=pathlib.Path, default=None)
@@ -120,6 +149,14 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--seed", type=int, default=None)
     all_p.add_argument("--force", action="store_true")
     all_p.add_argument("--store", type=pathlib.Path, default=None)
+    _add_obs_args(all_p)
+
+    stats_p = sub.add_parser(
+        "stats", help="render the newest observability stats from the store"
+    )
+    stats_p.add_argument("--store", type=pathlib.Path, default=None,
+                         help="result store directory (default: $REPRO_STORE "
+                              "or ./.repro-store)")
 
     report_p = sub.add_parser(
         "report", help="regenerate published artifacts from the result store"
@@ -154,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="span workers for the parallel tile "
                                "scheduler (streaming only; results are "
                                "bit-identical at any count)")
+    engine_p.add_argument("--profile", action="store_true",
+                          help="trace the compile + audit and print the "
+                               "span profile tree")
+    engine_p.add_argument("--trace", type=pathlib.Path, default=None,
+                          help="write a Chrome trace-event JSON of the "
+                               "compile + audit (Perfetto-loadable)")
 
     audit_p = sub.add_parser(
         "audit", help="engine-backed correlation audit of a named graph"
@@ -196,24 +239,92 @@ def _cmd_run_list(fidelity: str) -> int:
     return 0
 
 
+def _install_runner_logging(verbose: bool) -> None:
+    """Route the ``repro.runner`` logger to the *current* ``sys.stdout``.
+
+    Per-shard cache hit/miss lines are logged at DEBUG and shown only
+    with ``-v``; run summaries (INFO) always print. The handler is
+    re-bound on every CLI invocation because test harnesses replace
+    ``sys.stdout`` per test — the previous invocation's handler (tagged
+    ``_repro_cli``) is dropped to avoid duplicate lines."""
+    import logging
+
+    logger = logging.getLogger("repro.runner")
+    logger.setLevel(logging.DEBUG)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setLevel(logging.DEBUG if verbose else logging.INFO)
+    handler._repro_cli = True
+    logger.addHandler(handler)
+
+
+def _obs_dir(store) -> pathlib.Path:
+    """Trace artifacts live beside the object store, not inside it:
+    tracing never changes a result bit, so it must never change a
+    content address (same carve-out as ``--jobs``)."""
+    return store.root / "obs"
+
+
+def _persist_observation(trace, store, trace_path: Optional[pathlib.Path],
+                         profile: bool) -> None:
+    import json
+    import os
+    import time as _time
+
+    from . import obs
+
+    if trace_path is not None:
+        obs.write_chrome_trace(trace, trace_path)
+        print(f"[obs] chrome trace written to {trace_path}")
+    directory = _obs_dir(store)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = _time.strftime("%Y%m%d-%H%M%S") + f"-{os.getpid()}"
+    obs.write_chrome_trace(trace, directory / f"trace-{stamp}.json")
+    (directory / f"stats-{stamp}.json").write_text(
+        json.dumps(obs.stats_doc(trace), indent=1, sort_keys=True) + "\n"
+    )
+    if profile:
+        print(obs.profile_tree(trace))
+
+
 def _schedule(names: List[str], args):
     """The one scheduling path both ``run`` and ``all`` share: resolve
     fidelity (legacy ``--step`` is an override on the default preset —
     argparse keeps it mutually exclusive with ``--fidelity``), run, and
     print each table."""
+    from . import obs
     from .runner import run_many
 
-    fidelity = args.fidelity or "default"
-    overrides = {"step": args.step} if args.fidelity is None else None
-    reports = run_many(
-        names,
-        fidelity=fidelity,
-        jobs=args.jobs,
-        seed=args.seed,
-        force=args.force,
-        store=_make_store(args.store),
-        overrides=overrides,
+    _install_runner_logging(args.verbose)
+    fidelity_pos = getattr(args, "fidelity_pos", None)
+    fidelity = fidelity_pos or args.fidelity or "default"
+    overrides = (
+        {"step": args.step}
+        if args.fidelity is None and fidelity_pos is None else None
     )
+    store = _make_store(args.store)
+    observed = args.trace is not None or args.profile
+
+    def _run():
+        return run_many(
+            names,
+            fidelity=fidelity,
+            jobs=args.jobs,
+            seed=args.seed,
+            force=args.force,
+            store=store,
+            overrides=overrides,
+        )
+
+    if observed:
+        with obs.observe() as trace:
+            reports = _run()
+        _persist_observation(trace, store, args.trace, args.profile)
+    else:
+        reports = _run()
     status = 0
     for rep in reports:
         print(rep.result.to_text())
@@ -221,6 +332,24 @@ def _schedule(names: List[str], args):
         if not rep.result.all_checks_pass:
             status = 1
     return reports, status
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from . import obs
+
+    store = _make_store(args.store)
+    directory = _obs_dir(store)
+    docs = sorted(directory.glob("stats-*.json")) if directory.exists() else []
+    if not docs:
+        print(f"error: no stats documents under {directory} "
+              "(run with --trace or --profile first)", file=sys.stderr)
+        return 1
+    newest = docs[-1]
+    print(f"[obs] {newest}")
+    print(obs.render_stats(json.loads(newest.read_text())))
+    return 0
 
 
 def _cmd_run(args) -> int:
@@ -282,33 +411,46 @@ def _audit_table(audit, title: str) -> str:
 def _cmd_engine(
     graph_name: str, length: int, tolerance: float,
     streaming: bool = False, tile_words: int = 4096, jobs: int = 1,
+    profile: bool = False, trace_path: Optional[pathlib.Path] = None,
 ) -> int:
+    import contextlib
+
+    from . import obs
     from .engine import build_graph, cache_info, compile_graph
 
-    graph = build_graph(graph_name)
-    before = cache_info()
-    plan = compile_graph(graph)
-    after = cache_info()
-    outcome = "hit" if after["hits"] > before["hits"] else "miss"
-    print(plan.describe())
-    print(f"plan cache: {outcome} (total {after['hits']} hits / "
-          f"{after['misses']} misses, {after['size']} plans cached)")
-    print()
-    if streaming:
-        from .bitstream.streaming import tile_count
+    observed = profile or trace_path is not None
+    context = obs.observe() if observed else contextlib.nullcontext()
+    with context as trace:
+        graph = build_graph(graph_name)
+        before = cache_info()
+        plan = compile_graph(graph)
+        after = cache_info()
+        outcome = "hit" if after["hits"] > before["hits"] else "miss"
+        print(plan.describe())
+        print(f"plan cache: {outcome} (total {after['hits']} hits / "
+              f"{after['misses']} misses, {after['size']} plans cached)")
+        print()
+        if streaming:
+            from .bitstream.streaming import tile_count
 
-        audit = plan.audit_streaming(
-            length, tile_words=tile_words, tolerance=tolerance, jobs=jobs
-        )
-        tiles = tile_count(length, tile_words)
-        suffix = f", jobs={jobs}" if jobs > 1 else ""
-        title = (f"Streaming audit — {graph_name} "
-                 f"(N={length}, {tiles} tiles x {tile_words} words{suffix})")
-    else:
-        audit = plan.audit(length, tolerance=tolerance)
-        title = f"Engine audit — {graph_name} (N={length})"
-    print(_audit_table(audit, title))
-    print(f"violations: {len(audit.violations)}/{len(audit.entries)}")
+            audit = plan.audit_streaming(
+                length, tile_words=tile_words, tolerance=tolerance, jobs=jobs
+            )
+            tiles = tile_count(length, tile_words)
+            suffix = f", jobs={jobs}" if jobs > 1 else ""
+            title = (f"Streaming audit — {graph_name} "
+                     f"(N={length}, {tiles} tiles x {tile_words} words{suffix})")
+        else:
+            audit = plan.audit(length, tolerance=tolerance)
+            title = f"Engine audit — {graph_name} (N={length})"
+        print(_audit_table(audit, title))
+        print(f"violations: {len(audit.violations)}/{len(audit.entries)}")
+    if observed:
+        if trace_path is not None:
+            obs.write_chrome_trace(trace, trace_path)
+            print(f"[obs] chrome trace written to {trace_path}")
+        if profile:
+            print(obs.profile_tree(trace))
     return 0
 
 
@@ -362,9 +504,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_all(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "engine":
         return _cmd_engine(args.graph, args.length, args.tolerance,
-                           args.streaming, args.tile_words, args.jobs)
+                           args.streaming, args.tile_words, args.jobs,
+                           args.profile, args.trace)
     if args.command == "audit":
         return _cmd_audit(args.graph, args.length, args.tolerance, args.fix)
     return _cmd_costs()

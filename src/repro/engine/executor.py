@@ -43,6 +43,8 @@ from ..bitstream.packed import PackedBitstreamBatch, pack_bits, unpack_bits
 from ..exceptions import GraphCompilationError
 from ..graph.graph import AuditEntry, GraphAudit
 from ..graph.nodes import OP_LIBRARY, mux_select_bits
+from ..obs import counter_add
+from ..obs import span as obs_span
 from ..rng import make_rng
 from .plan import ExecutionPlan, PlanStep
 
@@ -101,6 +103,7 @@ def _rng_sequence(spec: str, kwargs: Tuple[Tuple[str, object], ...], length: int
     with _SEQ_LOCK:
         seq = _SEQ_CACHE.get(key)
     if seq is None:
+        counter_add("engine.seq_memo.miss")
         # Generation runs outside the lock (it can be slow); a racing
         # thread may generate the same sequence twice, but both results
         # are identical, so last-write-wins is harmless.
@@ -109,6 +112,8 @@ def _rng_sequence(spec: str, kwargs: Tuple[Tuple[str, object], ...], length: int
             if len(_SEQ_CACHE) >= _SEQ_CACHE_MAX:
                 _SEQ_CACHE.clear()
             _SEQ_CACHE[key] = seq
+    else:
+        counter_add("engine.seq_memo.hit")
     return seq
 
 
@@ -265,6 +270,22 @@ def _execute(
         unknown = keep_set - set(plan.node_order)
         if unknown:
             raise GraphCompilationError(f"keep names not in graph: {sorted(unknown)}")
+    with obs_span("engine.execute", steps=len(plan.steps), length=length):
+        return _execute_steps(
+            plan, length, levels=levels, keep_set=keep_set,
+            want_values=want_values, want_op_scc=want_op_scc,
+        )
+
+
+def _execute_steps(
+    plan: ExecutionPlan,
+    length: int,
+    *,
+    levels: Dict[str, np.ndarray],
+    keep_set: Optional[set],
+    want_values: bool,
+    want_op_scc: bool,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], Dict[str, np.ndarray]]:
     words: Dict[str, np.ndarray] = {}
     kept: Dict[str, np.ndarray] = {}
     node_values: Dict[str, np.ndarray] = {}

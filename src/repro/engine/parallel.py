@@ -60,6 +60,8 @@ from ..bitstream.streaming import (
     tile_bounds,
 )
 from ..kernels.streaming import make_pair_carrier, make_pair_composer
+from ..obs import collect_children, counter_add
+from ..obs import span as obs_span
 from .executor import _OP_KERNELS
 from .plan import ExecutionPlan, FusedChain
 from .streaming import (
@@ -202,6 +204,16 @@ def _phase1_task(
     """Compose one span's state maps for every wave-``wave`` transform
     group; earlier waves' carriers run seeded at their scanned entry
     states. Returns ``{group: state_map}``."""
+    # Root span in a forked worker: closing it flushes the worker's
+    # buffered spans/metrics to the session spool. Inline execution
+    # (no fork) just nests it under the caller.
+    with obs_span("engine.parallel.compose", span=span_index, wave=wave):
+        return _phase1_compose(span_index, wave, entries)
+
+
+def _phase1_compose(
+    span_index: int, wave: int, entries: Dict[int, Any]
+) -> Dict[int, Any]:
     ctx = _CTX
     info = ctx.phase1[wave]
     span = ctx.spans[span_index]
@@ -277,6 +289,13 @@ def _phase3_task(
 ) -> Tuple[Dict[str, ValueAccumulator], Dict[str, OverlapAccumulator], Dict[str, np.ndarray]]:
     """Evaluate one span through the fused tile walk, seeded at the
     scanned entry states; return accumulator partials + span buffers."""
+    with obs_span("engine.parallel.evaluate", span=span_index):
+        return _phase3_evaluate(span_index, entries)
+
+
+def _phase3_evaluate(
+    span_index: int, entries: Dict[int, Any]
+) -> Tuple[Dict[str, ValueAccumulator], Dict[str, OverlapAccumulator], Dict[str, np.ndarray]]:
     ctx = _CTX
     span = ctx.spans[span_index]
     bounds = _span_bounds(span)
@@ -458,6 +477,7 @@ def _parallel_stream_execute(
         pool = ProcessPoolExecutor(
             max_workers=min(jobs, len(spans)), mp_context=mp_context
         )
+    counter_add("engine.parallel.spans", len(spans))
     try:
         # Phases 1 + 2, once per wave. Spans' entry states accumulate in
         # span_entries; purely combinational plans have no waves and go
@@ -473,11 +493,12 @@ def _parallel_stream_execute(
                 for i in range(len(spans))
             ]
             span_maps = _run_tasks(pool, _phase1_task, tasks)
-            for g in info["groups"]:
-                state = initial_state[g]
-                for i in range(len(spans)):
-                    span_entries[i][g] = state
-                    state = algebra[g].apply(span_maps[i][g], state)
+            with obs_span("engine.parallel.scan", wave=w, spans=len(spans)):
+                for g in info["groups"]:
+                    state = initial_state[g]
+                    for i in range(len(spans)):
+                        span_entries[i][g] = state
+                        state = algebra[g].apply(span_maps[i][g], state)
 
         # Phase 3: evaluate every span with known entry states.
         results = _run_tasks(
@@ -487,6 +508,11 @@ def _parallel_stream_execute(
     finally:
         if pool is not None:
             pool.shutdown()
+            # Forked workers flushed their span buffers as their root
+            # spans closed; absorb them now that the pool has joined
+            # (no-op when tracing is off or this process is itself a
+            # forked shard worker — the top-level parent merges then).
+            collect_children()
         _CTX = None
 
     # Ordered merge: accumulator partials sum span by span (integer

@@ -43,6 +43,8 @@ from ..exceptions import GraphCompilationError
 from ..graph.graph import SCGraph
 from ..graph.nodes import OP_LIBRARY, OpNode, SourceNode, TransformNode
 from ..kernels import is_kernelized
+from ..obs import counter_add
+from ..obs import span as obs_span
 
 __all__ = [
     "PlanStep",
@@ -442,10 +444,15 @@ def compile_graph(graph: SCGraph, *, use_cache: bool = True) -> ExecutionPlan:
         cached = _PLAN_CACHE.get(signature)
         if cached is not None:
             _CACHE_STATS["hits"] += 1
+            counter_add("engine.plan.cache.hit")
             _PLAN_CACHE.move_to_end(signature)
             return cached
         _CACHE_STATS["misses"] += 1
-    plan = _build_plan(graph, signature)
+        counter_add("engine.plan.cache.miss")
+    with obs_span("engine.plan.compile", nodes=len(graph)) as sp:
+        plan = _build_plan(graph, signature)
+        sp.annotate(levels=len(plan.levels), kernel=len(plan.kernel_nodes),
+                    fsm=len(plan.fsm_nodes))
     if use_cache:
         _PLAN_CACHE[signature] = plan
         while len(_PLAN_CACHE) > PLAN_CACHE_MAXSIZE:

@@ -71,6 +71,8 @@ from ..exceptions import GraphCompilationError
 from ..graph.graph import AuditEntry, GraphAudit
 from ..graph.nodes import OP_LIBRARY, mux_select_window
 from ..kernels.streaming import PairCarrier, make_pair_carrier
+from ..obs import counter_add
+from ..obs import span as obs_span
 from ..rng import make_rng
 from .executor import _OP_KERNELS, _resolve_levels
 from .plan import ExecutionPlan, FusedChain
@@ -297,41 +299,51 @@ def _walk_tiles(
     (:mod:`repro.engine.parallel`). Tile ``bounds`` carry *absolute*
     stream offsets, so sources window their RNGs and flush-tail carriers
     count remaining cycles identically in either caller."""
-    for start, stop in bounds:
-        tile_len = stop - start
-        tile_word_count = (tile_len + 63) // 64
-        select = _select_tile(start, stop) if needs_select else None
-        env: Dict[str, np.ndarray] = {}
-        group_out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+    # Tile/word totals accumulate in local ints and post once after the
+    # walk — no per-tile instrumentation cost.
+    tiles_done = 0
+    words_done = 0
+    with obs_span("engine.stream.walk") as walk:
+        for start, stop in bounds:
+            tile_len = stop - start
+            tile_word_count = (tile_len + 63) // 64
+            tiles_done += 1
+            words_done += tile_word_count
+            select = _select_tile(start, stop) if needs_select else None
+            env: Dict[str, np.ndarray] = {}
+            group_out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
-        for item in schedule:
-            if isinstance(item, _CompiledChain):
-                env[item.name] = item.evaluate(env, select, tile_word_count)
-                name = item.name
-            elif item.kind == "source":
-                env[item.name] = sources[item.name].tile(start, stop)
-                name = item.name
-            elif item.kind == "op":
-                a, b = (env[d] for d in item.inputs)
-                if sccacc and item.name in sccacc:
-                    sccacc[item.name].update(a, b)
-                env[item.name] = _OP_KERNELS[item.op](a, b, select)
-                name = item.name
-            else:  # transform
-                if item.group not in group_out:
-                    xw, yw = (env[d] for d in item.inputs)
-                    xb = unpack_bits(xw, tile_len)
-                    yb = unpack_bits(yw, tile_len)
-                    xb, yb = broadcast_pair(xb, yb)
-                    ox, oy = carriers[item.group].step(xb, yb)
-                    group_out[item.group] = (pack_bits_unchecked(ox), pack_bits_unchecked(oy))
-                env[item.name] = group_out[item.group][item.port]
-                name = item.name
+            for item in schedule:
+                if isinstance(item, _CompiledChain):
+                    env[item.name] = item.evaluate(env, select, tile_word_count)
+                    name = item.name
+                elif item.kind == "source":
+                    env[item.name] = sources[item.name].tile(start, stop)
+                    name = item.name
+                elif item.kind == "op":
+                    a, b = (env[d] for d in item.inputs)
+                    if sccacc and item.name in sccacc:
+                        sccacc[item.name].update(a, b)
+                    env[item.name] = _OP_KERNELS[item.op](a, b, select)
+                    name = item.name
+                else:  # transform
+                    if item.group not in group_out:
+                        xw, yw = (env[d] for d in item.inputs)
+                        xb = unpack_bits(xw, tile_len)
+                        yb = unpack_bits(yw, tile_len)
+                        xb, yb = broadcast_pair(xb, yb)
+                        ox, oy = carriers[item.group].step(xb, yb)
+                        group_out[item.group] = (pack_bits_unchecked(ox), pack_bits_unchecked(oy))
+                    env[item.name] = group_out[item.group][item.port]
+                    name = item.name
 
-            if name in vacc:
-                vacc[name].update(env[name])
-            if name in writers:
-                writers[name].write(start, env[name])
+                if name in vacc:
+                    vacc[name].update(env[name])
+                if name in writers:
+                    writers[name].write(start, env[name])
+        walk.annotate(tiles=tiles_done, words=words_done)
+    counter_add("engine.stream.tiles", tiles_done)
+    counter_add("engine.stream.words", words_done)
 
 
 def _stream_execute(
@@ -351,43 +363,44 @@ def _stream_execute(
     maps accumulated node names to integer 1-counts and ``op_scc`` maps
     op names to per-row SCC arrays.
     """
-    keep_set, value_nodes, exposed = _keep_and_exposed(
-        plan, keep, want_values_all, want_op_scc
-    )
-    schedule = plan.fused_schedule(exposed if fuse else None)
-    fused_chains = sum(1 for item in schedule if isinstance(item, FusedChain))
+    with obs_span("engine.stream", length=length, tile_words=tile_words):
+        keep_set, value_nodes, exposed = _keep_and_exposed(
+            plan, keep, want_values_all, want_op_scc
+        )
+        schedule = plan.fused_schedule(exposed if fuse else None)
+        fused_chains = sum(1 for item in schedule if isinstance(item, FusedChain))
 
-    rows = _propagate_rows(plan, levels)
+        rows = _propagate_rows(plan, levels)
 
-    # Per-run state: tile sources, transform carriers, accumulators,
-    # assemblers, scratch buffers.
-    sources = _make_sources(plan, levels)
-    carriers = _make_carriers(plan, length, rows)
+        # Per-run state: tile sources, transform carriers, accumulators,
+        # assemblers, scratch buffers.
+        sources = _make_sources(plan, levels)
+        carriers = _make_carriers(plan, length, rows)
 
-    vacc = {name: ValueAccumulator(length) for name in value_nodes}
-    sccacc: Dict[str, OverlapAccumulator] = {}
-    if want_op_scc:
-        sccacc = {
-            s.name: OverlapAccumulator(length) for s in plan.steps if s.kind == "op"
-        }
-    assemblers = {name: TileAssembler(rows[name], length) for name in keep_set}
-    schedule = [
-        _CompiledChain(item, rows) if isinstance(item, FusedChain) else item
-        for item in schedule
-    ]
+        vacc = {name: ValueAccumulator(length) for name in value_nodes}
+        sccacc: Dict[str, OverlapAccumulator] = {}
+        if want_op_scc:
+            sccacc = {
+                s.name: OverlapAccumulator(length) for s in plan.steps if s.kind == "op"
+            }
+        assemblers = {name: TileAssembler(rows[name], length) for name in keep_set}
+        schedule = [
+            _CompiledChain(item, rows) if isinstance(item, FusedChain) else item
+            for item in schedule
+        ]
 
-    needs_select = any(s.op == "scaled_add" for s in plan.steps if s.kind == "op")
+        needs_select = any(s.op == "scaled_add" for s in plan.steps if s.kind == "op")
 
-    _walk_tiles(
-        schedule, sources, carriers, tile_bounds(length, tile_words),
-        needs_select=needs_select, vacc=vacc, sccacc=sccacc,
-        writers=assemblers,
-    )
+        _walk_tiles(
+            schedule, sources, carriers, tile_bounds(length, tile_words),
+            needs_select=needs_select, vacc=vacc, sccacc=sccacc,
+            writers=assemblers,
+        )
 
-    kept = {name: assemblers[name].words for name in plan.node_order if name in assemblers}
-    ones = {name: acc.ones for name, acc in vacc.items()}
-    op_scc = {name: acc.scc() for name, acc in sccacc.items()}
-    return kept, ones, op_scc, fused_chains
+        kept = {name: assemblers[name].words for name in plan.node_order if name in assemblers}
+        ones = {name: acc.ones for name, acc in vacc.items()}
+        op_scc = {name: acc.scc() for name, acc in sccacc.items()}
+        return kept, ones, op_scc, fused_chains
 
 
 # ---------------------------------------------------------------------- #

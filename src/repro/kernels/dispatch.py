@@ -25,6 +25,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..obs import counter_add
+from ..obs import span as obs_span
 from .steppers import STRATEGIES, choose_strategy, chunked_outputs, state_trajectory
 from .tables import CompiledFSM, compile_transform
 
@@ -97,7 +99,11 @@ def compiled_kernel(circuit) -> Optional[CompiledFSM]:
     instance), or ``None`` if its type has no lowering."""
     cached = getattr(circuit, "_compiled_fsm_kernel", None)
     if cached is None:
-        cached = compile_transform(circuit)
+        with obs_span("kernels.compile", circuit=type(circuit).__name__) as sp:
+            cached = compile_transform(circuit)
+            if cached is not None:
+                sp.annotate(states=cached.n_states, outputs=cached.outputs)
+        counter_add("kernels.compile")
         circuit._compiled_fsm_kernel = cached if cached is not None else _UNCOMPILABLE
     return None if cached is _UNCOMPILABLE else cached
 
@@ -197,6 +203,7 @@ def pair_kernel(
     # reference loops also accept (np.packbits insists on uint8/bool).
     x = np.asarray(x, dtype=np.uint8)
     y = np.asarray(y, dtype=np.uint8)
+    counter_add("kernels.dispatch.pair")
     return _run_tables(fsm, x, y)
 
 
@@ -208,6 +215,7 @@ def op_kernel(circuit, x: np.ndarray, y: np.ndarray) -> Optional[np.ndarray]:
     fsm = compiled_kernel(circuit)
     if fsm is None or fsm.outputs != 1:
         return None
+    counter_add("kernels.dispatch.op")
     out, _ = _run_tables(fsm, np.asarray(x, dtype=np.uint8), np.asarray(y, dtype=np.uint8))
     return out
 
@@ -220,6 +228,7 @@ def tfm_kernel(tfm, bits: np.ndarray) -> Optional[np.ndarray]:
     fsm = compiled_kernel(tfm)
     if fsm is None:
         return None
+    counter_add("kernels.dispatch.tfm")
     length = bits.shape[1]
     states, _ = state_trajectory(
         fsm, np.ascontiguousarray(bits, dtype=np.uint8), strategy=_strategy
@@ -233,6 +242,7 @@ def shuffle_kernel(buffer, bits: np.ndarray) -> Optional[np.ndarray]:
     to the addressed slot (or that slot's initial fill)."""
     if _backend == "reference":
         return None
+    counter_add("kernels.dispatch.shuffle")
     batch, length = bits.shape
     depth = buffer.depth
     addresses = buffer.rng.integers(length, depth)

@@ -1,0 +1,276 @@
+"""Trace exporters: Chrome trace-event JSON, flat stats doc, profile tree.
+
+Three consumers, three formats:
+
+* :func:`to_chrome_trace` — the Trace Event Format (``"X"`` complete
+  events, microsecond timestamps) that ``chrome://tracing`` and Perfetto
+  load directly. Every process contributes its own track (``pid``), and
+  because all spans share one ``perf_counter`` anchor (exchanged at
+  fork), parent and worker tracks align on a single timeline.
+* :func:`stats_doc` — a flat JSON document: the merged metrics registry,
+  derived cache-hit rates, and per-span-name aggregates. This is what
+  ``repro stats`` renders and what the runner persists next to the
+  result store.
+* :func:`profile_tree` — the human ``--profile`` rendering: the span
+  tree aggregated by call path, one line per path with call counts and
+  wall/CPU totals.
+
+:func:`validate_chrome_trace` is the event-schema check the CI
+``obs-smoke`` job runs against a traced ``repro run`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .tracer import Trace
+
+__all__ = [
+    "to_chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "stats_doc", "render_stats", "profile_tree",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------- #
+
+def to_chrome_trace(trace: Trace) -> Dict[str, Any]:
+    """The session as a Trace Event Format document (Perfetto-loadable)."""
+    events: List[Dict[str, Any]] = []
+    origin = trace.meta.get("origin_pid")
+    for pid in trace.processes:
+        label = "repro" if pid == origin else f"repro worker {pid}"
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    for rec in trace.spans:
+        event = {
+            "ph": "X",
+            "name": rec["name"],
+            "cat": rec["cat"],
+            "ts": round(rec["t0"] * 1e6, 3),
+            "dur": round(rec["dur"] * 1e6, 3),
+            "pid": rec["pid"],
+            "tid": rec["tid"],
+            "args": dict(rec["args"]),
+        }
+        event["args"]["cpu_ms"] = round(rec["cpu"] * 1e3, 3)
+        if "mem_peak" in rec:
+            event["args"]["mem_net"] = rec["mem_net"]
+            event["args"]["mem_peak"] = rec["mem_peak"]
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: Trace, path) -> pathlib.Path:
+    """Serialise :func:`to_chrome_trace` to ``path``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(trace), indent=1) + "\n")
+    return path
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> Dict[str, int]:
+    """Schema-check a Chrome trace document; raises ``ValueError`` on the
+    first violation, returns event counts otherwise.
+
+    Checks the fields the Trace Event Format requires of the phases we
+    emit: ``"X"`` events carry a name and non-negative numeric
+    ``ts``/``dur`` plus integer ``pid``/``tid``; ``"M"`` metadata events
+    carry a name and args.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a trace document: missing 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+    counts = {"X": 0, "M": 0}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        phase = event.get("ph")
+        if phase not in counts:
+            raise ValueError(f"event {i}: unsupported phase {phase!r}")
+        counts[phase] += 1
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"event {i}: missing name")
+        if not isinstance(event.get("pid"), int):
+            raise ValueError(f"event {i}: pid must be an integer")
+        if not isinstance(event.get("tid"), int):
+            raise ValueError(f"event {i}: tid must be an integer")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    raise ValueError(
+                        f"event {i}: {key} must be a non-negative number"
+                    )
+        if not isinstance(event.get("args", {}), dict):
+            raise ValueError(f"event {i}: args must be an object")
+    if counts["X"] == 0:
+        raise ValueError("trace contains no complete ('X') events")
+    return counts
+
+
+# ---------------------------------------------------------------------- #
+# Flat stats document
+# ---------------------------------------------------------------------- #
+
+def _rate(hits: float, misses: float) -> Optional[float]:
+    total = hits + misses
+    if total == 0:
+        return None
+    return hits / total
+
+
+def stats_doc(trace: Trace) -> Dict[str, Any]:
+    """Flat JSON stats: metrics, derived hit rates, span aggregates."""
+    counters = trace.metrics.get("counters", {})
+    derived = {
+        "plan_cache_hit_rate": _rate(
+            counters.get("engine.plan.cache.hit", 0),
+            counters.get("engine.plan.cache.miss", 0),
+        ),
+        "seq_memo_hit_rate": _rate(
+            counters.get("engine.seq_memo.hit", 0),
+            counters.get("engine.seq_memo.miss", 0),
+        ),
+        "runner_cache_hit_rate": _rate(
+            counters.get("runner.cache.hit", 0),
+            counters.get("runner.cache.miss", 0),
+        ),
+        "store_read_hit_rate": _rate(
+            counters.get("store.read.hit", 0),
+            counters.get("store.read.miss", 0),
+        ),
+    }
+    aggregates: Dict[str, Dict[str, Any]] = {}
+    for rec in trace.spans:
+        agg = aggregates.setdefault(
+            rec["name"],
+            {"count": 0, "wall_ms": 0.0, "cpu_ms": 0.0, "processes": []},
+        )
+        agg["count"] += 1
+        agg["wall_ms"] += rec["dur"] * 1e3
+        agg["cpu_ms"] += rec["cpu"] * 1e3
+        if rec["pid"] not in agg["processes"]:
+            agg["processes"].append(rec["pid"])
+    for agg in aggregates.values():
+        agg["wall_ms"] = round(agg["wall_ms"], 3)
+        agg["cpu_ms"] = round(agg["cpu_ms"], 3)
+        agg["processes"] = len(agg["processes"])
+    return {
+        "meta": dict(trace.meta),
+        "metrics": trace.metrics,
+        "derived": derived,
+        "spans": aggregates,
+    }
+
+
+def render_stats(doc: Dict[str, Any]) -> str:
+    """Human rendering of a stats document (the ``repro stats`` output)."""
+    lines = []
+    meta = doc.get("meta", {})
+    duration = meta.get("duration_s")
+    header = "observability stats"
+    if duration is not None:
+        header += f" — session {duration:.2f}s, origin pid {meta.get('origin_pid')}"
+    lines.append(header)
+
+    lines.append("derived rates:")
+    for key, value in sorted(doc.get("derived", {}).items()):
+        rendered = "n/a" if value is None else f"{100.0 * value:.1f}%"
+        lines.append(f"  {key:28s} {rendered}")
+
+    counters = doc.get("metrics", {}).get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name:32s} {counters[name]}")
+    gauges = doc.get("metrics", {}).get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name:32s} {gauges[name]}")
+    histograms = doc.get("metrics", {}).get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            lines.append(
+                f"  {name:32s} n={hist['count']} sum={hist['sum']} "
+                f"min={hist['min']} max={hist['max']}"
+            )
+
+    spans = doc.get("spans", {})
+    if spans:
+        lines.append("spans (by total wall time):")
+        ordered = sorted(
+            spans.items(), key=lambda item: item[1]["wall_ms"], reverse=True
+        )
+        for name, agg in ordered:
+            lines.append(
+                f"  {name:32s} {agg['count']:>5}x {agg['wall_ms']:>10.1f} ms "
+                f"cpu {agg['cpu_ms']:>9.1f} ms  [{agg['processes']} proc]"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Profile tree
+# ---------------------------------------------------------------------- #
+
+def profile_tree(trace: Trace) -> str:
+    """The ``--profile`` rendering: spans aggregated by call path.
+
+    Children from forked workers hang under the path of their process's
+    root span siblings only by name — each process's tree is built from
+    its own parent links, then identical paths merge across processes
+    (the per-path ``procs`` column says how many contributed).
+    """
+    paths: Dict[Tuple[str, ...], Dict[str, Any]] = {}
+    # Parent links index the flat span list, so a span's path is its
+    # ancestor chain of names (process-local by construction: cross-
+    # process records never reference each other's indices).
+    resolved: Dict[int, Tuple[str, ...]] = {}
+    for index, rec in enumerate(trace.spans):
+        parent = rec["parent"]
+        base = resolved.get(parent, ()) if parent >= 0 else ()
+        path = base + (rec["name"],)
+        resolved[index] = path
+        agg = paths.setdefault(
+            path, {"count": 0, "wall_ms": 0.0, "cpu_ms": 0.0, "pids": set()}
+        )
+        agg["count"] += 1
+        agg["wall_ms"] += rec["dur"] * 1e3
+        agg["cpu_ms"] += rec["cpu"] * 1e3
+        agg["pids"].add(rec["pid"])
+
+    if not paths:
+        return "(no spans recorded)"
+
+    # Stable render order: depth-first, children under their parent,
+    # siblings by descending wall time.
+    def children_of(prefix: Tuple[str, ...]) -> List[Tuple[str, ...]]:
+        kids = [p for p in paths if len(p) == len(prefix) + 1 and p[:-1] == prefix]
+        return sorted(kids, key=lambda p: paths[p]["wall_ms"], reverse=True)
+
+    lines = [f"{'span':44s} {'calls':>6} {'wall ms':>10} {'cpu ms':>10} {'procs':>6}"]
+
+    def render(prefix: Tuple[str, ...]) -> None:
+        for path in children_of(prefix):
+            agg = paths[path]
+            indent = "  " * (len(path) - 1)
+            label = indent + path[-1]
+            lines.append(
+                f"{label:44s} {agg['count']:>6} {agg['wall_ms']:>10.1f} "
+                f"{agg['cpu_ms']:>10.1f} {len(agg['pids']):>6}"
+            )
+            render(path)
+
+    render(())
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Typed metrics registry: counters, gauges, histograms.
+
+Process-global, lock-guarded (the lock is rebound in forked children by
+the tracer's at-fork hook calling :func:`reset` — same hygiene as the
+engine's sequence memos). The registry holds plain numbers, so a
+snapshot is JSON-ready and two snapshots merge commutatively:
+
+* **counters** merge by sum;
+* **gauges** merge last-write-wins (child values overwrite, matching
+  "most recent observation" semantics);
+* **histograms** merge count/sum/min/max element-wise and add their
+  log2 bucket counts.
+
+The public recording entry points live in :mod:`repro.obs` and no-op
+unless a tracing session is active; everything here assumes the caller
+already checked.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Union
+
+__all__ = [
+    "counter_add", "gauge_set", "histogram_record",
+    "snapshot", "merge", "reset",
+]
+
+Number = Union[int, float]
+
+_LOCK = threading.Lock()
+_COUNTERS: Dict[str, Number] = {}
+_GAUGES: Dict[str, Number] = {}
+_HISTOGRAMS: Dict[str, Dict[str, Any]] = {}
+
+
+def _bucket(value: float) -> str:
+    """Log2 bucket label: ``"<=2^k"`` with k = ceil(log2(value)), 0 for
+    values ≤ 1 (negative values clamp into the bottom bucket)."""
+    k = 0
+    ceiling = 1.0
+    while ceiling < value and k < 64:
+        ceiling *= 2.0
+        k += 1
+    return f"<=2^{k}"
+
+
+def counter_add(name: str, value: Number = 1) -> None:
+    with _LOCK:
+        _COUNTERS[name] = _COUNTERS.get(name, 0) + value
+
+
+def gauge_set(name: str, value: Number) -> None:
+    with _LOCK:
+        _GAUGES[name] = value
+
+
+def histogram_record(name: str, value: Number) -> None:
+    with _LOCK:
+        hist = _HISTOGRAMS.get(name)
+        if hist is None:
+            hist = {"count": 0, "sum": 0, "min": value, "max": value,
+                    "buckets": {}}
+            _HISTOGRAMS[name] = hist
+        hist["count"] += 1
+        hist["sum"] += value
+        hist["min"] = min(hist["min"], value)
+        hist["max"] = max(hist["max"], value)
+        label = _bucket(value)
+        hist["buckets"][label] = hist["buckets"].get(label, 0) + 1
+
+
+def snapshot() -> Dict[str, Any]:
+    """A JSON-ready copy of the registry."""
+    with _LOCK:
+        return {
+            "counters": dict(_COUNTERS),
+            "gauges": dict(_GAUGES),
+            "histograms": {
+                name: {**hist, "buckets": dict(hist["buckets"])}
+                for name, hist in _HISTOGRAMS.items()
+            },
+        }
+
+
+def merge(other: Dict[str, Any]) -> None:
+    """Fold another snapshot (a child's delta) into the live registry."""
+    with _LOCK:
+        for name, value in other.get("counters", {}).items():
+            _COUNTERS[name] = _COUNTERS.get(name, 0) + value
+        for name, value in other.get("gauges", {}).items():
+            _GAUGES[name] = value
+        for name, theirs in other.get("histograms", {}).items():
+            hist = _HISTOGRAMS.get(name)
+            if hist is None:
+                _HISTOGRAMS[name] = {
+                    **theirs, "buckets": dict(theirs["buckets"])
+                }
+                continue
+            hist["count"] += theirs["count"]
+            hist["sum"] += theirs["sum"]
+            hist["min"] = min(hist["min"], theirs["min"])
+            hist["max"] = max(hist["max"], theirs["max"])
+            for label, count in theirs["buckets"].items():
+                hist["buckets"][label] = hist["buckets"].get(label, 0) + count
+
+
+def reset() -> None:
+    """Zero the registry and rebind the lock (fork hygiene: the
+    inherited lock may be held by a parent thread that does not exist in
+    the child)."""
+    global _LOCK
+    _LOCK = threading.Lock()
+    _COUNTERS.clear()
+    _GAUGES.clear()
+    _HISTOGRAMS.clear()

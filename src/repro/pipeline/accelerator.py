@@ -41,6 +41,8 @@ import numpy as np
 
 from .._validation import check_jobs, check_tile_words
 from ..core.synchronizer import Synchronizer
+from ..obs import collect_children
+from ..obs import span as obs_span
 from ..exceptions import PipelineError
 from ..hardware import EFFECTIVE_CYCLE_US, Netlist, components, report
 from ..rng import LFSR, Halton, VanDerCorput
@@ -83,14 +85,17 @@ def _stream_windows(span, tile_words):
 def _stream_counts_task(span_index: int) -> np.ndarray:
     """Regeneration pass 1 over one span: blurred 1-count partials
     (integer sums — span partials merge to the sequential totals)."""
-    acc, patches, tile_words, spans = _STREAM_CTX
-    tiles = patches.shape[0]
-    bt = acc._config.blur_tile
-    counts = np.zeros((tiles * bt * bt,), dtype=np.int64)
-    for start, stop in _stream_windows(spans[span_index], tile_words):
-        blurred = acc._blurred_window(patches, start, stop)
-        counts += blurred.reshape(tiles * bt * bt, -1).sum(axis=1, dtype=np.int64)
-    return counts
+    # Root span in a forked span worker: closing it flushes the worker's
+    # obs buffers for the parent pool join to collect.
+    with obs_span("pipeline.stream.counts", span=span_index):
+        acc, patches, tile_words, spans = _STREAM_CTX
+        tiles = patches.shape[0]
+        bt = acc._config.blur_tile
+        counts = np.zeros((tiles * bt * bt,), dtype=np.int64)
+        for start, stop in _stream_windows(spans[span_index], tile_words):
+            blurred = acc._blurred_window(patches, start, stop)
+            counts += blurred.reshape(tiles * bt * bt, -1).sum(axis=1, dtype=np.int64)
+        return counts
 
 
 def _stream_compose_task(span_index: int):
@@ -99,21 +104,22 @@ def _stream_compose_task(span_index: int):
     state maps, without knowing the span's entry states."""
     from ..kernels.streaming import make_pair_composer
 
-    acc, patches, tile_words, spans = _STREAM_CTX
-    span = spans[span_index]
-    tiles = patches.shape[0]
-    bt = acc._config.blur_tile
-    pairs = tiles * (bt - 1) * (bt - 1)
-    factory = acc._detector._factory
-    composers = tuple(
-        make_pair_composer(factory(), acc._n, pairs, span[0]) for _ in range(2)
-    )
-    for start, stop in _stream_windows(span, tile_words):
-        blurred = acc._blurred_window(patches, start, stop)
-        g00, g11, g01, g10 = SCRobertsCross._corners(blurred)
-        composers[0].step(g00, g11)
-        composers[1].step(g01, g10)
-    return composers[0].state_map, composers[1].state_map
+    with obs_span("pipeline.stream.compose", span=span_index):
+        acc, patches, tile_words, spans = _STREAM_CTX
+        span = spans[span_index]
+        tiles = patches.shape[0]
+        bt = acc._config.blur_tile
+        pairs = tiles * (bt - 1) * (bt - 1)
+        factory = acc._detector._factory
+        composers = tuple(
+            make_pair_composer(factory(), acc._n, pairs, span[0]) for _ in range(2)
+        )
+        for start, stop in _stream_windows(span, tile_words):
+            blurred = acc._blurred_window(patches, start, stop)
+            g00, g11, g01, g10 = SCRobertsCross._corners(blurred)
+            composers[0].step(g00, g11)
+            composers[1].step(g01, g10)
+        return composers[0].state_map, composers[1].state_map
 
 
 def _stream_detect_task(span_index: int, states, regen_counts) -> np.ndarray:
@@ -122,41 +128,42 @@ def _stream_detect_task(span_index: int, states, regen_counts) -> np.ndarray:
     the span's edge popcount partials."""
     from ..kernels.streaming import make_pair_carrier
 
-    acc, patches, tile_words, spans = _STREAM_CTX
-    span = spans[span_index]
-    cfg = acc._config
-    n = acc._n
-    tiles = patches.shape[0]
-    bt = cfg.blur_tile
-    pairs = tiles * (bt - 1) * (bt - 1)
+    with obs_span("pipeline.stream.detect", span=span_index):
+        acc, patches, tile_words, spans = _STREAM_CTX
+        span = spans[span_index]
+        cfg = acc._config
+        n = acc._n
+        tiles = patches.shape[0]
+        bt = cfg.blur_tile
+        pairs = tiles * (bt - 1) * (bt - 1)
 
-    carriers = (None, None)
-    if states is not None:
-        factory = acc._detector._factory
-        carriers = tuple(
-            make_pair_carrier(factory(), n, pairs, span[0]) for _ in range(2)
-        )
-        carriers[0].set_state(states[0])
-        carriers[1].set_state(states[1])
+        carriers = (None, None)
+        if states is not None:
+            factory = acc._detector._factory
+            carriers = tuple(
+                make_pair_carrier(factory(), n, pairs, span[0]) for _ in range(2)
+            )
+            carriers[0].set_state(states[0])
+            carriers[1].set_state(states[1])
 
-    edge_ones = np.zeros((pairs,), dtype=np.int64)
-    for start, stop in _stream_windows(span, tile_words):
-        if regen_counts is not None:
-            window = acc._regen_rng.sequence_window(start, stop)
-            flat = regen_counts[:, None] > window[None, :]
-            blurred = flat.astype(np.uint8).reshape(tiles, bt, bt, stop - start)
-        else:
-            blurred = acc._blurred_window(patches, start, stop)
-        g00, g11, g01, g10 = SCRobertsCross._corners(blurred)
-        if carriers[0] is not None:
-            g00, g11 = carriers[0].step(g00, g11)
-            g01, g10 = carriers[1].step(g01, g10)
-        d1 = np.bitwise_xor(g00, g11)
-        d2 = np.bitwise_xor(g01, g10)
-        select = acc._detector._select_bits_window(start, stop)
-        z = np.where(select[None, :] == 1, d2, d1)
-        edge_ones += z.sum(axis=1, dtype=np.int64)
-    return edge_ones
+        edge_ones = np.zeros((pairs,), dtype=np.int64)
+        for start, stop in _stream_windows(span, tile_words):
+            if regen_counts is not None:
+                window = acc._regen_rng.sequence_window(start, stop)
+                flat = regen_counts[:, None] > window[None, :]
+                blurred = flat.astype(np.uint8).reshape(tiles, bt, bt, stop - start)
+            else:
+                blurred = acc._blurred_window(patches, start, stop)
+            g00, g11, g01, g10 = SCRobertsCross._corners(blurred)
+            if carriers[0] is not None:
+                g00, g11 = carriers[0].step(g00, g11)
+                g01, g10 = carriers[1].step(g01, g10)
+            d1 = np.bitwise_xor(g00, g11)
+            d2 = np.bitwise_xor(g01, g10)
+            select = acc._detector._select_bits_window(start, stop)
+            z = np.where(select[None, :] == 1, d2, d1)
+            edge_ones += z.sum(axis=1, dtype=np.int64)
+        return edge_ones
 
 
 @dataclass(frozen=True)
@@ -510,6 +517,9 @@ class SCAccelerator:
         finally:
             if pool is not None:
                 pool.shutdown()
+                # Absorb forked span workers' obs buffers (no-op when
+                # tracing is off).
+                collect_children()
             _STREAM_CTX = None
 
         edge_ones = np.zeros((pairs,), dtype=np.int64)
@@ -559,32 +569,36 @@ class SCAccelerator:
         origins_c = tile_origins(w, cfg.tile, stride)
         origins = [(r, c) for r in origins_r for c in origins_c]
         tiles = len(origins)
-        if backend == "interpreter":
-            for r, c in origins:
-                patch = image[r : r + cfg.tile, c : c + cfg.tile]
-                out[r : r + stride, c : c + stride] = self.process_tile(patch)
-        else:
-            window = (
-                min(cfg.stream_length, tile_words * 64)
-                if backend == "streaming" else cfg.stream_length
-            )
-            per_tile_bytes = cfg.blur_tile**2 * 9 * window
-            chunk = max(1, _ENGINE_CHUNK_BYTES // per_tile_bytes)
-            for start in range(0, tiles, chunk):
-                batch = origins[start : start + chunk]
-                patches = np.stack(
-                    [image[r : r + cfg.tile, c : c + cfg.tile] for r, c in batch]
+        with obs_span(
+            "pipeline.process",
+            variant=cfg.variant, backend=backend, tiles=tiles,
+        ):
+            if backend == "interpreter":
+                for r, c in origins:
+                    patch = image[r : r + cfg.tile, c : c + cfg.tile]
+                    out[r : r + stride, c : c + stride] = self.process_tile(patch)
+            else:
+                window = (
+                    min(cfg.stream_length, tile_words * 64)
+                    if backend == "streaming" else cfg.stream_length
                 )
-                if backend == "streaming":
-                    tile_values = self._process_tiles_streaming(
-                        patches, tile_words, jobs
+                per_tile_bytes = cfg.blur_tile**2 * 9 * window
+                chunk = max(1, _ENGINE_CHUNK_BYTES // per_tile_bytes)
+                for start in range(0, tiles, chunk):
+                    batch = origins[start : start + chunk]
+                    patches = np.stack(
+                        [image[r : r + cfg.tile, c : c + cfg.tile] for r, c in batch]
                     )
-                else:
-                    tile_values = self._process_tiles(patches)
-                # Same write order as the reference loop, so overlapping
-                # clamped-edge tiles resolve identically.
-                for (r, c), values in zip(batch, tile_values):
-                    out[r : r + stride, c : c + stride] = values
+                    if backend == "streaming":
+                        tile_values = self._process_tiles_streaming(
+                            patches, tile_words, jobs
+                        )
+                    else:
+                        tile_values = self._process_tiles(patches)
+                    # Same write order as the reference loop, so overlapping
+                    # clamped-edge tiles resolve identically.
+                    for (r, c), values in zip(batch, tile_values):
+                        out[r : r + stride, c : c + stride] = values
         reference = pipeline_reference(image)
         mae = image_mae(out, reference)
         cost = self.cost_breakdown()

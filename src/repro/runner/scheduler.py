@@ -18,19 +18,31 @@ FSM kernels — amortize exactly as in a serial run.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from ..analysis.experiments import ExperimentResult
+from ..obs import collect_children, counter_add
+from ..obs import span as obs_span
 from .spec import SPEC_REGISTRY, ExperimentSpec, Shard, content_params, get_spec
 from .store import DEFAULT_STORE_ENV, ResultStore
 from .workers import ShardTask, execute_shard
 
 __all__ = ["RunReport", "run_spec", "run_many", "run_all", "default_store"]
+
+logger = logging.getLogger("repro.runner")
+
+# Default ``log=`` sentinel: route through the ``repro.runner`` logger —
+# per-shard cache hit/miss lines at DEBUG (quiet unless ``-v`` installs a
+# DEBUG handler), run summaries at INFO. Passing an explicit callable
+# restores the old behaviour (every line through the callable); ``None``
+# silences everything.
+_LOG_DEFAULT = object()
 
 
 def default_store() -> ResultStore:
@@ -75,7 +87,7 @@ def run_many(
     force: bool = False,
     store: Optional[ResultStore] = None,
     overrides: Optional[Mapping[str, Any]] = None,
-    log: Optional[Callable[[str], None]] = print,
+    log: Any = _LOG_DEFAULT,
 ) -> List[RunReport]:
     """Run several specs, pooling their shards.
 
@@ -89,117 +101,140 @@ def run_many(
         force: recompute even when cached.
         store: result store; defaults to :func:`default_store`.
         overrides: per-call param overrides (the CLI's legacy ``--step``).
-        log: sink for progress lines (None silences).
+        log: sink for progress lines. Default routes through the
+            ``repro.runner`` logger — per-shard lines at DEBUG, summaries
+            at INFO. An explicit callable receives every line (the old
+            behaviour); ``None`` silences.
 
     Returns one :class:`RunReport` per requested spec, in request order.
     """
-    emit = (lambda message: None) if log is None else log
+    if log is _LOG_DEFAULT:
+        detail, info = logger.debug, logger.info
+    elif log is None:
+        detail = info = lambda message: None
+    else:
+        detail = info = log
     store = store if store is not None else default_store()
     started = time.perf_counter()
 
-    plans: List[Dict[str, Any]] = []
-    pending: Dict[str, ShardTask] = {}  # key -> task, deduplicated
-    for name in names:
-        spec = get_spec(name)
-        params = spec.params(fidelity, overrides)
-        shards = spec.shards(params)
-        plan = {"spec": spec, "params": params, "shards": shards,
-                "keys": [], "hits": 0}
-        for shard in shards:
-            # Execution-only kwargs (jobs) are stripped from the address:
-            # a shard's payload is bit-identical at any worker count, so
-            # runs at different ``jobs`` share cache entries.
-            key = store.shard_key(
-                shard.spec, shard.label, shard.fn_ref, shard.content_kwargs, seed
-            )
-            plan["keys"].append(key)
-            if not force and key in store:
-                plan["hits"] += 1
-                emit(f"[runner] cache hit {shard.spec}[{shard.label}] ({key[:12]})")
-            elif key not in pending:
-                emit(f"[runner] cache miss {shard.spec}[{shard.label}] -> scheduled")
-                pending[key] = ShardTask(
-                    shard.spec, shard.index, shard.label, shard.fn,
-                    shard.kwargs, seed,
+    with obs_span("runner.run_many", specs=len(names), jobs=jobs):
+        plans: List[Dict[str, Any]] = []
+        pending: Dict[str, ShardTask] = {}  # key -> task, deduplicated
+        with obs_span("runner.plan") as plan_span:
+            for name in names:
+                spec = get_spec(name)
+                params = spec.params(fidelity, overrides)
+                shards = spec.shards(params)
+                plan = {"spec": spec, "params": params, "shards": shards,
+                        "keys": [], "hits": 0}
+                for shard in shards:
+                    # Execution-only kwargs (jobs) are stripped from the
+                    # address: a shard's payload is bit-identical at any
+                    # worker count, so runs at different ``jobs`` share
+                    # cache entries.
+                    key = store.shard_key(
+                        shard.spec, shard.label, shard.fn_ref,
+                        shard.content_kwargs, seed,
+                    )
+                    plan["keys"].append(key)
+                    if not force and key in store:
+                        plan["hits"] += 1
+                        counter_add("runner.cache.hit")
+                        detail(f"[runner] cache hit {shard.spec}[{shard.label}] ({key[:12]})")
+                    elif key not in pending:
+                        counter_add("runner.cache.miss")
+                        detail(f"[runner] cache miss {shard.spec}[{shard.label}] -> scheduled")
+                        pending[key] = ShardTask(
+                            shard.spec, shard.index, shard.label, shard.fn,
+                            shard.kwargs, seed,
+                        )
+                plans.append(plan)
+
+            total = sum(len(p["shards"]) for p in plans)
+            plan_span.annotate(shards=total, cached=total - len(pending),
+                               scheduled=len(pending))
+        info(
+            f"[runner] {len(plans)} spec(s), {total} shard(s): "
+            f"{total - len(pending)} cached, {len(pending)} to compute "
+            f"(fidelity={fidelity}, jobs={jobs}, seed={'default' if seed is None else seed})"
+        )
+
+        computed: Dict[str, dict] = {}
+        if pending:
+            # Persist each payload the moment it lands: an interrupt or a
+            # failing shard then loses only the shards still in flight —
+            # the store's resume-after-interrupt contract.
+            def _finish(key: str, payload: dict) -> None:
+                task = pending[key]
+                computed[key] = payload
+                store.put(
+                    key,
+                    payload,
+                    meta={
+                        "spec": task.spec,
+                        "shard": task.label,
+                        "kwargs": content_params(task.kwargs),
+                        "seed": seed,
+                        "fidelity": fidelity,
+                    },
                 )
-        plans.append(plan)
 
-    total = sum(len(p["shards"]) for p in plans)
-    emit(
-        f"[runner] {len(plans)} spec(s), {total} shard(s): "
-        f"{total - len(pending)} cached, {len(pending)} to compute "
-        f"(fidelity={fidelity}, jobs={jobs}, seed={'default' if seed is None else seed})"
-    )
+            items = list(pending.items())
+            if jobs <= 1:
+                for key, task in items:
+                    _finish(key, execute_shard(task))
+            else:
+                try:
+                    with _pool(jobs, len(items)) as pool:
+                        futures = {
+                            pool.submit(execute_shard, task): key
+                            for key, task in items
+                        }
+                        for future in as_completed(futures):
+                            _finish(futures[future], future.result())
+                finally:
+                    # Absorb the shard workers' span/metric buffers
+                    # (flushed when each worker's root span closed; a
+                    # no-op with tracing off).
+                    collect_children()
 
-    computed: Dict[str, dict] = {}
-    if pending:
-        # Persist each payload the moment it lands: an interrupt or a
-        # failing shard then loses only the shards still in flight —
-        # the store's resume-after-interrupt contract.
-        def _finish(key: str, payload: dict) -> None:
-            task = pending[key]
-            computed[key] = payload
-            store.put(
-                key,
-                payload,
-                meta={
-                    "spec": task.spec,
-                    "shard": task.label,
-                    "kwargs": content_params(task.kwargs),
-                    "seed": seed,
-                    "fidelity": fidelity,
-                },
+        reports: List[RunReport] = []
+        for plan in plans:
+            spec: ExperimentSpec = plan["spec"]
+            payloads = []
+            for key in plan["keys"]:
+                payload = computed.get(key)
+                if payload is None:
+                    payload = store.get(key)
+                payloads.append(payload)
+            result = spec.merge_fn(plan["params"], payloads)
+            store.write_manifest(
+                spec.name, fidelity, seed, content_params(plan["params"]),
+                [{"label": shard.label, "key": key}
+                 for shard, key in zip(plan["shards"], plan["keys"])],
             )
-
-        items = list(pending.items())
-        if jobs <= 1:
-            for key, task in items:
-                _finish(key, execute_shard(task))
-        else:
-            with _pool(jobs, len(items)) as pool:
-                futures = {
-                    pool.submit(execute_shard, task): key for key, task in items
-                }
-                for future in as_completed(futures):
-                    _finish(futures[future], future.result())
-
-    reports: List[RunReport] = []
-    for plan in plans:
-        spec: ExperimentSpec = plan["spec"]
-        payloads = []
-        for key in plan["keys"]:
-            payload = computed.get(key)
-            if payload is None:
-                payload = store.get(key)
-            payloads.append(payload)
-        result = spec.merge_fn(plan["params"], payloads)
-        store.write_manifest(
-            spec.name, fidelity, seed, content_params(plan["params"]),
-            [{"label": shard.label, "key": key}
-             for shard, key in zip(plan["shards"], plan["keys"])],
-        )
-        reports.append(
-            RunReport(
-                spec=spec.name,
-                fidelity=fidelity,
-                seed=seed,
-                params=plan["params"],
-                result=result,
-                shard_count=len(plan["shards"]),
-                cache_hits=plan["hits"],
-                computed=len(plan["shards"]) - plan["hits"],
-                elapsed_s=0.0,
+            reports.append(
+                RunReport(
+                    spec=spec.name,
+                    fidelity=fidelity,
+                    seed=seed,
+                    params=plan["params"],
+                    result=result,
+                    shard_count=len(plan["shards"]),
+                    cache_hits=plan["hits"],
+                    computed=len(plan["shards"]) - plan["hits"],
+                    elapsed_s=0.0,
+                )
             )
-        )
 
     elapsed = time.perf_counter() - started
     for report in reports:
         report.elapsed_s = elapsed
-        emit(
+        info(
             f"[runner] {report.spec}: {report.shard_count} shard(s), "
             f"{report.cache_hits} cache hit(s), {report.computed} computed"
         )
-    emit(f"[runner] done in {elapsed:.2f}s")
+    info(f"[runner] done in {elapsed:.2f}s")
     return reports
 
 
@@ -212,7 +247,7 @@ def run_spec(
     force: bool = False,
     store: Optional[ResultStore] = None,
     overrides: Optional[Mapping[str, Any]] = None,
-    log: Optional[Callable[[str], None]] = print,
+    log: Any = _LOG_DEFAULT,
 ) -> RunReport:
     """Run one spec (see :func:`run_many`)."""
     return run_many(
@@ -229,7 +264,7 @@ def run_all(
     force: bool = False,
     store: Optional[ResultStore] = None,
     overrides: Optional[Mapping[str, Any]] = None,
-    log: Optional[Callable[[str], None]] = print,
+    log: Any = _LOG_DEFAULT,
 ) -> List[RunReport]:
     """Run every registered spec on one shared worker pool."""
     return run_many(

@@ -34,6 +34,9 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 import numpy as np
 
+from ..obs import counter_add
+from ..obs import span as obs_span
+
 __all__ = ["ResultStore", "code_version", "jsonify", "DEFAULT_STORE_ENV"]
 
 DEFAULT_STORE_ENV = "REPRO_STORE"
@@ -132,23 +135,28 @@ class ResultStore:
         """The stored payload for ``key``, or None."""
         path = self._object_path(key)
         if not path.exists():
+            counter_add("store.read.miss")
             return None
-        return json.loads(path.read_text())["payload"]
+        with obs_span("store.read", key=key[:12]):
+            counter_add("store.read.hit")
+            return json.loads(path.read_text())["payload"]
 
     def put(self, key: str, payload: Any, meta: Optional[Mapping[str, Any]] = None) -> pathlib.Path:
         """Store one shard payload (atomic via rename)."""
-        path = self._object_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        record = {
-            "key": key,
-            "code_version": self.version,
-            "meta": jsonify(dict(meta or {})),
-            "payload": jsonify(payload),
-        }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(record, indent=1) + "\n")
-        tmp.replace(path)
-        return path
+        with obs_span("store.write", key=key[:12]):
+            counter_add("store.write")
+            path = self._object_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            record = {
+                "key": key,
+                "code_version": self.version,
+                "meta": jsonify(dict(meta or {})),
+                "payload": jsonify(payload),
+            }
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(record, indent=1) + "\n")
+            tmp.replace(path)
+            return path
 
     def entries(self) -> Iterator[dict]:
         """All stored object records (full metadata, no payload order)."""

@@ -18,6 +18,7 @@ from functools import lru_cache
 from typing import Any, Callable, Dict, Optional
 
 from ..analysis.experiments import ExperimentResult
+from ..obs import span as obs_span
 from ..rng.factory import default_seed
 from .store import jsonify
 
@@ -76,8 +77,11 @@ def execute_shard(task: ShardTask) -> dict:
     kwargs = dict(task.kwargs)
     if task.seed is not None and _accepts_seed(task.fn) and "seed" not in kwargs:
         kwargs["seed"] = task.seed
-    with default_seed(task.seed):
-        payload = task.fn(**kwargs)
-    if isinstance(payload, ExperimentResult):
-        payload = jsonify(payload)
-    return jsonify(payload)
+    # In a forked pool worker this is the root span: closing it flushes
+    # the worker's span/metric buffers for the scheduler to collect.
+    with obs_span("runner.shard", spec=task.spec, shard=task.label):
+        with default_seed(task.seed):
+            payload = task.fn(**kwargs)
+        if isinstance(payload, ExperimentResult):
+            payload = jsonify(payload)
+        return jsonify(payload)

@@ -4,7 +4,7 @@ import numpy as np
 
 
 def assert_backends_equivalent(
-    graph, length, *, tile_words=(7,), jobs=2, audit=False
+    graph, length, *, tile_words=(7,), jobs=2, audit=False, traced=False
 ):
     """The cross-backend equivalence matrix, as one assertion.
 
@@ -17,8 +17,21 @@ def assert_backends_equivalent(
     size, with the parallel tile scheduler running ``jobs`` span
     workers. With ``audit=True`` the four audit routes are compared
     too — float-exact, because streaming and parallel totals are the
-    same integers the materialised engine counts.
+    same integers the materialised engine counts. With ``traced=True``
+    the whole matrix runs inside an active :mod:`repro.obs` session —
+    tracing must never change a result bit.
     """
+    import contextlib
+
+    from repro import obs
+
+    with obs.observe() if traced else contextlib.nullcontext():
+        _assert_backends_equivalent(
+            graph, length, tile_words=tile_words, jobs=jobs, audit=audit
+        )
+
+
+def _assert_backends_equivalent(graph, length, *, tile_words, jobs, audit):
     from repro import engine
 
     if isinstance(tile_words, int):

@@ -72,11 +72,21 @@ class TestRunnerCommands:
         store = str(tmp_path / "store")
         assert main(["run", "table1", "--store", store]) == 0
         capsys.readouterr()
-        assert main(["run", "table1", "--store", store]) == 0
+        assert main(["run", "table1", "--store", store, "-v"]) == 0
         out = capsys.readouterr().out
         assert "[runner] cache hit table1" in out
         assert "cache miss" not in out
         assert "Table I" in out  # the table still prints
+
+    def test_run_default_is_quiet_per_shard(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["run", "table1", "--store", store]) == 0
+        out = capsys.readouterr().out
+        # Without -v the per-shard lines stay at DEBUG; summaries print.
+        assert "cache miss table1" not in out
+        assert "cache hit table1" not in out
+        assert "[runner] done in" in out
+        assert "1 shard(s)" in out
 
     def test_run_fidelity_smoke_with_jobs(self, capsys, tmp_path):
         store = str(tmp_path / "store")
@@ -93,7 +103,7 @@ class TestRunnerCommands:
         assert "seed=123" in out
         # Different seed -> different content address -> recompute.
         assert main(["run", "fault_tolerance", "--store", store,
-                     "--seed", "124"]) == 0
+                     "--seed", "124", "-v"]) == 0
         assert "cache miss" in capsys.readouterr().out
 
     def test_run_force_recomputes(self, capsys, tmp_path):
@@ -104,6 +114,30 @@ class TestRunnerCommands:
         out = capsys.readouterr().out
         assert "[runner] cache hit" not in out
         assert "0 cache hit(s), 1 computed" in out
+
+    def test_run_positional_fidelity_with_trace_and_stats(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        store = str(tmp_path / "store")
+        trace_file = tmp_path / "trace.json"
+        assert main(["run", "table1", "smoke", "--store", store,
+                     "--trace", str(trace_file), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "fidelity=smoke" in out
+        assert "runner.run_many" in out  # profile tree printed
+        counts = validate_chrome_trace(json.loads(trace_file.read_text()))
+        assert counts["X"] >= 1
+        # The traced run also persisted artifacts under <store>/obs/.
+        assert main(["stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "runner_cache_hit_rate" in out
+        assert "runner.run_many" in out
+
+    def test_stats_without_artifacts_errors(self, capsys, tmp_path):
+        assert main(["stats", "--store", str(tmp_path / "store")]) == 1
+        assert "no stats documents" in capsys.readouterr().err
 
     def test_report_round_trip(self, capsys, tmp_path):
         store = str(tmp_path / "store")
@@ -146,6 +180,19 @@ class TestEngineCommands:
         # Same structure compiles to the same cached plan the second time.
         assert main(["engine", "correlated_multiply"]) == 0
         assert "hit" in capsys.readouterr().out
+
+    def test_engine_profile_prints_span_tree(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_file = tmp_path / "engine-trace.json"
+        assert main(["engine", "fsm_zoo", "--profile",
+                     "--trace", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Engine audit" in out
+        assert "engine.execute" in out  # profile tree row
+        validate_chrome_trace(json.loads(trace_file.read_text()))
 
     def test_audit_reports_violation_status(self, capsys):
         assert main(["audit", "correlated_multiply"]) == 1

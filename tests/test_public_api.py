@@ -14,7 +14,7 @@ import repro
 
 class TestTopLevelSurface:
     def test_version(self):
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_all_entries_resolve(self):
         for name in repro.__all__:
@@ -39,7 +39,7 @@ class TestSubpackageSurfaces:
         ["repro.bitstream", "repro.rng", "repro.convert", "repro.arith",
          "repro.core", "repro.hardware", "repro.pipeline", "repro.analysis",
          "repro.rtl", "repro.graph", "repro.apps", "repro.faults",
-         "repro.cli", "repro.kernels"],
+         "repro.cli", "repro.kernels", "repro.obs"],
     )
     def test_subpackage_all_accurate(self, module):
         mod = importlib.import_module(module)
@@ -53,7 +53,7 @@ class TestSubpackageSurfaces:
                        "repro.arith", "repro.core", "repro.hardware",
                        "repro.pipeline", "repro.analysis", "repro.rtl",
                        "repro.graph", "repro.apps", "repro.faults", "repro.cli",
-                       "repro.kernels"):
+                       "repro.kernels", "repro.obs"):
             mod = importlib.import_module(module)
             assert mod.__doc__ and len(mod.__doc__.strip()) > 20, module
 
