@@ -191,6 +191,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="span workers for the parallel tile "
                                "scheduler (streaming only; results are "
                                "bit-identical at any count)")
+    engine_p.add_argument("--no-optimize", action="store_true",
+                          help="compile the faithful one-step-per-node plan "
+                               "(skip structural CSE / arena allocation; the "
+                               "audit is float-identical either way)")
     engine_p.add_argument("--profile", action="store_true",
                           help="trace the compile + audit and print the "
                                "span profile tree")
@@ -412,6 +416,7 @@ def _cmd_engine(
     graph_name: str, length: int, tolerance: float,
     streaming: bool = False, tile_words: int = 4096, jobs: int = 1,
     profile: bool = False, trace_path: Optional[pathlib.Path] = None,
+    no_optimize: bool = False,
 ) -> int:
     import contextlib
 
@@ -423,7 +428,7 @@ def _cmd_engine(
     with context as trace:
         graph = build_graph(graph_name)
         before = cache_info()
-        plan = compile_graph(graph)
+        plan = compile_graph(graph, optimize=not no_optimize)
         after = cache_info()
         outcome = "hit" if after["hits"] > before["hits"] else "miss"
         print(plan.describe())
@@ -509,7 +514,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "engine":
         return _cmd_engine(args.graph, args.length, args.tolerance,
                            args.streaming, args.tile_words, args.jobs,
-                           args.profile, args.trace)
+                           args.profile, args.trace, args.no_optimize)
     if args.command == "audit":
         return _cmd_audit(args.graph, args.length, args.tolerance, args.fix)
     return _cmd_costs()

@@ -14,6 +14,12 @@ input configurations* at once:
   kernels, pack/unpack boundaries only around sequential FSM steps, and
   audit paths whose SCC measurements run through the packed overlap
   kernels of :mod:`repro.bitstream.metrics`;
+* :mod:`repro.engine.optimize` — the plan optimizer: structural CSE /
+  hash-consing over the compiled schedule, per-call dead-node
+  elimination for subset ``keep`` requests, and liveness-driven arena
+  buffer recycling — every pass bit-/float-identical to the faithful
+  plan (``compile_graph(..., optimize=False)`` or
+  ``repro engine --no-optimize`` gets the unrewritten schedule);
 * :mod:`repro.engine.library` — named example graphs for the CLI and
   benchmarks.
 
@@ -39,7 +45,16 @@ from .executor import (
     EngineRun,
     clear_sequence_cache,
 )
-from .library import GRAPH_LIBRARY, build_graph, depth_chain_graph
+from .library import GRAPH_LIBRARY, build_graph, cse_sweep_graph, depth_chain_graph
+from .optimize import (
+    BufferArena,
+    OptimizedPlan,
+    OptimizeReport,
+    dce_cache_info,
+    default_optimize,
+    optimize_plan,
+    set_default_optimize,
+)
 from .plan import (
     ExecutionPlan,
     FusedChain,
@@ -63,6 +78,13 @@ __all__ = [
     "ExecutionPlan",
     "PlanStep",
     "FusedChain",
+    "OptimizedPlan",
+    "OptimizeReport",
+    "BufferArena",
+    "optimize_plan",
+    "default_optimize",
+    "set_default_optimize",
+    "dce_cache_info",
     "EngineRun",
     "StreamingRun",
     "run_streaming",
@@ -77,4 +99,5 @@ __all__ = [
     "GRAPH_LIBRARY",
     "build_graph",
     "depth_chain_graph",
+    "cse_sweep_graph",
 ]

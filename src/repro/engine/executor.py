@@ -39,7 +39,12 @@ from .._validation import check_stream_length
 from ..arith._coerce import broadcast_pair
 from ..bitstream.encoding import Encoding, ones_to_value
 from ..bitstream.metrics import popcount_words, scc_batch_packed
-from ..bitstream.packed import PackedBitstreamBatch, pack_bits, unpack_bits
+from ..bitstream.packed import (
+    PackedBitstreamBatch,
+    pack_bits_unchecked,
+    unpack_bits,
+    words_per_stream,
+)
 from ..exceptions import GraphCompilationError
 from ..graph.graph import AuditEntry, GraphAudit
 from ..graph.nodes import OP_LIBRARY, mux_select_bits
@@ -121,7 +126,7 @@ def _select_words(length: int) -> np.ndarray:
     with _SEQ_LOCK:
         words = _SELECT_CACHE.get(length)
     if words is None:
-        words = pack_bits(mux_select_bits(length).reshape(1, -1))
+        words = pack_bits_unchecked(mux_select_bits(length).reshape(1, -1))
         with _SEQ_LOCK:
             if len(_SELECT_CACHE) >= _SEQ_CACHE_MAX:
                 _SELECT_CACHE.clear()
@@ -166,6 +171,51 @@ _OP_KERNELS = {
 }
 
 
+def _mux_words_into(a: np.ndarray, b: np.ndarray, sel: np.ndarray, out: np.ndarray) -> None:
+    """In-place 2:1 mux via the branchless identity
+    ``a ^ ((a ^ b) & sel)`` — bit-for-bit equal to
+    ``(sel & b) | (~sel & a)`` (sel=1 picks ``b``, sel=0 picks ``a``,
+    tail bits take ``a``'s zero tail) with zero temporaries."""
+    np.bitwise_xor(a, b, out=out)
+    np.bitwise_and(out, sel, out=out)
+    np.bitwise_xor(out, a, out=out)
+
+
+# In-place twins of _OP_KERNELS: same boolean functions, written through
+# ``out=`` into an arena buffer instead of allocating (the mux identity
+# above replaces the three temporaries of the expression form). ``out``
+# never aliases an operand — operands are live (their release point is
+# after this step), so the arena cannot have handed their buffer out.
+_INPLACE_KERNELS = {
+    "mul": lambda a, b, sel, out: np.bitwise_and(a, b, out=out),
+    "sat_add": lambda a, b, sel, out: np.bitwise_or(a, b, out=out),
+    "sub": lambda a, b, sel, out: np.bitwise_xor(a, b, out=out),
+    "max": lambda a, b, sel, out: np.bitwise_or(a, b, out=out),
+    "min": lambda a, b, sel, out: np.bitwise_and(a, b, out=out),
+    "scaled_add": _mux_words_into,
+}
+
+# Source comparator packing works through (rows, chunk-bits) boolean
+# transients of at most this many words per chunk — a full (rows, N)
+# bit matrix is 8x the size of the packed result and dominates peak
+# memory at large N. Chunks are word-aligned, so chunked packing is
+# byte-identical to one-shot packing.
+_SOURCE_CHUNK_WORDS = 128
+
+
+def _pack_source_chunked(
+    out: np.ndarray, lv: np.ndarray, seq: np.ndarray, length: int
+) -> None:
+    col = lv[:, None]
+    chunk_bits = _SOURCE_CHUNK_WORDS * 64
+    for start in range(0, length, chunk_bits):
+        stop = min(start + chunk_bits, length)
+        w0 = start // 64
+        out[:, w0 : w0 + words_per_stream(stop - start)] = pack_bits_unchecked(
+            col > seq[None, start:stop]
+        )
+
+
 def _batch_expected(op: str, inputs: List[np.ndarray]) -> np.ndarray:
     """Vectorised exact semantics (the scalar OP_LIBRARY ``expected``
     entries use python ``min``/``max``/``abs``, which reject arrays)."""
@@ -205,9 +255,11 @@ def _resolve_levels(
     resolved_levels: Dict[str, np.ndarray] = {}
     nominal: Dict[str, np.ndarray] = {}
     batch = 1
-    for step in plan.steps:
-        if step.kind != "source":
-            continue
+    # source_steps covers the *source graph* (on an optimized plan that
+    # includes merged-away sources), so every name a caller can override
+    # resolves — and for_execution can compare merged classes member by
+    # member.
+    for step in plan.source_steps:
         name = step.name
         if name in levels:
             lv = np.atleast_1d(np.asarray(levels[name]))
@@ -260,21 +312,66 @@ def _execute(
     want_values: bool,
     want_op_scc: bool,
 ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], Dict[str, np.ndarray]]:
-    """Walk the schedule; returns ``(kept_words, values, op_scc)``.
+    """Walk the schedule; returns ``(kept_words, values, op_scc)``,
+    every dict keyed by *source-graph* (semantic) node names.
 
     ``keep=None`` keeps every node's words; otherwise intermediate
     buffers are freed as soon as their last consumer has run.
+
+    Optimizer integration happens here, once for every entry point:
+    :meth:`~repro.engine.plan.ExecutionPlan.for_execution` picks the
+    optimized schedule or its raw twin (overrides can split a source
+    merge), dead-node elimination prunes to the keep cone when the
+    caller is not auditing, the walk recycles buffers through a
+    :class:`~repro.engine.optimize.BufferArena`, and merged-away names
+    are expanded back so callers see every name they asked for.
     """
     keep_set = None if keep is None else set(keep)
+    semantic = plan.semantic_order
     if keep_set is not None:
-        unknown = keep_set - set(plan.node_order)
+        unknown = keep_set - set(semantic)
         if unknown:
             raise GraphCompilationError(f"keep names not in graph: {sorted(unknown)}")
-    with obs_span("engine.execute", steps=len(plan.steps), length=length):
-        return _execute_steps(
-            plan, length, levels=levels, keep_set=keep_set,
+    exec_plan = plan.for_execution(levels)
+    use_arena = exec_plan.optimize_level >= 1
+    sched_keep = (
+        None if keep_set is None
+        else {exec_plan.resolve(n) for n in keep_set}
+    )
+    walk_plan = exec_plan
+    if (
+        sched_keep is not None
+        and not want_values
+        and not want_op_scc
+        and exec_plan.optimize_level >= 1
+    ):
+        # Audits never prune (their entire point is to measure every
+        # operator); a words-only call walks just the ancestor cone of
+        # what the caller will actually read.
+        from .optimize import dce_plan
+
+        walk_plan = dce_plan(exec_plan, frozenset(sched_keep))
+    with obs_span("engine.execute", steps=len(walk_plan.steps), length=length):
+        kept, node_values, op_scc = _execute_steps(
+            walk_plan, length, levels=levels, keep_set=sched_keep,
             want_values=want_values, want_op_scc=want_op_scc,
+            use_arena=use_arena,
         )
+    if exec_plan.alias_map:
+        # Expand representatives back to every requested source-graph
+        # name (shared arrays — a merged duplicate *is* its
+        # representative's stream, that is the whole point).
+        resolve = exec_plan.resolve
+        names = semantic if keep_set is None else keep_set
+        kept = {n: kept[resolve(n)] for n in names if resolve(n) in kept}
+        if want_values:
+            node_values = {n: node_values[resolve(n)] for n in semantic}
+        if want_op_scc:
+            op_scc = {
+                s.name: op_scc[resolve(s.name)]
+                for s in plan.semantic_steps if s.kind == "op"
+            }
+    return kept, node_values, op_scc
 
 
 def _execute_steps(
@@ -285,6 +382,7 @@ def _execute_steps(
     keep_set: Optional[set],
     want_values: bool,
     want_op_scc: bool,
+    use_arena: bool = False,
 ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], Dict[str, np.ndarray]]:
     words: Dict[str, np.ndarray] = {}
     kept: Dict[str, np.ndarray] = {}
@@ -292,19 +390,33 @@ def _execute_steps(
     op_scc: Dict[str, np.ndarray] = {}
     group_out: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
     select = None
+    arena = None
+    n_words = words_per_stream(length)
+    if use_arena:
+        from .optimize import BufferArena
+
+        arena = BufferArena()
 
     for step in plan.steps:
         if step.kind == "source":
             seq = _rng_sequence(step.rng_spec, step.rng_kwargs, length)
-            bits = (levels[step.name][:, None] > seq[None, :]).astype(np.uint8)
-            out = pack_bits(bits)
+            lv = levels[step.name]
+            if arena is not None:
+                out = arena.take(lv.size, n_words)
+                _pack_source_chunked(out, lv, seq, length)
+            else:
+                out = pack_bits_unchecked(lv[:, None] > seq[None, :])
         elif step.kind == "op":
             a, b = (words[d] for d in step.inputs)
             if step.op == "scaled_add" and select is None:
                 select = _select_words(length)
             if want_op_scc:
                 op_scc[step.name] = scc_batch_packed(a, b, length)
-            out = _OP_KERNELS[step.op](a, b, select)
+            if arena is not None:
+                out = arena.take(max(a.shape[0], b.shape[0]), n_words)
+                _INPLACE_KERNELS[step.op](a, b, select, out)
+            else:
+                out = _OP_KERNELS[step.op](a, b, select)
         else:  # transform (kernel or fsm domain; both unpack -> step -> repack,
                # kernel-domain circuits dispatch to repro.kernels inside
                # _process_bits and keep the whole batch time-parallel)
@@ -314,7 +426,7 @@ def _execute_steps(
                 yb = unpack_bits(yw, length)
                 xb, yb = broadcast_pair(xb, yb)
                 ox, oy = step.transform._process_bits(xb, yb)
-                group_out[step.group] = (pack_bits(ox), pack_bits(oy))
+                group_out[step.group] = (pack_bits_unchecked(ox), pack_bits_unchecked(oy))
             out = group_out[step.group][step.port]
 
         words[step.name] = out
@@ -324,7 +436,20 @@ def _execute_steps(
             kept[step.name] = out
         for dead in step.free_after:
             if keep_set is not None and dead not in keep_set:
-                words.pop(dead, None)
+                buf = words.pop(dead, None)
+                # Dead buffers feed the arena's free list; transform
+                # outputs stay out of it — their group_out entry lives
+                # until the walk ends, and a partner port scheduled
+                # after this free point must still read its own words.
+                if (
+                    arena is not None
+                    and buf is not None
+                    and buf.shape[1] == n_words
+                    and plan.step(dead).kind != "transform"
+                ):
+                    arena.release(buf)
+    if arena is not None:
+        arena.flush_counters()
     return kept, node_values, op_scc
 
 
@@ -412,7 +537,7 @@ def run(plan: ExecutionPlan, length: int = 256) -> Dict[str, np.ndarray]:
     name → ``(length,)`` uint8 bit array, bit-identical to
     ``SCGraph.run(length, backend="interpreter")``."""
     result = run_batch(plan, length)
-    return {name: result.bits(name)[0] for name in plan.node_order}
+    return {name: result.bits(name)[0] for name in plan.semantic_order}
 
 
 def audit(plan: ExecutionPlan, length: int = 256, *, tolerance: float = 0.35) -> GraphAudit:
@@ -430,7 +555,7 @@ def audit(plan: ExecutionPlan, length: int = 256, *, tolerance: float = 0.35) ->
     expected = plan.expected_values()
     values = {name: float(v[0]) for name, v in node_values.items()}
     entries: List[AuditEntry] = []
-    for step in plan.steps:
+    for step in plan.semantic_steps:
         if step.kind != "op":
             continue
         required = OP_LIBRARY[step.op]["required"]
@@ -492,7 +617,7 @@ class BatchAudit:
 
 def _expected_batch(plan: ExecutionPlan, nominal: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
     expected: Dict[str, np.ndarray] = {}
-    for step in plan.steps:
+    for step in plan.semantic_steps:
         if step.kind == "source":
             expected[step.name] = nominal[step.name]
         elif step.kind == "op":
@@ -531,7 +656,7 @@ def audit_batch(
     # writable arrays from every other analysis API in the repo.
     broadcast = lambda a: np.broadcast_to(np.atleast_1d(a), (batch,)).copy()  # noqa: E731
     entries: List[BatchAuditEntry] = []
-    for step in plan.steps:
+    for step in plan.semantic_steps:
         if step.kind != "op":
             continue
         required = OP_LIBRARY[step.op]["required"]

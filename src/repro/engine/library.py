@@ -139,6 +139,47 @@ def mux_chain_graph(depth: int = 64, sources: int = 3) -> SCGraph:
     return g
 
 
+#: The source quadruple every ``cse_sweep`` tree re-declares privately:
+#: name stem -> (value, rng_spec, rng kwargs).
+_CSE_SWEEP_SOURCES = (
+    ("a", 0.8, "vdc", {}),
+    ("b", 0.3, "halton3", {}),
+    ("c", 0.6, "halton5", {}),
+    ("d", 0.45, "lfsr", {"seed": 29}),
+)
+
+
+def cse_sweep_graph(copies: int = 16) -> SCGraph:
+    """A CSE-heavy sweep workload: ``copies`` structurally identical
+    depth-4 operator trees, each over its *own* copies of one source
+    quadruple, each finished by one op against a tree-private weight.
+
+    Faithful compilation schedules ``copies * 4`` sources and
+    ``copies * 5`` ops — every tree re-packs identical comparator
+    sources and recomputes the identical depth-4 interior — while
+    structural CSE collapses both to one instance
+    (``4 + copies`` sources, ``4 + copies`` ops). This is the optimizer
+    benchmark's workload, and a realistic shape: batched design sweeps
+    duplicate whole operand subtrees — inputs included — per
+    configuration by construction (the paper's Table II/III sweeps
+    replicate the same synchronizer/decorrelator stages, with their
+    source pairs, across every operand pair).
+    """
+    g = SCGraph()
+    span = max(1, copies - 1)
+    for t in range(copies):
+        p = f"t{t}_"
+        for stem, value, spec, kwargs in _CSE_SWEEP_SOURCES:
+            g.source(p + stem, value, spec, **kwargs)
+        g.op(p + "m", "mul", p + "a", p + "b")
+        g.op(p + "s", "scaled_add", p + "m", p + "c")
+        g.op(p + "x", "sub", p + "s", p + "d")
+        g.op(p + "r", "max", p + "x", p + "b")
+        g.source(p + "w", 0.2 + 0.55 * (t / span), "halton7")
+        g.op(p + "out", "min", p + "r", p + "w")
+    return g
+
+
 def long_stream_graph(width: int = 22) -> SCGraph:
     """The paper's three manipulation stages with width-matched RNGs.
 
@@ -180,6 +221,7 @@ GRAPH_LIBRARY: Dict[str, Callable[[], SCGraph]] = {
     "mixed_pipeline": mixed_pipeline_graph,
     "fsm_zoo": fsm_zoo_graph,
     "depth8": depth8_graph,
+    "cse_sweep": cse_sweep_graph,
 }
 
 

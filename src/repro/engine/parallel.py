@@ -66,6 +66,7 @@ from .executor import _OP_KERNELS
 from .plan import ExecutionPlan, FusedChain
 from .streaming import (
     _CompiledChain,
+    _expand_aliases,
     _keep_and_exposed,
     _make_sources,
     _propagate_rows,
@@ -388,22 +389,40 @@ def _parallel_stream_execute(
     parallelise (a single span) or a carrier does not compose."""
     global _CTX
 
-    rows = _propagate_rows(plan, levels)
+    # Optimizer integration mirrors the sequential walk: pick the
+    # optimized schedule (or its raw twin when overrides split a source
+    # merge), resolve keep names to schedule representatives, prune to
+    # the keep cone for words-only calls, and expand aliases back at the
+    # merge tail. Workers then only ever see the walk plan.
+    src_plan = plan
+    exec_plan = plan.for_execution(levels)
+    rows = _propagate_rows(exec_plan, levels)
     spans = spans_for(length, tile_words, jobs)
 
     def _sequential():
         return _stream_execute(
-            plan, length, levels=levels, keep=keep, tile_words=tile_words,
+            src_plan, length, levels=levels, keep=keep, tile_words=tile_words,
             fuse=fuse, want_values_all=want_values_all,
             want_op_scc=want_op_scc,
         )
 
-    if len(spans) < 2 or not _composable(plan, length, rows):
+    if len(spans) < 2 or not _composable(exec_plan, length, rows):
         return _sequential()
 
-    keep_set, value_nodes, exposed = _keep_and_exposed(
-        plan, keep, want_values_all, want_op_scc
+    keep_sem, keep_set, value_sem, value_nodes, exposed = _keep_and_exposed(
+        src_plan, exec_plan, keep, want_values_all, want_op_scc
     )
+    plan = exec_plan
+    if (
+        keep is not None
+        and not want_values_all
+        and not want_op_scc
+        and exec_plan.optimize_level >= 1
+    ):
+        from .optimize import dce_plan
+
+        plan = dce_plan(exec_plan, frozenset(keep_set))
+
     schedule = plan.fused_schedule(exposed if fuse else None)
     fused_chains = sum(1 for item in schedule if isinstance(item, FusedChain))
     needs_select = any(
@@ -540,4 +559,7 @@ def _parallel_stream_execute(
     }
     ones = {name: acc.ones for name, acc in vacc.items()}
     op_scc = {name: acc.scc() for name, acc in sccacc.items()}
+    kept, ones, op_scc = _expand_aliases(
+        src_plan, exec_plan, kept, ones, op_scc, keep_sem, value_sem
+    )
     return kept, ones, op_scc, fused_chains

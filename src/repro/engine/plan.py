@@ -59,8 +59,15 @@ __all__ = [
 
 PLAN_CACHE_MAXSIZE = 256
 
+# Keyed by (structural signature, optimization level) so optimized and
+# raw plans of the same graph coexist — `repro engine --no-optimize`
+# after a default compile hits its own entry instead of evicting or
+# shadowing the optimized one.
 _PLAN_CACHE: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
-_CACHE_STATS = {"hits": 0, "misses": 0}
+_CACHE_STATS = {
+    0: {"hits": 0, "misses": 0},
+    1: {"hits": 0, "misses": 0},
+}
 
 
 @dataclass(frozen=True)
@@ -99,13 +106,14 @@ class FusedChain:
     super-step.
 
     The streaming executor evaluates the whole chain in a single pass
-    over the current tile: interior results live in two ping-pong scratch
-    buffers (in-place ufunc kernels, no per-node allocation) and are
-    never entered into the tile environment — only the chain head's
-    output is. Fusion is only legal when every interior output has
-    exactly one consumer (the next chain member) and is not *exposed*
-    (kept, audited, or value-accumulated); :meth:`ExecutionPlan.fused_schedule`
-    enforces both.
+    over the current tile: interior results live in liveness-assigned
+    scratch slots (in-place ufunc kernels, no per-node allocation) and
+    are never entered into the tile environment — only the chain head's
+    output is. Fusion is legal when every interior output is consumed
+    *inside* the chain and is not *exposed* (kept, audited, or
+    value-accumulated) — multi-consumer interiors whose readers all sit
+    in the same chain fuse fine; :meth:`ExecutionPlan.fused_schedule`
+    enforces both conditions.
     """
 
     steps: Tuple[PlanStep, ...]
@@ -115,8 +123,86 @@ class FusedChain:
         """The chain head's node name (its only visible output)."""
         return self.steps[-1].name
 
+    @property
+    def label(self) -> str:
+        """Every member name joined with ``+`` — human-readable, and
+        unbounded; render through :func:`_ellipsize`."""
+        return "+".join(s.name for s in self.steps)
+
     def __len__(self) -> int:
         return len(self.steps)
+
+
+#: Widest cell :meth:`ExecutionPlan.describe` will render before
+#: truncating — a depth-64 chain label would otherwise blow the column
+#: out to ~700 characters.
+_DESCRIBE_CELL_WIDTH = 64
+
+
+def _ellipsize(text: str, width: int = _DESCRIBE_CELL_WIDTH) -> str:
+    """``text`` capped at ``width`` characters, middle replaced with an
+    ellipsis so both the chain's tail (its visible output) and head stay
+    readable."""
+    if len(text) <= width:
+        return text
+    head = (width - 1) // 2
+    tail = width - 1 - head
+    return text[:head] + "…" + text[-tail:]
+
+
+def _segment_run(
+    run: List[PlanStep],
+    consumers: Dict[str, List[str]],
+    exposed: Set[str],
+) -> List[Union[PlanStep, "FusedChain"]]:
+    """Split one run of consecutive op steps into fused chains.
+
+    A member ends a chain when its output must enter the tile
+    environment: it is exposed, consumed outside the run, or consumed by
+    a member of a later segment. The last condition is solved to a fixed
+    point — promoting a member to a boundary shortens the segment of
+    everyone before it, which can force further promotions — so every
+    surviving interior provably has all consumers inside its own
+    segment.
+    """
+    position = {s.name: j for j, s in enumerate(run)}
+    ends = {len(run) - 1}
+    consumer_positions: List[List[int]] = []
+    for j, s in enumerate(run):
+        inside: List[int] = []
+        outside = s.name in exposed
+        for c in consumers[s.name]:
+            p = position.get(c)
+            if p is None:
+                outside = True
+            else:
+                inside.append(p)
+        if outside:
+            ends.add(j)
+        consumer_positions.append(inside)
+
+    changed = True
+    while changed:
+        changed = False
+        boundary = sorted(ends)
+        for j, inside in enumerate(consumer_positions):
+            if j in ends or not inside:
+                continue
+            segment_end = next(b for b in boundary if b >= j)
+            if max(inside) > segment_end:
+                ends.add(j)
+                changed = True
+
+    segments: List[Union[PlanStep, FusedChain]] = []
+    start = 0
+    for end in sorted(ends):
+        members = run[start : end + 1]
+        if len(members) == 1:
+            segments.append(members[0])
+        else:
+            segments.append(FusedChain(steps=tuple(members)))
+        start = end + 1
+    return segments
 
 
 def _freeze(value):
@@ -223,7 +309,47 @@ class ExecutionPlan:
 
     @property
     def source_names(self) -> List[str]:
-        return [s.name for s in self.steps if s.kind == "source"]
+        return [s.name for s in self.source_steps]
+
+    @property
+    def source_steps(self) -> List[PlanStep]:
+        """Source steps of the *source graph* — on an optimized plan this
+        includes merged-away sources, so override resolution accepts
+        every name a caller can spell."""
+        return [s for s in self.steps if s.kind == "source"]
+
+    # -- optimizer hooks (overridden by OptimizedPlan) ----------------- #
+
+    @property
+    def optimize_level(self) -> int:
+        """0 for a faithful plan, 1 when structural CSE has rewritten the
+        schedule (:mod:`repro.engine.optimize`)."""
+        return 0
+
+    @property
+    def alias_map(self) -> Dict[str, str]:
+        """Merged-away node name → representative name (empty here)."""
+        return {}
+
+    def resolve(self, name: str) -> str:
+        """The scheduled step computing ``name``'s words (itself here)."""
+        return name
+
+    @property
+    def semantic_steps(self) -> Tuple[PlanStep, ...]:
+        """The pre-optimization schedule — one step per source-graph
+        node, the view audits and ``expected_values`` reason over."""
+        return self.steps
+
+    @property
+    def semantic_order(self) -> List[str]:
+        return [s.name for s in self.semantic_steps]
+
+    def for_execution(self, resolved_levels) -> "ExecutionPlan":
+        """The plan to actually walk given resolved per-source levels
+        (an optimized plan falls back to its raw twin when an override
+        splits a source merge; a faithful plan is always itself)."""
+        return self
 
     def step(self, name: str) -> PlanStep:
         for s in self.steps:
@@ -250,12 +376,19 @@ class ExecutionPlan:
         """The schedule with runs of adjacent packed ops collapsed into
         :class:`FusedChain` super-steps.
 
-        An op step joins the open chain when it consumes the chain head's
-        output and that output is *interior*: consumed by exactly one
-        step and not in ``exposed`` (node names whose buffers someone
-        outside the chain needs — kept streams, audited values, SCC
-        operands). ``exposed=None`` means every node is exposed, which
-        degenerates to the unfused schedule.
+        Consecutive op steps form a *run*; within a run, a member is
+        *interior* — its buffer lives only in chain scratch — when it is
+        not in ``exposed`` and every one of its consumers sits inside the
+        same chain segment. A member survives as a chain boundary (its
+        output enters the tile environment) when it is exposed, feeds a
+        step outside the run (a transform, or a later run), or feeds a
+        member of a *different* segment of the same run. Multi-consumer
+        interiors are legal as long as every consumer is in-chain: a
+        diamond whose branches and join are all op steps fuses into one
+        super-step. ``exposed`` names the nodes someone outside the
+        chain needs — kept streams, audited values, SCC operands;
+        ``exposed=None`` means every node is exposed, which degenerates
+        to the unfused schedule.
 
         Steps that touch no chain member (a source feeding a later level,
         an independent transform) do not break the chain — the chain is
@@ -268,42 +401,30 @@ class ExecutionPlan:
         if exposed is None:
             return list(self.steps)
         exposed_set: Set[str] = set(exposed)
-        counts = self.consumer_counts()
+        consumers: Dict[str, List[str]] = {s.name: [] for s in self.steps}
+        for s in self.steps:
+            for dep in set(s.inputs):
+                consumers[dep].append(s.name)
         schedule: List[Union[PlanStep, FusedChain]] = []
-        chain: List[PlanStep] = []
-        chain_names: Set[str] = set()
+        run: List[PlanStep] = []
+        run_names: Set[str] = set()
 
-        def flush_chain() -> None:
-            if not chain:
+        def flush_run() -> None:
+            if not run:
                 return
-            if len(chain) == 1:
-                schedule.append(chain[0])
-            else:
-                schedule.append(FusedChain(steps=tuple(chain)))
-            chain.clear()
-            chain_names.clear()
+            schedule.extend(_segment_run(run, consumers, exposed_set))
+            run.clear()
+            run_names.clear()
 
         for s in self.steps:
             if s.kind == "op":
-                if chain:
-                    head = chain[-1]
-                    # The other operand can never be a chain *interior*:
-                    # interiors have exactly one (already-seen) consumer.
-                    fusable = (
-                        head.name in s.inputs
-                        and s.inputs.count(head.name) == 1
-                        and counts[head.name] == 1
-                        and head.name not in exposed_set
-                    )
-                    if not fusable:
-                        flush_chain()
-                chain.append(s)
-                chain_names.add(s.name)
+                run.append(s)
+                run_names.add(s.name)
             else:
-                if chain_names.intersection(s.inputs):
-                    flush_chain()
+                if run_names.intersection(s.inputs):
+                    flush_run()
                 schedule.append(s)
-        flush_chain()
+        flush_run()
         return schedule
 
     def describe(self) -> str:
@@ -325,7 +446,25 @@ class ExecutionPlan:
                 else:
                     rendered.append(f"{name} [{s.domain}:{s.transform.name} port {s.port}]")
             lines.append(f"  level {depth}: " + ", ".join(rendered))
+        sinks = [n for n, c in self.consumer_counts().items() if c == 0]
+        chains = [
+            item for item in self.fused_schedule(exposed=sinks)
+            if isinstance(item, FusedChain)
+        ]
+        if chains:
+            lines.append(f"fused chains ({len(chains)}):")
+            for chain in chains:
+                lines.append(
+                    f"  {_ellipsize(chain.label)} ({len(chain)} ops -> {chain.name})"
+                )
+        lines.extend(self._describe_optimized())
         return "\n".join(lines)
+
+    def _describe_optimized(self) -> List[str]:
+        """Extra ``describe()`` lines for the optimizer's rewrite report
+        (none on a faithful plan; :class:`~repro.engine.optimize.OptimizedPlan`
+        overrides)."""
+        return []
 
     # ------------------------------------------------------------------ #
     # Evaluation entry points (delegate to the executor)
@@ -430,48 +569,102 @@ def _build_plan(graph: SCGraph, signature: tuple) -> ExecutionPlan:
     )
 
 
-def compile_graph(graph: SCGraph, *, use_cache: bool = True) -> ExecutionPlan:
+def compile_graph(
+    graph: SCGraph, *, use_cache: bool = True, optimize: Optional[bool] = None
+) -> ExecutionPlan:
     """Compile ``graph`` into an :class:`ExecutionPlan` (cached).
 
     Two graphs with equal :func:`graph_signature` share one plan — the
     autofix loop's repeated audits of the same fixed graph hit the cache
     and recompile nothing.
+
+    ``optimize`` selects the optimization level: ``True`` (the module
+    default, see :func:`repro.engine.optimize.set_default_optimize`)
+    rewrites the schedule with structural CSE and returns an
+    :class:`~repro.engine.optimize.OptimizedPlan`; ``False`` is the
+    faithful one-step-per-node plan (`repro engine --no-optimize`).
+    Both levels cache independently under the same structural signature,
+    and an optimized compile seeds the raw entry too (its raw twin is
+    built anyway for the override-divergence fallback).
     """
     if len(graph) == 0:
         raise GraphCompilationError("cannot compile an empty graph")
+    if optimize is None:
+        from .optimize import default_optimize
+
+        optimize = default_optimize()
+    level = 1 if optimize else 0
     signature = graph_signature(graph)
     if use_cache:
-        cached = _PLAN_CACHE.get(signature)
+        cached = _PLAN_CACHE.get((signature, level))
         if cached is not None:
-            _CACHE_STATS["hits"] += 1
+            _CACHE_STATS[level]["hits"] += 1
             counter_add("engine.plan.cache.hit")
-            _PLAN_CACHE.move_to_end(signature)
+            _PLAN_CACHE.move_to_end((signature, level))
             return cached
-        _CACHE_STATS["misses"] += 1
+        _CACHE_STATS[level]["misses"] += 1
         counter_add("engine.plan.cache.miss")
-    with obs_span("engine.plan.compile", nodes=len(graph)) as sp:
-        plan = _build_plan(graph, signature)
-        sp.annotate(levels=len(plan.levels), kernel=len(plan.kernel_nodes),
-                    fsm=len(plan.fsm_nodes))
+    # The raw plan is needed at both levels (it IS level 0, and level 1
+    # keeps it as the fallback twin); reuse a cached one silently — only
+    # the *requested* level counts toward the public hit/miss stats.
+    raw = _PLAN_CACHE.get((signature, 0)) if use_cache else None
+    if raw is None:
+        with obs_span("engine.plan.compile", nodes=len(graph)) as sp:
+            raw = _build_plan(graph, signature)
+            sp.annotate(levels=len(raw.levels), kernel=len(raw.kernel_nodes),
+                        fsm=len(raw.fsm_nodes))
+    if optimize:
+        from .optimize import optimize_plan
+
+        with obs_span("engine.plan.optimize", nodes=len(raw.steps)) as sp:
+            plan = optimize_plan(raw)
+            sp.annotate(merged=plan.report.merged, steps=len(plan.steps))
+    else:
+        plan = raw
     if use_cache:
-        _PLAN_CACHE[signature] = plan
+        _PLAN_CACHE[(signature, 0)] = raw
+        _PLAN_CACHE.move_to_end((signature, 0))
+        _PLAN_CACHE[(signature, level)] = plan
+        _PLAN_CACHE.move_to_end((signature, level))
         while len(_PLAN_CACHE) > PLAN_CACHE_MAXSIZE:
             _PLAN_CACHE.popitem(last=False)
     return plan
 
 
-def cache_info() -> Dict[str, int]:
-    """Plan-cache statistics: ``hits``, ``misses``, ``size``, ``maxsize``."""
+_LEVEL_LABELS = {0: "raw", 1: "optimized"}
+
+
+def cache_info() -> Dict[str, object]:
+    """Plan-cache statistics: ``hits``, ``misses``, ``size``, ``maxsize``
+    totals, plus a ``levels`` breakdown per optimization level (the
+    cache keys entries per level, so the stats report per level too)."""
+    sizes = {0: 0, 1: 0}
+    for _, level in _PLAN_CACHE:
+        sizes[level] += 1
     return {
-        "hits": _CACHE_STATS["hits"],
-        "misses": _CACHE_STATS["misses"],
+        "hits": sum(s["hits"] for s in _CACHE_STATS.values()),
+        "misses": sum(s["misses"] for s in _CACHE_STATS.values()),
         "size": len(_PLAN_CACHE),
         "maxsize": PLAN_CACHE_MAXSIZE,
+        "levels": {
+            _LEVEL_LABELS[level]: {
+                "hits": stats["hits"],
+                "misses": stats["misses"],
+                "size": sizes[level],
+            }
+            for level, stats in _CACHE_STATS.items()
+        },
     }
 
 
 def clear_cache() -> None:
-    """Drop every cached plan and reset the hit/miss counters."""
+    """Drop every cached plan — both optimization levels — and reset the
+    per-level hit/miss counters, plus the optimizer's pruned-plan memo
+    (derived from cached plans, so it must not outlive them)."""
     _PLAN_CACHE.clear()
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    for stats in _CACHE_STATS.values():
+        stats["hits"] = 0
+        stats["misses"] = 0
+    from .optimize import clear_dce_cache
+
+    clear_dce_cache()

@@ -157,49 +157,77 @@ _INPLACE_KERNELS = {
 class _CompiledChain:
     """One fused super-step, prepared once per run.
 
-    Each member is resolved to ``(kernel, a_name, b_name, rows)`` where a
-    ``None`` operand name means "the previous member's output" — so the
-    per-tile inner loop does no string matching, no shape broadcasting,
-    and no allocation (outputs ping-pong between two scratch buffers,
-    reallocated only when the tile shape changes, i.e. at the final
-    partial tile)."""
+    Each member is resolved to ``(kernel, a_ref, b_ref, rows, dead)``
+    where a ref is an env name (``str``, read from the tile environment)
+    or an earlier member index (``int``, read from chain scratch) — so
+    the per-tile inner loop does no string matching and no shape
+    broadcasting. Interior scratch comes from the walk's *shared*
+    :class:`~repro.engine.optimize.BufferArena`: each member's output is
+    released the moment its last in-chain consumer has run (``dead``
+    lists the member indices dying after this member), so widened chains
+    with multi-consumer interiors hold exactly their live set, and every
+    chain in the walk recycles one common pool instead of two private
+    ping-pong slots per chain. Only the head's buffer is chain-private:
+    it outlives the evaluation (the tile environment, accumulators, and
+    assemblers read it after the chain returns) and is reallocated only
+    when the tile shape changes (the final partial tile)."""
 
-    __slots__ = ("name", "members", "slots")
+    __slots__ = ("name", "members", "_head_buf")
 
     def __init__(self, chain: FusedChain, rows: Dict[str, int]) -> None:
         self.name = chain.name
+        position = {s.name: i for i, s in enumerate(chain.steps)}
+        head = len(chain.steps) - 1
+        last_use: Dict[int, int] = {}
+        for i, step in enumerate(chain.steps):
+            for dep in step.inputs:
+                j = position.get(dep)
+                if j is not None:
+                    last_use[j] = i
+        dying: Dict[int, List[int]] = {}
+        for j, i in last_use.items():
+            if j != head:
+                dying.setdefault(i, []).append(j)
         members = []
-        prev_name: Optional[str] = None
-        for step in chain.steps:
+        for i, step in enumerate(chain.steps):
             a_name, b_name = step.inputs
             members.append((
                 _INPLACE_KERNELS[step.op],
-                None if a_name == prev_name else a_name,
-                None if b_name == prev_name else b_name,
+                position.get(a_name, a_name),
+                position.get(b_name, b_name),
                 rows[step.name],
+                tuple(dying.get(i, ())),
             ))
-            prev_name = step.name
         self.members = members
-        self.slots: List[Optional[np.ndarray]] = [None, None]
+        self._head_buf: Optional[np.ndarray] = None
 
     def evaluate(
         self,
         env: Dict[str, np.ndarray],
         select: Optional[np.ndarray],
         tile_word_count: int,
+        arena,
     ) -> np.ndarray:
-        slots = self.slots
-        prev: Optional[np.ndarray] = None
-        for i, (kernel, a_name, b_name, r) in enumerate(self.members):
-            a = prev if a_name is None else env[a_name]
-            b = prev if b_name is None else env[b_name]
-            out = slots[i & 1]
-            if out is None or out.shape[0] != r or out.shape[1] != tile_word_count:
-                out = np.empty((r, tile_word_count), dtype=_WORD_DTYPE)
-                slots[i & 1] = out
+        members = self.members
+        outs: List[Optional[np.ndarray]] = [None] * len(members)
+        head = len(members) - 1
+        for i, (kernel, a_ref, b_ref, r, dead) in enumerate(members):
+            a = outs[a_ref] if type(a_ref) is int else env[a_ref]
+            b = outs[b_ref] if type(b_ref) is int else env[b_ref]
+            if i == head:
+                out = self._head_buf
+                if out is None or out.shape[0] != r or out.shape[1] != tile_word_count:
+                    out = np.empty((r, tile_word_count), dtype=_WORD_DTYPE)
+                    self._head_buf = out
+            else:
+                # Never aliases a/b: the arena holds only dead buffers,
+                # and a live operand's release point is after this call.
+                out = arena.take(r, tile_word_count)
             kernel(a, b, select, out)
-            prev = out
-        return prev
+            outs[i] = out
+            for j in dead:
+                arena.release(outs[j])
+        return outs[head]
 
 
 # ---------------------------------------------------------------------- #
@@ -225,27 +253,66 @@ def _propagate_rows(plan: ExecutionPlan, levels: Dict[str, np.ndarray]) -> Dict[
 
 def _keep_and_exposed(
     plan: ExecutionPlan,
+    exec_plan: ExecutionPlan,
     keep: Optional[Iterable[str]],
     want_values_all: bool,
     want_op_scc: bool,
-) -> Tuple[set, set, set]:
+) -> Tuple[set, set, set, set, set]:
     """Resolve ``keep`` and derive the value-accumulated and fusion-
-    exposed node sets (shared by the sequential and parallel walks)."""
-    all_names = set(plan.node_order)
+    exposed node sets (shared by the sequential and parallel walks).
+
+    ``keep`` is validated against the *semantic* (source-graph) names of
+    ``plan``; the returned ``keep_set``/``value_nodes``/``exposed`` are
+    resolved to ``exec_plan``'s schedule representatives, while
+    ``keep_sem``/``value_sem`` retain the caller's spelling for the
+    alias expansion at the end of the walk."""
+    semantic = set(plan.semantic_order)
     if keep is None:
-        keep_set = all_names
+        keep_sem = semantic
     else:
-        keep_set = set(keep)
-        unknown = keep_set - all_names
+        keep_sem = set(keep)
+        unknown = keep_sem - semantic
         if unknown:
             raise GraphCompilationError(f"keep names not in graph: {sorted(unknown)}")
-    value_nodes = all_names if want_values_all else set(keep_set)
+    resolve = exec_plan.resolve
+    keep_set = {resolve(n) for n in keep_sem}
+    value_sem = semantic if want_values_all else set(keep_sem)
+    value_nodes = {resolve(n) for n in value_sem}
     exposed = set(keep_set) | value_nodes
     if want_op_scc:
-        for step in plan.steps:
+        for step in exec_plan.steps:
             if step.kind == "op":
                 exposed.update(step.inputs)
-    return keep_set, value_nodes, exposed
+    return keep_sem, keep_set, value_sem, value_nodes, exposed
+
+
+def _expand_aliases(
+    plan: ExecutionPlan,
+    exec_plan: ExecutionPlan,
+    kept: Dict[str, np.ndarray],
+    ones: Dict[str, np.ndarray],
+    op_scc: Dict[str, np.ndarray],
+    keep_sem: set,
+    value_sem: set,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Re-key walk results (schedule representatives) back to every
+    requested source-graph name — merged duplicates share their
+    representative's arrays, which is the whole point of the merge."""
+    if not exec_plan.alias_map:
+        return kept, ones, op_scc
+    resolve = exec_plan.resolve
+    kept = {
+        n: kept[resolve(n)]
+        for n in plan.semantic_order
+        if n in keep_sem and resolve(n) in kept
+    }
+    ones = {n: ones[resolve(n)] for n in value_sem if resolve(n) in ones}
+    op_scc = {
+        s.name: op_scc[resolve(s.name)]
+        for s in plan.semantic_steps
+        if s.kind == "op" and resolve(s.name) in op_scc
+    }
+    return kept, ones, op_scc
 
 
 def _make_sources(
@@ -299,6 +366,12 @@ def _walk_tiles(
     (:mod:`repro.engine.parallel`). Tile ``bounds`` carry *absolute*
     stream offsets, so sources window their RNGs and flush-tail carriers
     count remaining cycles identically in either caller."""
+    from .optimize import BufferArena
+
+    # One arena for the whole walk: every fused chain's interior scratch
+    # comes from (and returns to) this pool, so chains recycle each
+    # other's buffers tile after tile.
+    arena = BufferArena()
     # Tile/word totals accumulate in local ints and post once after the
     # walk — no per-tile instrumentation cost.
     tiles_done = 0
@@ -315,7 +388,7 @@ def _walk_tiles(
 
             for item in schedule:
                 if isinstance(item, _CompiledChain):
-                    env[item.name] = item.evaluate(env, select, tile_word_count)
+                    env[item.name] = item.evaluate(env, select, tile_word_count, arena)
                     name = item.name
                 elif item.kind == "source":
                     env[item.name] = sources[item.name].tile(start, stop)
@@ -342,6 +415,7 @@ def _walk_tiles(
                 if name in writers:
                     writers[name].write(start, env[name])
         walk.annotate(tiles=tiles_done, words=words_done)
+    arena.flush_counters()
     counter_add("engine.stream.tiles", tiles_done)
     counter_add("engine.stream.words", words_done)
 
@@ -364,24 +438,40 @@ def _stream_execute(
     op names to per-row SCC arrays.
     """
     with obs_span("engine.stream", length=length, tile_words=tile_words):
-        keep_set, value_nodes, exposed = _keep_and_exposed(
-            plan, keep, want_values_all, want_op_scc
+        exec_plan = plan.for_execution(levels)
+        keep_sem, keep_set, value_sem, value_nodes, exposed = _keep_and_exposed(
+            plan, exec_plan, keep, want_values_all, want_op_scc
         )
-        schedule = plan.fused_schedule(exposed if fuse else None)
+        rows = _propagate_rows(exec_plan, levels)
+
+        # Carriers are built for the *unpruned* schedule, before any
+        # dead-node elimination: a transform without a streaming carrier
+        # must be rejected whether or not the caller's keep set reaches
+        # it (same contract as the unoptimized path).
+        carriers = _make_carriers(exec_plan, length, rows)
+
+        walk_plan = exec_plan
+        if (
+            keep is not None
+            and not want_values_all
+            and not want_op_scc
+            and exec_plan.optimize_level >= 1
+        ):
+            from .optimize import dce_plan
+
+            walk_plan = dce_plan(exec_plan, frozenset(keep_set))
+
+        schedule = walk_plan.fused_schedule(exposed if fuse else None)
         fused_chains = sum(1 for item in schedule if isinstance(item, FusedChain))
 
-        rows = _propagate_rows(plan, levels)
-
-        # Per-run state: tile sources, transform carriers, accumulators,
-        # assemblers, scratch buffers.
-        sources = _make_sources(plan, levels)
-        carriers = _make_carriers(plan, length, rows)
+        sources = _make_sources(walk_plan, levels)
 
         vacc = {name: ValueAccumulator(length) for name in value_nodes}
         sccacc: Dict[str, OverlapAccumulator] = {}
         if want_op_scc:
             sccacc = {
-                s.name: OverlapAccumulator(length) for s in plan.steps if s.kind == "op"
+                s.name: OverlapAccumulator(length)
+                for s in walk_plan.steps if s.kind == "op"
             }
         assemblers = {name: TileAssembler(rows[name], length) for name in keep_set}
         schedule = [
@@ -389,7 +479,9 @@ def _stream_execute(
             for item in schedule
         ]
 
-        needs_select = any(s.op == "scaled_add" for s in plan.steps if s.kind == "op")
+        needs_select = any(
+            s.op == "scaled_add" for s in walk_plan.steps if s.kind == "op"
+        )
 
         _walk_tiles(
             schedule, sources, carriers, tile_bounds(length, tile_words),
@@ -397,9 +489,15 @@ def _stream_execute(
             writers=assemblers,
         )
 
-        kept = {name: assemblers[name].words for name in plan.node_order if name in assemblers}
+        kept = {
+            name: assemblers[name].words
+            for name in walk_plan.node_order if name in assemblers
+        }
         ones = {name: acc.ones for name, acc in vacc.items()}
         op_scc = {name: acc.scc() for name, acc in sccacc.items()}
+        kept, ones, op_scc = _expand_aliases(
+            plan, exec_plan, kept, ones, op_scc, keep_sem, value_sem
+        )
         return kept, ones, op_scc, fused_chains
 
 
@@ -554,7 +652,7 @@ def audit_streaming(
         name: float(count[0]) / float(length) for name, count in ones.items()
     }
     entries: List[AuditEntry] = []
-    for step in plan.steps:
+    for step in plan.semantic_steps:
         if step.kind != "op":
             continue
         required = OP_LIBRARY[step.op]["required"]

@@ -122,11 +122,36 @@ def _stream_compose_task(span_index: int):
         return composers[0].state_map, composers[1].state_map
 
 
+def _detect_window_ones(g00, g11, g01, g10, select, arena) -> np.ndarray:
+    """Edge popcounts for one detect window through arena scratch.
+
+    Computes ``z = select ? (g01 ^ g10) : (g00 ^ g11)`` with the
+    branchless MUX identity ``d1 ^ ((d1 ^ d2) & select)`` — identical on
+    0/1 bits to the ``np.where`` formulation — writing both XOR
+    differences and the mux into two recycled
+    :class:`~repro.engine.optimize.BufferArena` buffers instead of three
+    fresh ``(pairs, window)`` arrays per window.
+    """
+    d1 = arena.take_shape(g00.shape, np.uint8)
+    d2 = arena.take_shape(g00.shape, np.uint8)
+    np.bitwise_xor(g00, g11, out=d1)
+    np.bitwise_xor(g01, g10, out=d2)
+    np.bitwise_xor(d2, d1, out=d2)
+    np.bitwise_and(d2, select[None, :], out=d2)
+    np.bitwise_xor(d2, d1, out=d2)
+    ones = d2.sum(axis=1, dtype=np.int64)
+    arena.release(d1)
+    arena.release(d2)
+    return ones
+
+
 def _stream_detect_task(span_index: int, states, regen_counts) -> np.ndarray:
     """Phase 3 over one span: detect with carriers seeded at the scanned
     entry states (``states`` is None for carrier-free variants), return
     the span's edge popcount partials."""
     from ..kernels.streaming import make_pair_carrier
+
+    from ..engine.optimize import BufferArena
 
     with obs_span("pipeline.stream.detect", span=span_index):
         acc, patches, tile_words, spans = _STREAM_CTX
@@ -146,6 +171,7 @@ def _stream_detect_task(span_index: int, states, regen_counts) -> np.ndarray:
             carriers[0].set_state(states[0])
             carriers[1].set_state(states[1])
 
+        arena = BufferArena()
         edge_ones = np.zeros((pairs,), dtype=np.int64)
         for start, stop in _stream_windows(span, tile_words):
             if regen_counts is not None:
@@ -158,11 +184,9 @@ def _stream_detect_task(span_index: int, states, regen_counts) -> np.ndarray:
             if carriers[0] is not None:
                 g00, g11 = carriers[0].step(g00, g11)
                 g01, g10 = carriers[1].step(g01, g10)
-            d1 = np.bitwise_xor(g00, g11)
-            d2 = np.bitwise_xor(g01, g10)
             select = acc._detector._select_bits_window(start, stop)
-            z = np.where(select[None, :] == 1, d2, d1)
-            edge_ones += z.sum(axis=1, dtype=np.int64)
+            edge_ones += _detect_window_ones(g00, g11, g01, g10, select, arena)
+        arena.flush_counters()
         return edge_ones
 
 
@@ -385,6 +409,7 @@ class SCAccelerator:
             if parallel is not None:
                 return parallel
         from ..bitstream.streaming import tile_bounds
+        from ..engine.optimize import BufferArena
         from ..kernels.streaming import make_pair_carrier
 
         cfg = self._config
@@ -414,6 +439,7 @@ class SCAccelerator:
                     "pair transform has no streaming carrier; use backend='auto'"
                 )
 
+        arena = BufferArena()
         edge_ones = np.zeros((pairs,), dtype=np.int64)
         for start, stop in tile_bounds(n, tile_words):
             if cfg.variant == "regeneration":
@@ -428,11 +454,9 @@ class SCAccelerator:
             if carriers[0] is not None:
                 g00, g11 = carriers[0].step(g00, g11)
                 g01, g10 = carriers[1].step(g01, g10)
-            d1 = np.bitwise_xor(g00, g11)
-            d2 = np.bitwise_xor(g01, g10)
             select = self._detector._select_bits_window(start, stop)
-            z = np.where(select[None, :] == 1, d2, d1)
-            edge_ones += z.sum(axis=1, dtype=np.int64)
+            edge_ones += _detect_window_ones(g00, g11, g01, g10, select, arena)
+        arena.flush_counters()
         values = edge_ones / float(n)
         return values.reshape(tiles, bt - 1, bt - 1)
 

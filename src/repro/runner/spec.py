@@ -44,11 +44,12 @@ FIDELITIES = ("smoke", "default", "exhaustive")
 
 # Parameters that control *how* a shard executes, never *what* it
 # computes — its payload is bit-identical at any value (the parallel tile
-# scheduler's contract, tests/test_parallel_streaming.py). They are
-# excluded from content addresses, stored metadata, and manifests, so a
-# run at ``jobs=4`` hits the cache of — and archives byte-identically to
-# — a run at ``jobs=1``.
-EXECUTION_PARAMS = frozenset({"jobs"})
+# scheduler's contract, tests/test_parallel_streaming.py, and the plan
+# optimizer's, tests/test_optimizer.py). They are excluded from content
+# addresses, stored metadata, and manifests, so a run at ``jobs=4`` or
+# ``optimize=False`` hits the cache of — and archives byte-identically
+# to — a run at the defaults.
+EXECUTION_PARAMS = frozenset({"jobs", "optimize"})
 
 
 def content_params(params: Mapping[str, Any]) -> Dict[str, Any]:

@@ -4,7 +4,14 @@ import numpy as np
 
 
 def assert_backends_equivalent(
-    graph, length, *, tile_words=(7,), jobs=2, audit=False, traced=False
+    graph,
+    length,
+    *,
+    tile_words=(7,),
+    jobs=2,
+    audit=False,
+    traced=False,
+    optimize="optimized",
 ):
     """The cross-backend equivalence matrix, as one assertion.
 
@@ -19,7 +26,11 @@ def assert_backends_equivalent(
     too — float-exact, because streaming and parallel totals are the
     same integers the materialised engine counts. With ``traced=True``
     the whole matrix runs inside an active :mod:`repro.obs` session —
-    tracing must never change a result bit.
+    tracing must never change a result bit. ``optimize`` selects which
+    compiled plan drives the engine/streaming/parallel legs:
+    ``"optimized"`` (the default plan), ``"raw"``
+    (``optimize=False``), or ``"both"`` — the optimizer's bit-safety
+    contract, running the whole matrix once per plan.
     """
     import contextlib
 
@@ -27,59 +38,68 @@ def assert_backends_equivalent(
 
     with obs.observe() if traced else contextlib.nullcontext():
         _assert_backends_equivalent(
-            graph, length, tile_words=tile_words, jobs=jobs, audit=audit
+            graph,
+            length,
+            tile_words=tile_words,
+            jobs=jobs,
+            audit=audit,
+            optimize=optimize,
         )
 
 
-def _assert_backends_equivalent(graph, length, *, tile_words, jobs, audit):
+_OPTIMIZE_FLAGS = {"optimized": (True,), "raw": (False,), "both": (True, False)}
+
+
+def _assert_backends_equivalent(graph, length, *, tile_words, jobs, audit, optimize):
     from repro import engine
 
     if isinstance(tile_words, int):
         tile_words = (tile_words,)
 
     interp = graph.run(length, backend="interpreter")
-    plan = engine.compile(graph)
-    eng = plan.run(length)
-    assert list(interp) == list(eng)
-    for name in interp:
-        assert np.array_equal(interp[name], eng[name]), (
-            "interpreter vs engine", name, length,
-        )
-
-    for tw in tile_words:
-        stream = engine.run_streaming(plan, length, tile_words=tw)
-        par = engine.run_streaming(plan, length, tile_words=tw, jobs=jobs)
+    a_interp = graph.audit(length, backend="interpreter") if audit else None
+    for flag in _OPTIMIZE_FLAGS[optimize]:
+        plan = engine.compile(graph, optimize=flag)
+        eng = plan.run(length)
+        assert list(interp) == list(eng)
         for name in interp:
-            assert np.array_equal(stream.bits(name)[0], eng[name]), (
-                "engine vs streaming", name, length, tw,
-            )
-            assert np.array_equal(par.words(name), stream.words(name)), (
-                "streaming vs parallel", name, length, tw, jobs,
-            )
-            assert np.array_equal(par.ones[name], stream.ones[name]), (
-                "streaming vs parallel ones", name, length, tw, jobs,
+            assert np.array_equal(interp[name], eng[name]), (
+                "interpreter vs engine", name, length, flag,
             )
 
-    if audit:
-        a_interp = graph.audit(length, backend="interpreter")
-        a_eng = graph.audit(length, backend="engine")
-        assert a_interp.entries == a_eng.entries  # every field, float-exact
-        assert a_interp.values == a_eng.values
-        assert a_interp.expected == a_eng.expected
         for tw in tile_words:
-            a_stream = engine.audit_streaming(plan, length, tile_words=tw)
-            a_par = engine.audit_streaming(
-                plan, length, tile_words=tw, jobs=jobs
-            )
-            assert a_stream.values == a_eng.values
-            for eng_entry, got in zip(a_eng.entries, a_stream.entries):
-                assert eng_entry.node == got.node
-                assert eng_entry.measured_scc == got.measured_scc
-                assert eng_entry.measured_value == got.measured_value
-                assert eng_entry.violated == got.violated
-            assert a_par.entries == a_stream.entries
-            assert a_par.values == a_stream.values
-            assert a_par.expected == a_stream.expected
+            stream = engine.run_streaming(plan, length, tile_words=tw)
+            par = engine.run_streaming(plan, length, tile_words=tw, jobs=jobs)
+            for name in interp:
+                assert np.array_equal(stream.bits(name)[0], eng[name]), (
+                    "engine vs streaming", name, length, tw, flag,
+                )
+                assert np.array_equal(par.words(name), stream.words(name)), (
+                    "streaming vs parallel", name, length, tw, jobs, flag,
+                )
+                assert np.array_equal(par.ones[name], stream.ones[name]), (
+                    "streaming vs parallel ones", name, length, tw, jobs, flag,
+                )
+
+        if audit:
+            a_eng = plan.audit(length)
+            assert a_interp.entries == a_eng.entries  # every field, float-exact
+            assert a_interp.values == a_eng.values
+            assert a_interp.expected == a_eng.expected
+            for tw in tile_words:
+                a_stream = engine.audit_streaming(plan, length, tile_words=tw)
+                a_par = engine.audit_streaming(
+                    plan, length, tile_words=tw, jobs=jobs
+                )
+                assert a_stream.values == a_eng.values
+                for eng_entry, got in zip(a_eng.entries, a_stream.entries):
+                    assert eng_entry.node == got.node
+                    assert eng_entry.measured_scc == got.measured_scc
+                    assert eng_entry.measured_value == got.measured_value
+                    assert eng_entry.violated == got.violated
+                assert a_par.entries == a_stream.entries
+                assert a_par.values == a_stream.values
+                assert a_par.expected == a_stream.expected
 
 
 def make_pair_batch(rng_x, rng_y, n=256, step=16):
