@@ -71,12 +71,32 @@ __all__ = [
     "ValueAccumulator",
     "OverlapAccumulator",
     "TileAssembler",
+    "materialized_batch_bytes",
 ]
 
 # 4096 words = 2**18 bits = 32 KiB per stream row per tile: big enough to
 # amortise python dispatch, small enough that a whole plan's working set
 # stays cache-resident.
 DEFAULT_TILE_WORDS = 4096
+
+
+def materialized_batch_bytes(nodes: int, batch: int, length: int) -> int:
+    """Packed-buffer bytes a *materialised* batched pass would hold live.
+
+    The materialised executor keeps one ``(batch, words)`` uint64 matrix
+    per scheduled node (liveness frees some early, but the bound is what
+    a budget decision needs): ``nodes * batch * words_per_stream(length)
+    * 8`` bytes. The serving layer compares this estimate against its
+    memory budget to decide whether a coalesced group is safe to run
+    through :func:`repro.engine.executor.run_batch` or must shed load
+    into the constant-memory tile scheduler
+    (:func:`repro.engine.streaming.run_streaming`), whose working set is
+    O(batch × tile) regardless of N.
+
+    >>> materialized_batch_bytes(nodes=10, batch=32, length=2**20)
+    41943040
+    """
+    return int(nodes) * int(batch) * words_per_stream(length) * 8
 
 
 def tile_count(length: int, tile_words: int = DEFAULT_TILE_WORDS) -> int:

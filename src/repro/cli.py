@@ -20,7 +20,16 @@ Commands:
   :mod:`repro.engine` and print its execution plan (levels, packed vs
   FSM nodes, plan-cache hits/misses) next to the audit table;
 * ``audit <graph> [--fix]`` — engine-backed correlation audit of a
-  named graph, optionally with the autofix pass applied.
+  named graph, optionally with the autofix pass applied;
+* ``serve [--port P] [--window-ms W] [--max-batch B]`` — long-lived
+  micro-batching front-end (:mod:`repro.serve`): concurrent run/audit
+  requests sharing a plan coalesce into single batched engine passes,
+  byte-identical to solo service;
+* ``client <kind> [target]`` — one-shot request against a running
+  server (``ping`` / ``stats`` / ``run`` / ``audit`` / ``spec`` /
+  ``shutdown``), response printed as JSON;
+* ``bench-serve [--concurrency C]`` — closed-loop load against a
+  running server, printing throughput and latency percentiles.
 
 Fidelity presets trade sweep resolution for runtime (``exhaustive`` is
 the paper's setting and what the benchmark suite archives; ``smoke`` is
@@ -210,6 +219,66 @@ def build_parser() -> argparse.ArgumentParser:
     audit_p.add_argument("--tolerance", type=float, default=0.35)
     audit_p.add_argument("--fix", action="store_true",
                          help="also run autofix and re-audit the fixed graph")
+
+    from .serve.protocol import DEFAULT_PORT
+
+    serve_p = sub.add_parser(
+        "serve", help="long-lived micro-batching engine server"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help="TCP port (0 picks a free one)")
+    serve_p.add_argument("--window-ms", type=float, default=3.0,
+                         help="micro-batch window; concurrent requests "
+                              "sharing a plan coalesce within it")
+    serve_p.add_argument("--max-batch", type=int, default=32,
+                         help="flush a group early at this size")
+    serve_p.add_argument("--budget-mb", type=int, default=256,
+                         help="materialised-footprint budget before a "
+                              "group sheds into streaming execution")
+    serve_p.add_argument("--jobs", type=_jobs_arg, default=1,
+                         help="span workers for shed streaming passes")
+    serve_p.add_argument("--workers", type=int, default=1,
+                         help="engine worker threads")
+    serve_p.add_argument("--tile-words", type=_tile_words_arg, default=4096)
+    serve_p.add_argument("--store", type=pathlib.Path, default=None,
+                         help="result store for the response cache and obs "
+                              "spool (default: $REPRO_STORE or "
+                              "./.repro-store)")
+    serve_p.add_argument("--no-store", action="store_true",
+                         help="disable the response cache and obs spool")
+
+    client_p = sub.add_parser(
+        "client", help="send one request to a running server"
+    )
+    client_p.add_argument("kind",
+                          choices=["ping", "stats", "run", "audit", "spec",
+                                   "shutdown"])
+    client_p.add_argument("target", nargs="?", default=None,
+                          help="graph name (run/audit) or spec name (spec)")
+    client_p.add_argument("--host", default="127.0.0.1")
+    client_p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    client_p.add_argument("--length", type=_length_arg, default=256)
+    client_p.add_argument("--tolerance", type=float, default=0.35)
+    client_p.add_argument("--value", action="append", default=[],
+                          metavar="SOURCE=V",
+                          help="source value override (repeatable)")
+    client_p.add_argument("--fidelity", default="smoke")
+    client_p.add_argument("--seed", type=int, default=None)
+
+    bench_serve_p = sub.add_parser(
+        "bench-serve", help="closed-loop load against a running server"
+    )
+    bench_serve_p.add_argument("--host", default="127.0.0.1")
+    bench_serve_p.add_argument("--port", type=int, default=DEFAULT_PORT)
+    bench_serve_p.add_argument("--concurrency", type=int, default=16)
+    bench_serve_p.add_argument("--requests", type=int, default=8,
+                               help="requests per worker")
+    bench_serve_p.add_argument("--graph", choices=sorted(GRAPH_LIBRARY),
+                               default="depth8")
+    bench_serve_p.add_argument("--length", type=_length_arg, default=16384)
+    bench_serve_p.add_argument("--kind", choices=["audit", "run"],
+                               default="audit")
     return parser
 
 
@@ -346,13 +415,23 @@ def _cmd_stats(args) -> int:
     store = _make_store(args.store)
     directory = _obs_dir(store)
     docs = sorted(directory.glob("stats-*.json")) if directory.exists() else []
-    if not docs:
+    spools = sorted(directory.glob("serve-*.jsonl")) if directory.exists() else []
+    if not docs and not spools:
         print(f"error: no stats documents under {directory} "
               "(run with --trace or --profile first)", file=sys.stderr)
         return 1
-    newest = docs[-1]
-    print(f"[obs] {newest}")
-    print(obs.render_stats(json.loads(newest.read_text())))
+    merged = []
+    if docs:
+        newest = docs[-1]
+        print(f"[obs] {newest}")
+        merged.append(json.loads(newest.read_text()))
+    if spools:
+        # Serve spools are per-process delta streams; one read aggregates
+        # every connection's counters across server restarts.
+        print(f"[obs] {len(spools)} serve spool(s) under {directory}")
+        merged.append(obs.stats_doc(obs.read_spool_trace(spools)))
+    doc = merged[0] if len(merged) == 1 else obs.merge_stats_docs(merged)
+    print(obs.render_stats(doc))
     return 0
 
 
@@ -499,6 +578,99 @@ def _cmd_costs() -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig, serve_forever
+
+    store_root = None
+    if not args.no_store:
+        store_root = str(_make_store(args.store).root)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        window_ms=args.window_ms,
+        max_batch=args.max_batch,
+        budget_bytes=args.budget_mb * 1024 * 1024,
+        stream_jobs=args.jobs,
+        tile_words=args.tile_words,
+        store_root=store_root,
+        workers=args.workers,
+    )
+    try:
+        serve_forever(config)
+    except KeyboardInterrupt:
+        print("[serve] interrupted")
+    return 0
+
+
+def _parse_value_overrides(pairs: List[str]) -> dict:
+    values = {}
+    for pair in pairs:
+        name, _, text = pair.partition("=")
+        if not name or not text:
+            raise SystemExit(f"error: --value expects SOURCE=V, got {pair!r}")
+        try:
+            values[name] = float(text)
+        except ValueError:
+            raise SystemExit(f"error: --value {pair!r}: not a number")
+    return values
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from .serve import ServeClient
+
+    payload = {"kind": args.kind}
+    if args.kind in ("run", "audit"):
+        if args.target is None:
+            print("error: run/audit need a graph name", file=sys.stderr)
+            return 2
+        payload.update(graph=args.target, length=args.length)
+        values = _parse_value_overrides(args.value)
+        if values:
+            payload["values"] = values
+        if args.kind == "audit":
+            payload["tolerance"] = args.tolerance
+    elif args.kind == "spec":
+        if args.target is None:
+            print("error: spec requests need a spec name", file=sys.stderr)
+            return 2
+        payload.update(spec=args.target, fidelity=args.fidelity)
+        if args.seed is not None:
+            payload["seed"] = args.seed
+    with ServeClient(args.host, args.port) as client:
+        response = client.request(payload)
+    print(json.dumps(response, indent=1, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+def _cmd_bench_serve(args) -> int:
+    from .serve import ServeClient
+    from .serve.loadgen import audit_request, run_load, run_request
+
+    make = audit_request if args.kind == "audit" else run_request
+    report_ = run_load(
+        args.host, args.port,
+        concurrency=args.concurrency,
+        per_worker=args.requests,
+        make_request=lambda i: make(args.graph, args.length, i),
+    )
+    print(render_table(
+        ["requests", "errors", "rps", "p50 ms", "p99 ms", "max batch"],
+        [[report_.requests, report_.errors,
+          round(report_.throughput_rps, 1), round(report_.p50_ms, 2),
+          round(report_.p99_ms, 2), report_.coalesced_max]],
+        title=(f"bench-serve — {args.kind} {args.graph} N={args.length}, "
+               f"concurrency {args.concurrency}"),
+    ))
+    with ServeClient(args.host, args.port) as client:
+        counters = client.stats()["counters"]
+    batched = counters.get("serve.coalesce.batched", 0)
+    solo = counters.get("serve.coalesce.solo", 0)
+    print(f"server counters: batched={batched} solo={solo}")
+    return 0 if report_.errors == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -517,6 +689,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                            args.profile, args.trace, args.no_optimize)
     if args.command == "audit":
         return _cmd_audit(args.graph, args.length, args.tolerance, args.fix)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
+    if args.command == "bench-serve":
+        return _cmd_bench_serve(args)
     return _cmd_costs()
 
 

@@ -35,6 +35,8 @@ prints them next to the plan.
 
 from __future__ import annotations
 
+import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
@@ -63,11 +65,31 @@ PLAN_CACHE_MAXSIZE = 256
 # raw plans of the same graph coexist — `repro engine --no-optimize`
 # after a default compile hits its own entry instead of evicting or
 # shadowing the optimized one.
+#
+# All cache mutation happens under _PLAN_LOCK: the serving layer compiles
+# plans from asyncio worker-executor threads, and an unguarded
+# OrderedDict move_to_end/popitem pair racing across threads can corrupt
+# the dict's internal links. Compilation itself runs outside the lock —
+# two threads may build the same plan concurrently and last-write-wins,
+# which is harmless because equal signatures produce equivalent plans.
+# The at-fork hook rebinds a fresh lock in children (same hygiene as the
+# executor's sequence memos): a fork taken while another thread held the
+# lock must not deadlock the child.
+_PLAN_LOCK = threading.Lock()
 _PLAN_CACHE: "OrderedDict[tuple, ExecutionPlan]" = OrderedDict()
 _CACHE_STATS = {
     0: {"hits": 0, "misses": 0},
     1: {"hits": 0, "misses": 0},
 }
+
+
+def _reinit_plan_lock_after_fork() -> None:
+    global _PLAN_LOCK
+    _PLAN_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows (spawn starts clean)
+    os.register_at_fork(after_in_child=_reinit_plan_lock_after_fork)
 
 
 @dataclass(frozen=True)
@@ -596,18 +618,25 @@ def compile_graph(
     level = 1 if optimize else 0
     signature = graph_signature(graph)
     if use_cache:
-        cached = _PLAN_CACHE.get((signature, level))
+        with _PLAN_LOCK:
+            cached = _PLAN_CACHE.get((signature, level))
+            if cached is not None:
+                _CACHE_STATS[level]["hits"] += 1
+                _PLAN_CACHE.move_to_end((signature, level))
+            else:
+                _CACHE_STATS[level]["misses"] += 1
         if cached is not None:
-            _CACHE_STATS[level]["hits"] += 1
             counter_add("engine.plan.cache.hit")
-            _PLAN_CACHE.move_to_end((signature, level))
             return cached
-        _CACHE_STATS[level]["misses"] += 1
         counter_add("engine.plan.cache.miss")
     # The raw plan is needed at both levels (it IS level 0, and level 1
     # keeps it as the fallback twin); reuse a cached one silently — only
     # the *requested* level counts toward the public hit/miss stats.
-    raw = _PLAN_CACHE.get((signature, 0)) if use_cache else None
+    if use_cache:
+        with _PLAN_LOCK:
+            raw = _PLAN_CACHE.get((signature, 0))
+    else:
+        raw = None
     if raw is None:
         with obs_span("engine.plan.compile", nodes=len(graph)) as sp:
             raw = _build_plan(graph, signature)
@@ -622,12 +651,13 @@ def compile_graph(
     else:
         plan = raw
     if use_cache:
-        _PLAN_CACHE[(signature, 0)] = raw
-        _PLAN_CACHE.move_to_end((signature, 0))
-        _PLAN_CACHE[(signature, level)] = plan
-        _PLAN_CACHE.move_to_end((signature, level))
-        while len(_PLAN_CACHE) > PLAN_CACHE_MAXSIZE:
-            _PLAN_CACHE.popitem(last=False)
+        with _PLAN_LOCK:
+            _PLAN_CACHE[(signature, 0)] = raw
+            _PLAN_CACHE.move_to_end((signature, 0))
+            _PLAN_CACHE[(signature, level)] = plan
+            _PLAN_CACHE.move_to_end((signature, level))
+            while len(_PLAN_CACHE) > PLAN_CACHE_MAXSIZE:
+                _PLAN_CACHE.popitem(last=False)
     return plan
 
 
@@ -639,32 +669,34 @@ def cache_info() -> Dict[str, object]:
     totals, plus a ``levels`` breakdown per optimization level (the
     cache keys entries per level, so the stats report per level too)."""
     sizes = {0: 0, 1: 0}
-    for _, level in _PLAN_CACHE:
-        sizes[level] += 1
-    return {
-        "hits": sum(s["hits"] for s in _CACHE_STATS.values()),
-        "misses": sum(s["misses"] for s in _CACHE_STATS.values()),
-        "size": len(_PLAN_CACHE),
-        "maxsize": PLAN_CACHE_MAXSIZE,
-        "levels": {
-            _LEVEL_LABELS[level]: {
-                "hits": stats["hits"],
-                "misses": stats["misses"],
-                "size": sizes[level],
-            }
-            for level, stats in _CACHE_STATS.items()
-        },
-    }
+    with _PLAN_LOCK:
+        for _, level in _PLAN_CACHE:
+            sizes[level] += 1
+        return {
+            "hits": sum(s["hits"] for s in _CACHE_STATS.values()),
+            "misses": sum(s["misses"] for s in _CACHE_STATS.values()),
+            "size": len(_PLAN_CACHE),
+            "maxsize": PLAN_CACHE_MAXSIZE,
+            "levels": {
+                _LEVEL_LABELS[level]: {
+                    "hits": stats["hits"],
+                    "misses": stats["misses"],
+                    "size": sizes[level],
+                }
+                for level, stats in _CACHE_STATS.items()
+            },
+        }
 
 
 def clear_cache() -> None:
     """Drop every cached plan — both optimization levels — and reset the
     per-level hit/miss counters, plus the optimizer's pruned-plan memo
     (derived from cached plans, so it must not outlive them)."""
-    _PLAN_CACHE.clear()
-    for stats in _CACHE_STATS.values():
-        stats["hits"] = 0
-        stats["misses"] = 0
+    with _PLAN_LOCK:
+        _PLAN_CACHE.clear()
+        for stats in _CACHE_STATS.values():
+            stats["hits"] = 0
+            stats["misses"] = 0
     from .optimize import clear_dce_cache
 
     clear_dce_cache()

@@ -39,7 +39,9 @@ Recording API (all no-ops while disabled):
 from . import metrics as _metrics
 from . import tracer as _tracer
 from .export import (
+    merge_stats_docs,
     profile_tree,
+    read_spool_trace,
     render_stats,
     stats_doc,
     to_chrome_trace,
@@ -52,6 +54,7 @@ from .tracer import (
     Tracer,
     collect_children,
     current_tracer,
+    drain_spool,
     enabled,
     observe,
     span,
@@ -63,9 +66,10 @@ __all__ = [
     "Span", "Trace", "Tracer",
     "span", "counter_add", "gauge_set", "histogram_record",
     "start", "stop", "observe", "enabled", "collect_children",
-    "current_tracer", "metrics_snapshot",
+    "current_tracer", "metrics_snapshot", "drain_spool",
     "to_chrome_trace", "write_chrome_trace", "validate_chrome_trace",
     "stats_doc", "render_stats", "profile_tree",
+    "read_spool_trace", "merge_stats_docs",
 ]
 
 

@@ -30,6 +30,7 @@ from .tracer import Trace
 __all__ = [
     "to_chrome_trace", "write_chrome_trace", "validate_chrome_trace",
     "stats_doc", "render_stats", "profile_tree",
+    "read_spool_trace", "merge_stats_docs",
 ]
 
 
@@ -117,6 +118,112 @@ def validate_chrome_trace(doc: Dict[str, Any]) -> Dict[str, int]:
 
 
 # ---------------------------------------------------------------------- #
+# Spool aggregation (long-lived servers)
+# ---------------------------------------------------------------------- #
+
+def _merge_metrics_snapshots(into: Dict[str, Any], other: Dict[str, Any]) -> None:
+    """Pure (registry-free) twin of :func:`repro.obs.metrics.merge` —
+    folds ``other`` into ``into`` with the same semantics: counters sum,
+    gauges last-write-wins, histograms merge element-wise."""
+    for name, value in other.get("counters", {}).items():
+        counters = into.setdefault("counters", {})
+        counters[name] = counters.get(name, 0) + value
+    for name, value in other.get("gauges", {}).items():
+        into.setdefault("gauges", {})[name] = value
+    for name, theirs in other.get("histograms", {}).items():
+        histograms = into.setdefault("histograms", {})
+        hist = histograms.get(name)
+        if hist is None:
+            histograms[name] = {**theirs, "buckets": dict(theirs["buckets"])}
+            continue
+        hist["count"] += theirs["count"]
+        hist["sum"] += theirs["sum"]
+        hist["min"] = min(hist["min"], theirs["min"])
+        hist["max"] = max(hist["max"], theirs["max"])
+        for label, count in theirs["buckets"].items():
+            hist["buckets"][label] = hist["buckets"].get(label, 0) + count
+
+
+def read_spool_trace(paths: Union[List, tuple]) -> Trace:
+    """Reassemble a :class:`Trace` from drained spool files.
+
+    ``paths`` are JSONL files written by
+    :func:`repro.obs.tracer.drain_spool` (the ``repro serve`` obs spool
+    under ``<store>/obs/serve-<pid>.jsonl``). Records aggregate across
+    every file and line — span lists concatenate with parent indices
+    rebased, metrics deltas sum — so one server process's many
+    connections, or several server processes sharing a store, collapse
+    into a single coherent trace. Unreadable files and malformed lines
+    are skipped (a server may be appending while we read; JSONL keeps
+    complete lines valid).
+    """
+    spans: List[Dict[str, Any]] = []
+    metrics: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    pids: List[int] = []
+    for path in paths:
+        try:
+            lines = pathlib.Path(path).read_text().splitlines()
+        except OSError:
+            continue
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            offset = len(spans)
+            for rec in record.get("spans", ()):
+                if rec.get("parent", -1) >= 0:
+                    rec["parent"] += offset
+            spans.extend(record.get("spans", ()))
+            _merge_metrics_snapshots(metrics, record.get("metrics", {}))
+            pid = record.get("pid")
+            if pid is not None and pid not in pids:
+                pids.append(pid)
+    return Trace(
+        spans=spans,
+        metrics=metrics,
+        meta={"origin_pid": pids[0] if pids else None, "spooled": True},
+    )
+
+
+def merge_stats_docs(docs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold several stats documents into one.
+
+    Metrics merge with snapshot semantics, span aggregates sum
+    (``processes`` saturates at the max contribution — pids are already
+    collapsed to counts per doc), and the derived rates are recomputed
+    from the merged counters. ``meta`` keeps the first doc's fields and
+    counts the sources. This is how ``repro stats`` lays serve-spool
+    aggregates alongside a traced run's persisted document.
+    """
+    merged_metrics: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    merged_spans: Dict[str, Dict[str, Any]] = {}
+    meta: Dict[str, Any] = {}
+    for doc in docs:
+        if not meta:
+            meta = dict(doc.get("meta", {}))
+        _merge_metrics_snapshots(merged_metrics, doc.get("metrics", {}))
+        for name, agg in doc.get("spans", {}).items():
+            into = merged_spans.setdefault(
+                name, {"count": 0, "wall_ms": 0.0, "cpu_ms": 0.0, "processes": 0}
+            )
+            into["count"] += agg["count"]
+            into["wall_ms"] = round(into["wall_ms"] + agg["wall_ms"], 3)
+            into["cpu_ms"] = round(into["cpu_ms"] + agg["cpu_ms"], 3)
+            into["processes"] = max(into["processes"], agg["processes"])
+    meta["merged_docs"] = len(docs)
+    return {
+        "meta": meta,
+        "metrics": merged_metrics,
+        "derived": _derived_rates(merged_metrics.get("counters", {})),
+        "spans": merged_spans,
+    }
+
+
+# ---------------------------------------------------------------------- #
 # Flat stats document
 # ---------------------------------------------------------------------- #
 
@@ -127,10 +234,8 @@ def _rate(hits: float, misses: float) -> Optional[float]:
     return hits / total
 
 
-def stats_doc(trace: Trace) -> Dict[str, Any]:
-    """Flat JSON stats: metrics, derived hit rates, span aggregates."""
-    counters = trace.metrics.get("counters", {})
-    derived = {
+def _derived_rates(counters: Dict[str, Any]) -> Dict[str, Optional[float]]:
+    return {
         "plan_cache_hit_rate": _rate(
             counters.get("engine.plan.cache.hit", 0),
             counters.get("engine.plan.cache.miss", 0),
@@ -147,7 +252,18 @@ def stats_doc(trace: Trace) -> Dict[str, Any]:
             counters.get("store.read.hit", 0),
             counters.get("store.read.miss", 0),
         ),
+        # Fraction of served requests that rode a coalesced batch — the
+        # serving layer's amortization quality in one number.
+        "serve_coalesce_rate": _rate(
+            counters.get("serve.coalesce.batched", 0),
+            counters.get("serve.coalesce.solo", 0),
+        ),
     }
+
+
+def stats_doc(trace: Trace) -> Dict[str, Any]:
+    """Flat JSON stats: metrics, derived hit rates, span aggregates."""
+    derived = _derived_rates(trace.metrics.get("counters", {}))
     aggregates: Dict[str, Dict[str, Any]] = {}
     for rec in trace.spans:
         agg = aggregates.setdefault(

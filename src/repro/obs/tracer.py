@@ -48,7 +48,7 @@ from typing import Any, Dict, List, Optional
 from . import metrics as _metrics
 
 __all__ = ["Span", "Trace", "Tracer", "span", "start", "stop", "observe",
-           "enabled", "collect_children", "current_tracer"]
+           "enabled", "collect_children", "current_tracer", "drain_spool"]
 
 _STACK: ContextVar[tuple] = ContextVar("repro_obs_stack", default=())
 
@@ -211,6 +211,47 @@ def _flush_child(tracer: Tracer) -> None:
     path = os.path.join(tracer.spool, f"obs-{os.getpid()}.jsonl")
     with open(path, "a") as fh:
         fh.write(json.dumps(record) + "\n")
+
+
+def drain_spool(path) -> int:
+    """Append the live session's buffered spans + metrics delta to the
+    JSONL spool file at ``path``, then reset the buffers.
+
+    The long-lived-server counterpart of a forked child's root-span
+    flush: a process that never *ends* its session (``repro serve``)
+    drains after every micro-batch flush instead, so its spans and
+    counters are durably on disk — and visible to ``repro stats`` via
+    :func:`repro.obs.read_spool_trace` — even if the server is later
+    killed without a clean :func:`stop`. Records use the same JSONL
+    shape as the fork spool (``{"pid", "spans", "metrics"}``); metrics
+    reset on drain, so successive records carry disjoint deltas that sum
+    back to session totals. Returns the number of spans drained; no-op
+    (returns 0) while tracing is disabled or nothing is buffered.
+
+    Spans still *open* in another thread at drain time are written with
+    their creation-time snapshot (zero duration) and spans opened after
+    the reset may mis-parent in the profile tree; counters, gauges, and
+    histograms stay exact (they merge commutatively). Callers that care
+    about span fidelity drain at quiet points — the server drains after
+    each batch completes.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return 0
+    record = {
+        "pid": os.getpid(),
+        "spans": tracer.spans,
+        "metrics": _metrics.snapshot(),
+    }
+    if not record["spans"] and not any(record["metrics"].values()):
+        return 0
+    tracer.spans = []
+    _metrics.reset()
+    path = os.fspath(path)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record) + "\n")
+    return len(record["spans"])
 
 
 def collect_children() -> int:

@@ -29,7 +29,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import pathlib
+import tempfile
 from typing import Any, Dict, Iterator, List, Mapping, Optional
 
 import numpy as np
@@ -80,6 +82,33 @@ def jsonify(obj: Any) -> Any:
 
 def _seed_tag(seed: Optional[int]) -> str:
     return "default" if seed is None else str(seed)
+
+
+def _write_atomic(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically and last-writer-wins-safe.
+
+    The temp file gets a *unique* name per writer (``mkstemp``), so two
+    processes (or threads) racing to store the same content key each
+    write their own complete file and the final ``os.replace`` publishes
+    whichever finished last — a reader can never observe a torn record.
+    A shared ``.tmp`` sibling name would let writer B truncate the file
+    writer A is about to rename into place.
+    """
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.stem}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        # Don't leave orphaned temp files behind on write failure or
+        # KeyboardInterrupt; the replace above is the success path.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 class ResultStore:
@@ -153,9 +182,7 @@ class ResultStore:
                 "meta": jsonify(dict(meta or {})),
                 "payload": jsonify(payload),
             }
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(record, indent=1) + "\n")
-            tmp.replace(path)
+            _write_atomic(path, json.dumps(record, indent=1) + "\n")
             return path
 
     def entries(self) -> Iterator[dict]:
@@ -201,9 +228,7 @@ class ResultStore:
             "params": jsonify(dict(params)),
             "shards": shard_keys,
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(manifest, indent=1) + "\n")
-        tmp.replace(path)
+        _write_atomic(path, json.dumps(manifest, indent=1) + "\n")
         return path
 
     def read_manifest(

@@ -1,0 +1,147 @@
+"""Closed-loop load generator for the serving front-end.
+
+``concurrency`` worker threads each hold one connection and issue
+``per_worker`` sequential requests; wall-clock throughput and latency
+percentiles come from the union of all workers' samples. Shared by
+``repro bench-serve`` and ``benchmarks/bench_serve.py`` — the benchmark
+harness layers the coalescing-on/off comparison and the byte-identity
+assertion on top.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .client import ServeClient
+
+__all__ = ["LoadReport", "run_load", "audit_request", "run_request"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one closed-loop load run."""
+
+    requests: int
+    errors: int
+    duration_s: float
+    throughput_rps: float
+    p50_ms: float
+    p99_ms: float
+    responses: List[Dict[str, Any]] = field(repr=False, default_factory=list)
+
+    @property
+    def coalesced_max(self) -> int:
+        """Largest batch any response rode in."""
+        sizes = [
+            r.get("meta", {}).get("coalesced", 1)
+            for r in self.responses if r.get("ok")
+        ]
+        return max(sizes, default=0)
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "coalesced_max": self.coalesced_max,
+        }
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample list."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def audit_request(graph: str, length: int, i: int) -> Dict[str, Any]:
+    """A depth-chain audit request with per-``i`` distinct source values
+    (so coalesced groups exercise the batched value merge, not the
+    single-shared-row degenerate case)."""
+    return {
+        "kind": "audit",
+        "graph": graph,
+        "length": length,
+        "values": {"src0": round(0.05 + 0.9 * ((i * 37) % 97) / 96.0, 6)},
+    }
+
+
+def run_request(graph: str, length: int, i: int) -> Dict[str, Any]:
+    """A run request with per-``i`` distinct source values."""
+    return {
+        "kind": "run",
+        "graph": graph,
+        "length": length,
+        "values": {"src0": round(0.05 + 0.9 * ((i * 53) % 89) / 88.0, 6)},
+    }
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    concurrency: int,
+    per_worker: int,
+    make_request: Callable[[int], Dict[str, Any]],
+    timeout: float = 300.0,
+    keep_responses: bool = True,
+) -> LoadReport:
+    """Drive the server with ``concurrency`` closed-loop workers.
+
+    ``make_request(i)`` builds the *i*-th global request (workers
+    interleave ``i`` so value diversity spreads across the fleet).
+    """
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    responses: List[List[Dict[str, Any]]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(w: int) -> None:
+        with ServeClient(host, port, timeout=timeout) as client:
+            barrier.wait()
+            for j in range(per_worker):
+                i = w * per_worker + j
+                t0 = time.perf_counter()
+                try:
+                    response = client.request(make_request(i))
+                except (ConnectionError, OSError):
+                    errors[w] += 1
+                    return
+                latencies[w].append((time.perf_counter() - t0) * 1000.0)
+                if not response.get("ok"):
+                    errors[w] += 1
+                elif keep_responses:
+                    responses[w].append(response)
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), daemon=True)
+        for w in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for t in threads:
+        t.join(timeout=timeout)
+    duration = time.perf_counter() - started
+
+    flat_latencies = [x for per in latencies for x in per]
+    flat_responses = [r for per in responses for r in per]
+    total = len(flat_latencies)
+    return LoadReport(
+        requests=total,
+        errors=sum(errors),
+        duration_s=duration,
+        throughput_rps=total / duration if duration > 0 else 0.0,
+        p50_ms=_percentile(flat_latencies, 50.0),
+        p99_ms=_percentile(flat_latencies, 99.0),
+        responses=flat_responses,
+    )

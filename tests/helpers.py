@@ -12,6 +12,7 @@ def assert_backends_equivalent(
     audit=False,
     traced=False,
     optimize="optimized",
+    serve=False,
 ):
     """The cross-backend equivalence matrix, as one assertion.
 
@@ -30,7 +31,11 @@ def assert_backends_equivalent(
     compiled plan drives the engine/streaming/parallel legs:
     ``"optimized"`` (the default plan), ``"raw"``
     (``optimize=False``), or ``"both"`` — the optimizer's bit-safety
-    contract, running the whole matrix once per plan.
+    contract, running the whole matrix once per plan. With
+    ``serve=True`` the serving axis joins the matrix: the micro-batch
+    group executor (:func:`repro.serve.batcher.execute_group`) must
+    return bit-identical streams and byte-identical payloads whether a
+    request is served solo or coalesced between other requests.
     """
     import contextlib
 
@@ -44,13 +49,16 @@ def assert_backends_equivalent(
             jobs=jobs,
             audit=audit,
             optimize=optimize,
+            serve=serve,
         )
 
 
 _OPTIMIZE_FLAGS = {"optimized": (True,), "raw": (False,), "both": (True, False)}
 
 
-def _assert_backends_equivalent(graph, length, *, tile_words, jobs, audit, optimize):
+def _assert_backends_equivalent(
+    graph, length, *, tile_words, jobs, audit, optimize, serve=False
+):
     from repro import engine
 
     if isinstance(tile_words, int):
@@ -100,6 +108,56 @@ def _assert_backends_equivalent(graph, length, *, tile_words, jobs, audit, optim
                 assert a_par.entries == a_stream.entries
                 assert a_par.values == a_stream.values
                 assert a_par.expected == a_stream.expected
+
+        if serve:
+            _assert_serve_equivalent(plan, length, interp, audit=audit)
+
+
+def _assert_serve_equivalent(plan, length, interp, *, audit):
+    """The serving axis: solo == coalesced == engine, bit for bit.
+
+    Goes through :func:`repro.serve.batcher.execute_group` directly
+    (the exact code path the asyncio server dispatches to), with the
+    middle request of a coalesced group compared byte-for-byte against
+    its solo service and its streams against the interpreter's.
+    """
+    from repro.bitstream.packed import unpack_bits
+    from repro.serve.batcher import execute_group
+    from repro.serve.protocol import ServeRequest, b64_to_words, canonical_result
+
+    probe = ServeRequest(id="solo", kind="run", graph="g", length=length, bits=True)
+    solo = execute_group([probe], plan)[0]
+    assert solo["ok"], solo
+    for name in interp:
+        words = b64_to_words(solo["result"]["words"][name]).reshape(1, -1)
+        assert np.array_equal(unpack_bits(words, length)[0], interp[name]), (
+            "interpreter vs serve", name, length,
+        )
+
+    src = plan.source_names[0]
+    flank_a = ServeRequest(
+        id="a", kind="run", graph="g", length=length,
+        values=((src, 0.25),), bits=True,
+    )
+    flank_b = ServeRequest(
+        id="b", kind="run", graph="g", length=length,
+        values=((src, 0.875),), bits=True,
+    )
+    grouped = execute_group([flank_a, probe, flank_b], plan)
+    assert canonical_result(grouped[1]["result"]) == canonical_result(
+        solo["result"]
+    ), ("serve solo vs coalesced", length)
+
+    if audit:
+        a_probe = ServeRequest(id="solo", kind="audit", graph="g", length=length)
+        a_solo = execute_group([a_probe], plan)[0]
+        a_flank = ServeRequest(
+            id="a", kind="audit", graph="g", length=length, values=((src, 0.25),)
+        )
+        a_grouped = execute_group([a_flank, a_probe], plan)
+        assert canonical_result(a_grouped[1]["result"]) == canonical_result(
+            a_solo["result"]
+        ), ("serve audit solo vs coalesced", length)
 
 
 def make_pair_batch(rng_x, rng_y, n=256, step=16):
