@@ -33,14 +33,23 @@ maps compose. Plans containing a transform without a composer (series
 compositions) and single-tile streams fall back to the sequential walk
 — silently, because the results are identical either way.
 
-Workers are forked (the plan, with its unpicklable transform closures,
-travels by address-space inheritance; entry states, the only per-task
-payload, are small arrays) and inherit the engine's memo caches as of
-the fork instant; the ``os.register_at_fork`` hooks in
-:mod:`repro.engine.executor` / :mod:`repro.engine.streaming` rebind
-their locks in every child, so the pool is safe even under a threaded
-parent. Platforms without ``fork`` run the span tasks inline — same
-code path, same bits, no parallelism.
+Workers come from the **persistent pool** (:mod:`repro.engine.pool`)
+when it will serve this caller: long-lived forked processes that keep
+plan, kernel, and sequence caches warm across calls, receive the walk
+plan by pickle at most once (token-keyed worker cache), and write kept
+nodes' packed words straight into parent-owned shared-memory blocks
+(:class:`~repro.engine.pool.SharedSink`) instead of pickling span
+buffers back. When the pool declines (``--no-pool``, nested fork, a
+plan whose transform closures don't pickle, a concurrent pooled call)
+the original fork-per-call path runs: workers forked per call inherit
+the plan — including unpicklable closures — by address space, and
+entry states, the only per-task payload, are small arrays. The
+``os.register_at_fork`` hooks in :mod:`repro.engine.executor` /
+:mod:`repro.engine.streaming` rebind their locks in every child, so
+both pools are safe even under a threaded parent. Platforms without
+``fork`` run the span tasks inline — same code path, same bits, no
+parallelism. Bit-identity across all three lanes (pooled, forked,
+inline) is enforced by ``tests/helpers.assert_backends_equivalent``.
 """
 
 from __future__ import annotations
@@ -64,6 +73,7 @@ from ..obs import collect_children, counter_add
 from ..obs import span as obs_span
 from .executor import _OP_KERNELS
 from .plan import ExecutionPlan, FusedChain
+from .pool import SharedSink, pool_call
 from .streaming import (
     _CompiledChain,
     _expand_aliases,
@@ -286,16 +296,18 @@ class _SpanSink:
 
 
 def _phase3_task(
-    span_index: int, entries: Dict[int, Any]
+    span_index: int, entries: Dict[int, Any], sink_blocks=None
 ) -> Tuple[Dict[str, ValueAccumulator], Dict[str, OverlapAccumulator], Dict[str, np.ndarray]]:
     """Evaluate one span through the fused tile walk, seeded at the
-    scanned entry states; return accumulator partials + span buffers."""
+    scanned entry states; return accumulator partials + span buffers.
+    With ``sink_blocks`` (pooled dispatch), kept words land directly in
+    the parent's shared segments and the word dict returns empty."""
     with obs_span("engine.parallel.evaluate", span=span_index):
-        return _phase3_evaluate(span_index, entries)
+        return _phase3_evaluate(span_index, entries, sink_blocks)
 
 
 def _phase3_evaluate(
-    span_index: int, entries: Dict[int, Any]
+    span_index: int, entries: Dict[int, Any], sink_blocks=None
 ) -> Tuple[Dict[str, ValueAccumulator], Dict[str, OverlapAccumulator], Dict[str, np.ndarray]]:
     ctx = _CTX
     span = ctx.spans[span_index]
@@ -313,9 +325,16 @@ def _phase3_evaluate(
             s.name: OverlapAccumulator(ctx.length)
             for s in ctx.plan.steps if s.kind == "op"
         }
-    sinks = {
-        name: _SpanSink(ctx.rows[name], span) for name in ctx.keep_set
-    }
+    if sink_blocks is not None:
+        # Pooled dispatch: spans partition the word range, so every
+        # worker writes its slice of the shared block race-free.
+        sinks: Dict[str, Any] = {
+            name: SharedSink(sink_blocks[name]) for name in ctx.keep_set
+        }
+    else:
+        sinks = {
+            name: _SpanSink(ctx.rows[name], span) for name in ctx.keep_set
+        }
     schedule = [
         _CompiledChain(item, ctx.rows) if isinstance(item, FusedChain) else item
         for item in ctx.schedule
@@ -325,12 +344,65 @@ def _phase3_evaluate(
         needs_select=ctx.needs_select, vacc=vacc, sccacc=sccacc,
         writers=sinks,
     )
+    if sink_blocks is not None:
+        return vacc, sccacc, {}
     return vacc, sccacc, {name: sink.words for name, sink in sinks.items()}
 
 
 # ---------------------------------------------------------------------- #
 # Pool plumbing
 # ---------------------------------------------------------------------- #
+
+def _pool_install_ctx(plan: Optional[ExecutionPlan], payload: Optional[dict]) -> None:
+    """Persistent-worker installer: rebuild the span-task context from
+    the (token-cached) pickled walk plan plus the per-call payload.
+    ``(None, None)`` clears it at call end. The fused schedule is
+    recomputed here — :meth:`ExecutionPlan.fused_schedule` is
+    deterministic, so shipping the ``exposed`` set is enough."""
+    global _CTX
+    if plan is None:
+        _CTX = None
+        return
+    ctx = _Context()
+    ctx.plan = plan
+    ctx.length = payload["length"]
+    ctx.levels = payload["levels"]
+    ctx.rows = payload["rows"]
+    ctx.tile_words = payload["tile_words"]
+    ctx.spans = payload["spans"]
+    ctx.schedule = plan.fused_schedule(payload["exposed"])
+    ctx.needs_select = payload["needs_select"]
+    ctx.keep_set = payload["keep_set"]
+    ctx.value_nodes = payload["value_nodes"]
+    ctx.want_op_scc = payload["want_op_scc"]
+    ctx.phase1 = payload["phase1"]
+    _CTX = ctx
+
+
+def _run_phases(run_tasks, spans, waves, phase1, algebra, initial_state,
+                sink_blocks) -> List[tuple]:
+    """Drive phases 1–3 through ``run_tasks(task_name, arglists)`` —
+    the pooled and fork-per-call dispatch arms share this loop, so the
+    scan arithmetic (and therefore the bits) cannot diverge."""
+    span_entries: List[Dict[int, Any]] = [dict() for _ in spans]
+    for w in waves:
+        info = phase1[w]
+        tasks = [
+            (i, w, {g: span_entries[i][g] for g in info["carrier_groups"]})
+            for i in range(len(spans))
+        ]
+        span_maps = run_tasks("_phase1_task", tasks)
+        with obs_span("engine.parallel.scan", wave=w, spans=len(spans)):
+            for g in info["groups"]:
+                state = initial_state[g]
+                for i in range(len(spans)):
+                    span_entries[i][g] = state
+                    state = algebra[g].apply(span_maps[i][g], state)
+    return run_tasks(
+        "_phase3_task",
+        [(i, span_entries[i], sink_blocks) for i in range(len(spans))],
+    )
+
 
 def _fork_context():
     """The ``fork`` multiprocessing context, or ``None`` where the
@@ -406,7 +478,15 @@ def _parallel_stream_execute(
             want_op_scc=want_op_scc,
         )
 
-    if len(spans) < 2 or not _composable(exec_plan, length, rows):
+    # Silent-by-results fallbacks, loud in `repro stats`: shed decisions
+    # are invisible otherwise (the bits are identical either way).
+    if len(spans) < 2:
+        counter_add("engine.parallel.fallback")
+        counter_add("engine.parallel.fallback.single_span")
+        return _sequential()
+    if not _composable(exec_plan, length, rows):
+        counter_add("engine.parallel.fallback")
+        counter_add("engine.parallel.fallback.series")
         return _sequential()
 
     keep_sem, keep_set, value_sem, value_nodes, exposed = _keep_and_exposed(
@@ -461,23 +541,6 @@ def _parallel_stream_execute(
             "needs_select": wave_needs_select,
         }
 
-    # Install the worker context *before* the pool forks: workers read
-    # it by inheritance, so per-task pickles carry only entry states.
-    ctx = _Context()
-    ctx.plan = plan
-    ctx.length = length
-    ctx.levels = levels
-    ctx.rows = rows
-    ctx.tile_words = tile_words
-    ctx.spans = spans
-    ctx.schedule = schedule
-    ctx.needs_select = needs_select
-    ctx.keep_set = keep_set
-    ctx.value_nodes = value_nodes
-    ctx.want_op_scc = want_op_scc
-    ctx.phase1 = phase1
-    _CTX = ctx
-
     group_batch = _group_batches(plan, rows)
     algebra = {
         g: make_pair_composer(_group_transform(plan, g), length, group_batch[g])
@@ -489,50 +552,96 @@ def _parallel_stream_execute(
         ).get_state()
         for g in wave_of
     }
-
-    mp_context = _fork_context()
-    pool: Optional[ProcessPoolExecutor] = None
-    if mp_context is not None:
-        pool = ProcessPoolExecutor(
-            max_workers=min(jobs, len(spans)), mp_context=mp_context
-        )
     counter_add("engine.parallel.spans", len(spans))
-    try:
-        # Phases 1 + 2, once per wave. Spans' entry states accumulate in
-        # span_entries; purely combinational plans have no waves and go
-        # straight to phase 3.
-        span_entries: List[Dict[int, Any]] = [dict() for _ in spans]
-        for w in waves:
-            info = phase1[w]
-            tasks = [
-                (
-                    i, w,
-                    {g: span_entries[i][g] for g in info["carrier_groups"]},
-                )
-                for i in range(len(spans))
-            ]
-            span_maps = _run_tasks(pool, _phase1_task, tasks)
-            with obs_span("engine.parallel.scan", wave=w, spans=len(spans)):
-                for g in info["groups"]:
-                    state = initial_state[g]
-                    for i in range(len(spans)):
-                        span_entries[i][g] = state
-                        state = algebra[g].apply(span_maps[i][g], state)
 
-        # Phase 3: evaluate every span with known entry states.
-        results = _run_tasks(
-            pool, _phase3_task,
-            [(i, span_entries[i]) for i in range(len(spans))],
-        )
-    finally:
-        if pool is not None:
-            pool.shutdown()
-            # Forked workers flushed their span buffers as their root
-            # spans closed; absorb them now that the pool has joined
-            # (no-op when tracing is off or this process is itself a
-            # forked shard worker — the top-level parent merges then).
-            collect_children()
-        _CTX = None
+    # Lane 1 — persistent pool. The walk plan is the token-cached
+    # context (pickled to each warm worker at most once); the payload
+    # carries everything else, with the fused schedule recomputed
+    # worker-side from `exposed`. Kept nodes get full-length shared
+    # blocks that span workers fill in place — the zero-copy hand-off.
+    results: Optional[List[tuple]] = None
+    pooled_views: Dict[str, np.ndarray] = {}
+    payload = {
+        "length": length, "levels": levels, "rows": rows,
+        "tile_words": tile_words, "spans": spans,
+        "exposed": exposed if fuse else None, "needs_select": needs_select,
+        "keep_set": keep_set, "value_nodes": value_nodes,
+        "want_op_scc": want_op_scc, "phase1": phase1,
+    }
+    # (`_fork_context() is not None` also gates the persistent pool:
+    # tests patch this module's hook to force the inline lane.)
+    pool_jobs = min(jobs, len(spans)) if _fork_context() is not None else 0
+    with pool_call(
+        pool_jobs, context=plan,
+        installer="repro.engine.parallel:_pool_install_ctx", payload=payload,
+    ) as call:
+        if call is not None:
+            counter_add("engine.parallel.pooled")
+            sink_blocks: Optional[Dict[str, tuple]] = {}
+            total_words = (length + 63) // 64
+            for name in keep_set:
+                view, desc = call.arena.empty((rows[name], total_words), "<u8")
+                if desc is None:  # no segments: span buffers by pickle
+                    sink_blocks = None
+                    pooled_views = {}
+                    break
+                pooled_views[name] = view
+                sink_blocks[name] = desc
+            results = _run_phases(
+                lambda task, arglists: call.map(
+                    "repro.engine.parallel:" + task, arglists
+                ),
+                spans, waves, phase1, algebra, initial_state, sink_blocks,
+            )
+            # Copy kept words out before the call ends and its segments
+            # return to the free list for reuse.
+            pooled_views = {
+                name: np.array(view) for name, view in pooled_views.items()
+            }
+
+    # Lane 2 — fork-per-call (pool declined: disabled, nested fork,
+    # unpicklable transform closures, concurrent pooled call). The
+    # context travels by address-space inheritance, so it must be
+    # installed before the executor forks.
+    if results is None:
+        ctx = _Context()
+        ctx.plan = plan
+        ctx.length = length
+        ctx.levels = levels
+        ctx.rows = rows
+        ctx.tile_words = tile_words
+        ctx.spans = spans
+        ctx.schedule = schedule
+        ctx.needs_select = needs_select
+        ctx.keep_set = keep_set
+        ctx.value_nodes = value_nodes
+        ctx.want_op_scc = want_op_scc
+        ctx.phase1 = phase1
+        _CTX = ctx
+
+        mp_context = _fork_context()
+        pool: Optional[ProcessPoolExecutor] = None
+        if mp_context is not None:
+            pool = ProcessPoolExecutor(
+                max_workers=min(jobs, len(spans)), mp_context=mp_context
+            )
+        task_fns = {"_phase1_task": _phase1_task, "_phase3_task": _phase3_task}
+        try:
+            results = _run_phases(
+                lambda task, arglists: _run_tasks(
+                    pool, task_fns[task], arglists
+                ),
+                spans, waves, phase1, algebra, initial_state, None,
+            )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+                # Forked workers flushed their span buffers as their root
+                # spans closed; absorb them now that the pool has joined
+                # (no-op when tracing is off or this process is itself a
+                # forked shard worker — the top-level parent merges then).
+                collect_children()
+            _CTX = None
 
     # Ordered merge: accumulator partials sum span by span (integer
     # addition — the totals are the sequential totals); kept words land
@@ -553,10 +662,12 @@ def _parallel_stream_execute(
         for name, words in span_words.items():
             assemblers[name].write(span[0], words)
 
-    kept = {
-        name: assemblers[name].words
-        for name in plan.node_order if name in assemblers
-    }
+    kept = {}
+    for name in plan.node_order:
+        if name in pooled_views:
+            kept[name] = pooled_views[name]
+        elif name in assemblers:
+            kept[name] = assemblers[name].words
     ones = {name: acc.ones for name, acc in vacc.items()}
     op_scc = {name: acc.scc() for name, acc in sccacc.items()}
     kept, ones, op_scc = _expand_aliases(

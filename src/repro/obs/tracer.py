@@ -48,7 +48,8 @@ from typing import Any, Dict, List, Optional
 from . import metrics as _metrics
 
 __all__ = ["Span", "Trace", "Tracer", "span", "start", "stop", "observe",
-           "enabled", "collect_children", "current_tracer", "drain_spool"]
+           "enabled", "collect_children", "current_tracer", "drain_spool",
+           "adopt_session", "leave_session", "flush_in_child"]
 
 _STACK: ContextVar[tuple] = ContextVar("repro_obs_stack", default=())
 
@@ -293,6 +294,66 @@ def collect_children() -> int:
             _metrics.merge(record["metrics"])
             absorbed += 1
     return absorbed
+
+
+# ---------------------------------------------------------------------- #
+# Persistent-worker adoption
+# ---------------------------------------------------------------------- #
+#
+# Fork-per-call workers join the parent's session by address-space
+# inheritance. The persistent pool's workers fork *once* — possibly
+# before any session exists — so each pooled call primes them with the
+# parent's (anchor, spool) and they adopt/leave the session explicitly.
+# Adopted workers behave exactly like inherited ones: ``in_child`` is
+# set, spans flush to the shared spool at root-span close, and
+# ``collect_children`` in the parent merges each record exactly once.
+
+def flush_in_child() -> None:
+    """Spool whatever this child has buffered (root-span flush for spans
+    closed since, plus the metrics delta). No-op outside a child session
+    or with nothing buffered; a vanished spool directory (the parent's
+    session already ended) just drops the buffers."""
+    tracer = _TRACER
+    if tracer is None or not tracer.in_child:
+        return
+    if not tracer.spans and not any(_metrics.snapshot().values()):
+        return
+    try:
+        _flush_child(tracer)
+    except OSError:
+        tracer.spans = []
+        _metrics.reset()
+
+
+def adopt_session(anchor: float, spool: str) -> Tracer:
+    """Join (as a child) the parent session identified by its anchor and
+    spool directory. Re-adopting the same session is a cheap no-op;
+    switching sessions flushes leftovers to the old spool first."""
+    global _TRACER
+    tracer = _TRACER
+    if tracer is not None and tracer.in_child and tracer.spool == spool:
+        tracer.anchor = anchor
+        return tracer
+    if tracer is not None:
+        flush_in_child()
+    _metrics.reset()
+    tracer = Tracer(spool=spool)
+    tracer.anchor = anchor
+    tracer.in_child = True
+    _STACK.set(())
+    _TRACER = tracer
+    return tracer
+
+
+def leave_session() -> None:
+    """Drop this child's session view (the parent traced last call but
+    not this one); leftovers flush to the old spool first."""
+    global _TRACER
+    if _TRACER is None:
+        return
+    flush_in_child()
+    _TRACER = None
+    _metrics.reset()
 
 
 # ---------------------------------------------------------------------- #

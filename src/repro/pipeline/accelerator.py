@@ -41,7 +41,8 @@ import numpy as np
 
 from .._validation import check_jobs, check_tile_words
 from ..core.synchronizer import Synchronizer
-from ..obs import collect_children
+from ..engine.pool import pool_call, unwrap
+from ..obs import collect_children, counter_add
 from ..obs import span as obs_span
 from ..exceptions import PipelineError
 from ..hardware import EFFECTIVE_CYCLE_US, Netlist, components, report
@@ -62,13 +63,38 @@ VARIANTS = ("none", "regeneration", "synchronizer")
 # bytes — large images keep the vectorisation win at bounded memory.
 _ENGINE_CHUNK_BYTES = 64 << 20
 
-# Worker context for the parallel streaming backend: installed as a
-# module global immediately before the span pool forks, so workers read
-# the accelerator (with its unpicklable factory closure), the patch
-# stack, and the span table by address-space inheritance — per-task
-# pickles carry only a span index plus small state arrays. Mirrors
-# ``repro.engine.parallel._CTX``.
+# Worker context for the parallel streaming backend. Persistent pool
+# workers build it through :func:`_pool_install_stream_ctx` (the
+# accelerator travels by pickle at most once, the patch stack as a
+# shared-memory descriptor); fork-per-call workers read it by
+# address-space inheritance, installed immediately before the span pool
+# forks — per-task pickles then carry only a span index plus small state
+# arrays. Mirrors ``repro.engine.parallel._CTX``.
 _STREAM_CTX = None
+
+
+class _SynchronizerFactory:
+    """Picklable synchronizer factory (a lambda here would make the whole
+    accelerator unpicklable and force the pooled lane's fallback)."""
+
+    __slots__ = ("depth",)
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+
+    def __call__(self) -> Synchronizer:
+        return Synchronizer(depth=self.depth)
+
+
+def _pool_install_stream_ctx(acc, payload) -> None:
+    """Persistent-worker installer for the streaming span tasks;
+    ``(None, None)`` clears the context at call end."""
+    global _STREAM_CTX
+    if acc is None:
+        _STREAM_CTX = None
+        return
+    patches, tile_words, spans = payload
+    _STREAM_CTX = (acc, unwrap(patches), tile_words, spans)
 
 
 def _stream_windows(span, tile_words):
@@ -153,6 +179,7 @@ def _stream_detect_task(span_index: int, states, regen_counts) -> np.ndarray:
 
     from ..engine.optimize import BufferArena
 
+    regen_counts = unwrap(regen_counts)  # shm descriptor on the pooled lane
     with obs_span("pipeline.stream.detect", span=span_index):
         acc, patches, tile_words, spans = _STREAM_CTX
         span = spans[span_index]
@@ -276,8 +303,7 @@ class SCAccelerator:
         self._regen_rng = Halton(base=3, width=8)
         factory = None
         if self._config.variant == "synchronizer":
-            depth = self._config.sync_depth
-            factory = lambda: Synchronizer(depth=depth)  # noqa: E731
+            factory = _SynchronizerFactory(self._config.sync_depth)
         self._detector = SCRobertsCross(Halton(base=5, width=8), factory)
         # Precompute the base LFSR period for phase-rotated input streams.
         self._lfsr_period_seq = self._input_rng.sequence(self._input_rng.period)
@@ -490,33 +516,35 @@ class SCAccelerator:
         pairs = tiles * (bt - 1) * (bt - 1)
         spans = spans_for(n, tile_words, jobs)
         if len(spans) < 2:
+            counter_add("pipeline.stream.fallback")
+            counter_add("pipeline.stream.fallback.single_span")
             return None
 
         sync = self._detector.uses_pair_transform
+        algebra = initial = None
         if sync:
             factory = self._detector._factory
             algebra = tuple(
                 make_pair_composer(factory(), n, pairs) for _ in range(2)
             )
             if any(a is None for a in algebra):
+                counter_add("pipeline.stream.fallback")
+                counter_add("pipeline.stream.fallback.series")
                 return None
             initial = tuple(
                 make_pair_carrier(factory(), n, pairs).get_state()
                 for _ in range(2)
             )
 
-        _STREAM_CTX = (self, patches, tile_words, spans)
-        mp_context = _fork_context()
-        pool = None
-        if mp_context is not None:
-            pool = ProcessPoolExecutor(
-                max_workers=min(jobs, len(spans)), mp_context=mp_context
-            )
-        try:
+        def _phases(run_tasks, wrap):
+            # The three-phase body, dispatch-agnostic: ``run_tasks`` is
+            # the pooled or forked task runner, ``wrap`` ships the
+            # regeneration counts (identity on the forked lane, a shared
+            # segment descriptor on the pooled one).
             regen_counts = None
             if cfg.variant == "regeneration":
-                partials = _run_tasks(
-                    pool, _stream_counts_task, [(i,) for i in range(len(spans))]
+                partials = run_tasks(
+                    "_stream_counts_task", [(i,) for i in range(len(spans))]
                 )
                 regen_counts = np.zeros((tiles * bt * bt,), dtype=np.int64)
                 for partial in partials:
@@ -524,8 +552,8 @@ class SCAccelerator:
 
             span_states = [None] * len(spans)
             if sync:
-                span_maps = _run_tasks(
-                    pool, _stream_compose_task, [(i,) for i in range(len(spans))]
+                span_maps = run_tasks(
+                    "_stream_compose_task", [(i,) for i in range(len(spans))]
                 )
                 states = initial
                 for i, maps in enumerate(span_maps):
@@ -534,17 +562,59 @@ class SCAccelerator:
                         algebra[c].apply(maps[c], states[c]) for c in range(2)
                     )
 
-            partials = _run_tasks(
-                pool, _stream_detect_task,
-                [(i, span_states[i], regen_counts) for i in range(len(spans))],
+            shipped = wrap(regen_counts) if regen_counts is not None else None
+            return run_tasks(
+                "_stream_detect_task",
+                [(i, span_states[i], shipped) for i in range(len(spans))],
             )
-        finally:
-            if pool is not None:
-                pool.shutdown()
-                # Absorb forked span workers' obs buffers (no-op when
-                # tracing is off).
-                collect_children()
-            _STREAM_CTX = None
+
+        partials = None
+        if _fork_context() is not None:  # tests patch this hook to force inline
+            # Lane 1 — persistent pool: the accelerator is the
+            # token-cached context, the patch stack travels as a shared
+            # segment (zero-copy), workers keep kernel/sequence caches
+            # warm across frames.
+            with pool_call(
+                min(jobs, len(spans)), context=self,
+                installer="repro.pipeline.accelerator:_pool_install_stream_ctx",
+                payload=lambda arena: (arena.wrap(patches), tile_words, spans),
+            ) as call:
+                if call is not None:
+                    counter_add("pipeline.stream.pooled")
+                    partials = _phases(
+                        lambda name, tasks: call.map(
+                            "repro.pipeline.accelerator:" + name, tasks
+                        ),
+                        call.arena.wrap,
+                    )
+
+        if partials is None:
+            # Lane 2 — fork-per-call: the context (with the factory and
+            # patch stack) travels by address-space inheritance.
+            _STREAM_CTX = (self, patches, tile_words, spans)
+            mp_context = _fork_context()
+            pool = None
+            if mp_context is not None:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(jobs, len(spans)), mp_context=mp_context
+                )
+            task_fns = {
+                "_stream_counts_task": _stream_counts_task,
+                "_stream_compose_task": _stream_compose_task,
+                "_stream_detect_task": _stream_detect_task,
+            }
+            try:
+                partials = _phases(
+                    lambda name, tasks: _run_tasks(pool, task_fns[name], tasks),
+                    lambda obj: obj,
+                )
+            finally:
+                if pool is not None:
+                    pool.shutdown()
+                    # Absorb forked span workers' obs buffers (no-op when
+                    # tracing is off).
+                    collect_children()
+                _STREAM_CTX = None
 
         edge_ones = np.zeros((pairs,), dtype=np.int64)
         for partial in partials:

@@ -28,6 +28,7 @@ __all__ = [
     "available_rngs",
     "default_seed",
     "get_default_seed",
+    "set_default_seed",
 ]
 
 _BUILDERS: Dict[str, Callable[..., StreamRNG]] = {}
@@ -70,6 +71,17 @@ def get_default_seed() -> Optional[int]:
     """The ambient seed installed by :func:`default_seed` (None = builder
     defaults — the paper's published configurations)."""
     return _DEFAULT_SEED
+
+
+def set_default_seed(seed: Optional[int]) -> Optional[int]:
+    """Install the ambient seed non-contextually; returns the previous
+    value. Fork-per-call workers inherit the ambient seed by address
+    space; the persistent pool's long-lived workers sync it with this at
+    every call prime instead."""
+    global _DEFAULT_SEED
+    previous = _DEFAULT_SEED
+    _DEFAULT_SEED = seed
+    return previous
 
 
 @contextmanager

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 from .. import obs
 from ..engine.library import GRAPH_LIBRARY, build_graph
 from ..engine.plan import ExecutionPlan, compile_graph
+from ..engine.pool import shutdown_pool
 from ..bitstream.streaming import DEFAULT_TILE_WORDS
 from ..runner.scheduler import run_spec
 from ..runner.store import ResultStore
@@ -142,16 +143,27 @@ class SCServer:
         self._stopped.set()
 
     async def close(self) -> None:
-        """Flush every open window, finish in-flight groups, tear down."""
+        """Flush every open window, finish in-flight groups, tear down.
+
+        Idempotent: a second ``close`` (double-``shutdown`` request, or a
+        signal racing a client shutdown) finds every handle already
+        ``None`` and returns quietly. Drains both execution runtimes —
+        the engine thread pool and the persistent process pool
+        (:func:`repro.engine.pool.shutdown_pool`, itself idempotent; the
+        shed path's ``run_streaming(jobs=...)`` starts a fresh one lazily
+        if the server keeps running)."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+            self._server = None
         for key in list(self._groups):
             self._flush(key)
         while self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+            self._pool = None
+        shutdown_pool()
         self._drain_obs()
         if self._owns_obs:
             obs.stop()

@@ -13,6 +13,7 @@ def assert_backends_equivalent(
     traced=False,
     optimize="optimized",
     serve=False,
+    pool="default",
 ):
     """The cross-backend equivalence matrix, as one assertion.
 
@@ -36,6 +37,11 @@ def assert_backends_equivalent(
     group executor (:func:`repro.serve.batcher.execute_group`) must
     return bit-identical streams and byte-identical payloads whether a
     request is served solo or coalesced between other requests.
+    ``pool`` selects the execution runtime for the parallel leg:
+    ``"default"`` leaves the persistent worker pool setting alone;
+    ``"both"`` runs the parallel leg twice — once through the warm
+    pool and once through fork-per-call workers — and requires the
+    two runtimes to agree bit for bit.
     """
     import contextlib
 
@@ -50,6 +56,7 @@ def assert_backends_equivalent(
             audit=audit,
             optimize=optimize,
             serve=serve,
+            pool=pool,
         )
 
 
@@ -57,7 +64,8 @@ _OPTIMIZE_FLAGS = {"optimized": (True,), "raw": (False,), "both": (True, False)}
 
 
 def _assert_backends_equivalent(
-    graph, length, *, tile_words, jobs, audit, optimize, serve=False
+    graph, length, *, tile_words, jobs, audit, optimize, serve=False,
+    pool="default",
 ):
     from repro import engine
 
@@ -78,6 +86,24 @@ def _assert_backends_equivalent(
         for tw in tile_words:
             stream = engine.run_streaming(plan, length, tile_words=tw)
             par = engine.run_streaming(plan, length, tile_words=tw, jobs=jobs)
+            if pool == "both":
+                from repro.engine.pool import default_pool, set_default_pool
+
+                previous = default_pool()
+                set_default_pool(not previous)
+                try:
+                    other = engine.run_streaming(
+                        plan, length, tile_words=tw, jobs=jobs
+                    )
+                finally:
+                    set_default_pool(previous)
+                for name in interp:
+                    assert np.array_equal(other.words(name), par.words(name)), (
+                        "pool vs fork-per-call", name, length, tw, jobs, flag,
+                    )
+                    assert np.array_equal(other.ones[name], par.ones[name]), (
+                        "pool vs fork-per-call ones", name, length, tw, jobs, flag,
+                    )
             for name in interp:
                 assert np.array_equal(stream.bits(name)[0], eng[name]), (
                     "engine vs streaming", name, length, tw, flag,

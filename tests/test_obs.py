@@ -257,12 +257,19 @@ class TestCrossProcess:
         baseline = plan.run_streaming(1 << 12, tile_words=2)
         with obs.observe() as trace:
             traced = plan.run_streaming(1 << 12, tile_words=2, jobs=2)
-        assert len(trace.processes) >= 2  # origin + forked span workers
+        assert len(trace.processes) >= 2  # origin + span workers
         worker_pids = set(trace.processes[1:])
         evaluate = trace.by_name("engine.parallel.evaluate")
         assert {s["pid"] for s in evaluate} <= worker_pids
         assert {s["pid"] for s in evaluate} == worker_pids
-        assert trace.metrics["counters"]["process.forks"] >= 2
+        counters = trace.metrics["counters"]
+        # Fork-per-call forks span workers inside the session; an
+        # already-warm persistent pool forks nothing — its workers adopt
+        # the session instead. Either way the worker spans merged above.
+        assert (
+            counters.get("process.forks", 0) >= 2
+            or counters.get("engine.parallel.pooled", 0) >= 1
+        )
         for name in baseline.ones:
             assert baseline.ones[name] == traced.ones[name]
 

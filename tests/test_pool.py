@@ -1,0 +1,355 @@
+"""Persistent execution runtime (repro.engine.pool).
+
+The pool must be a pure *runtime* swap: warm long-lived workers with
+shared-memory arenas produce exactly the bits the fork-per-call lanes
+and the sequential walk produce. These tests pin that contract — the
+hypothesis bit-identity property across every pair family, the warm
+plan-cache behaviour on repeat calls, killed-worker respawn, the
+fallback rules (off / busy / unpicklable / jobs=1), idempotent
+shutdown, and the :class:`SharedArena` segment lifecycle (freelist
+reuse, zero-copy round trips, no ``/dev/shm`` residue).
+"""
+
+import glob
+import os
+import signal
+import subprocess
+import sys
+import time
+import uuid
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import engine, obs
+from repro.engine import pool as pool_mod
+from repro.engine import run_streaming
+from repro.engine.executor import run_batch
+from repro.engine.library import build_graph
+from repro.engine.pool import (
+    SharedArena,
+    SharedSink,
+    attach_view,
+    default_pool,
+    get_pool,
+    pool_call,
+    set_default_pool,
+    shutdown_pool,
+    unwrap,
+)
+from repro.graph.graph import SCGraph
+from repro.graph.nodes import TransformNode
+from tests.helpers import assert_backends_equivalent
+from tests.test_parallel_streaming import PAIR_FAMILIES
+
+compile_graph = engine.compile
+
+pytestmark = pytest.mark.skipif(
+    pool_mod._fork_context() is None,
+    reason="persistent pool requires the fork start method",
+)
+
+
+@pytest.fixture(autouse=True)
+def _pool_enabled():
+    """Run every test with the pool on, restoring the ambient default."""
+    previous = default_pool()
+    set_default_pool(True)
+    yield
+    set_default_pool(previous)
+
+
+def _test_arena() -> SharedArena:
+    """A standalone arena with a unique segment prefix, so its names can
+    never collide with the process-wide pool's arena (same pid, both
+    counters start at zero) or linger in the worker attach cache."""
+    arena = SharedArena()
+    arena._prefix = f"{pool_mod._SHM_PREFIX}_{os.getpid()}_t{uuid.uuid4().hex[:8]}"
+    return arena
+
+
+def _pair_graph(factory):
+    """Two sources through one correlation-manipulating pair, combined:
+    the minimal stateful graph exercising the FSM hand-off for a family."""
+    g = SCGraph()
+    g.source("a", 0.7, "vdc")
+    g.source("b", 0.4, "halton3")
+    shared: dict = {}
+    pair = factory()
+    g.add(TransformNode("p_x", pair, ("a", "b"), 0, shared))
+    g.add(TransformNode("p_y", pair, ("a", "b"), 1, shared))
+    g.op("out", "sub", "p_x", "p_y")
+    return g
+
+
+# ---------------------------------------------------------------------- #
+# 1. Bit identity: pool == fork-per-call == sequential
+# ---------------------------------------------------------------------- #
+
+class TestPoolBitIdentity:
+    @pytest.mark.parametrize(
+        "factory", [f for _, f in PAIR_FAMILIES],
+        ids=[name for name, _ in PAIR_FAMILIES],
+    )
+    @given(length=st.integers(130, 1200), tile_words=st.integers(1, 3))
+    @settings(max_examples=4, deadline=None)
+    def test_pool_fork_sequential_bit_identical(self, factory, length,
+                                                tile_words):
+        # The tentpole property: for every pair family, the warm pool,
+        # the legacy fork-per-call scheduler, and the sequential walk
+        # produce the same words and the same popcounts.
+        plan = compile_graph(_pair_graph(factory))
+        sequential = run_streaming(plan, length, tile_words=tile_words, jobs=1)
+        pooled = run_streaming(plan, length, tile_words=tile_words, jobs=3)
+        set_default_pool(False)
+        try:
+            forked = run_streaming(plan, length, tile_words=tile_words, jobs=3)
+        finally:
+            set_default_pool(True)
+        for name in plan.node_order:
+            assert np.array_equal(pooled.words(name), sequential.words(name)), (
+                "pool vs sequential", name, length, tile_words,
+            )
+            assert np.array_equal(forked.words(name), sequential.words(name)), (
+                "fork vs sequential", name, length, tile_words,
+            )
+            assert np.array_equal(pooled.ones[name], sequential.ones[name]), (
+                "pool vs sequential ones", name, length, tile_words,
+            )
+
+    def test_matrix_runs_on_both_runtimes(self):
+        # The cross-backend matrix with the pool axis: the parallel leg
+        # agrees bit for bit whichever runtime serves it.
+        assert_backends_equivalent(
+            build_graph("fsm_zoo"), 2111, tile_words=(2,), jobs=3, pool="both"
+        )
+
+    def test_keep_subset_through_shared_sinks(self):
+        # Kept nodes travel back through SharedSink segments; a keep
+        # subset at many spans must still assemble full-stream words.
+        plan = compile_graph(build_graph("depth8"))
+        ref = run_batch(plan, 1 << 14)
+        result = run_streaming(
+            plan, 1 << 14, tile_words=1, jobs=4, keep=("n8", "n4")
+        )
+        for name in ("n4", "n8"):
+            assert np.array_equal(result.words(name), ref.words(name)), name
+
+
+# ---------------------------------------------------------------------- #
+# 2. Warm caches
+# ---------------------------------------------------------------------- #
+
+class TestWarmCaches:
+    def test_second_call_hits_worker_plan_cache(self):
+        # The same live plan object keeps its cache token: the second
+        # call primes workers without re-sending the context, and the
+        # warm pool forks nothing.
+        plan = compile_graph(build_graph("fsm_zoo"))
+        run_streaming(plan, 4096, tile_words=2, jobs=2)  # install token
+        with obs.observe() as trace:
+            run_streaming(plan, 4096, tile_words=2, jobs=2)
+        counters = trace.metrics["counters"]
+        assert counters.get("engine.parallel.pooled", 0) >= 1
+        assert counters.get("engine.pool.plan.hit", 0) >= 1
+        assert counters.get("engine.pool.plan.miss", 0) == 0
+        assert counters.get("process.forks", 0) == 0
+
+    def test_token_cache_survives_lru_churn(self):
+        # More live plans than the worker-side context LRU holds: the
+        # parent must mirror the evictions and re-send an evicted
+        # context instead of priming a token the worker dropped
+        # (regression: this used to KeyError inside the worker).
+        from repro.engine.library import depth_chain_graph
+
+        plans = [
+            compile_graph(depth_chain_graph(depth))
+            for depth in range(2, 2 + pool_mod._WORKER_CACHE + 3)
+        ]
+        ref = run_batch(plans[0], 2048)
+        for plan in plans:
+            run_streaming(plan, 2048, tile_words=1, jobs=2)
+        result = run_streaming(plans[0], 2048, tile_words=1, jobs=2)
+        for name in plans[0].node_order:
+            assert np.array_equal(result.words(name), ref.words(name)), name
+
+    def test_arena_freelist_recycles_across_calls(self):
+        # Call 2 reuses call 1's segments: reuse counter fires, and no
+        # extra segments accumulate in /dev/shm between calls.
+        plan = compile_graph(build_graph("depth8"))
+        run_streaming(plan, 1 << 14, tile_words=1, jobs=2)
+        pool = pool_mod._POOL
+        if pool is None or not pool.arena.available():
+            pytest.skip("shared-memory segments unavailable")
+        with obs.observe() as trace:
+            run_streaming(plan, 1 << 14, tile_words=1, jobs=2)
+        counters = trace.metrics["counters"]
+        assert counters.get("engine.pool.shm.reuse", 0) >= 1
+
+
+# ---------------------------------------------------------------------- #
+# 3. Worker death and respawn
+# ---------------------------------------------------------------------- #
+
+class TestRespawn:
+    def test_killed_worker_respawns_and_results_match(self):
+        plan = compile_graph(build_graph("depth8"))
+        ref = run_batch(plan, 4096)
+        run_streaming(plan, 4096, tile_words=1, jobs=2)  # warm the pool
+        pool = pool_mod._POOL
+        assert pool is not None and pool.size >= 2
+        before = pool.respawns
+        os.kill(pool.worker_pids()[0], signal.SIGKILL)
+        time.sleep(0.2)  # let the SIGKILL land before the next prime
+        result = run_streaming(plan, 4096, tile_words=1, jobs=2)
+        for name in plan.node_order:
+            assert np.array_equal(result.words(name), ref.words(name)), name
+        assert pool.respawns >= before + 1
+
+
+# ---------------------------------------------------------------------- #
+# 4. Fallback rules and lifecycle
+# ---------------------------------------------------------------------- #
+
+class TestFallbacksAndLifecycle:
+    def test_jobs_one_never_pools(self):
+        assert get_pool(1) is None
+
+    def test_pool_off_falls_back(self):
+        set_default_pool(False)
+        assert get_pool(4) is None
+        with pool_call(4) as call:
+            assert call is None
+
+    def test_env_gate_disables_default(self):
+        code = (
+            "from repro.engine.pool import default_pool; "
+            "print(default_pool())"
+        )
+        env = dict(os.environ, REPRO_NO_POOL="1")
+        out = subprocess.run(
+            [sys.executable, "-c", code], env=env,
+            capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == "False"
+
+    def test_busy_pool_falls_back_with_counter(self):
+        pool = get_pool(2)
+        assert pool is not None
+        assert pool._busy.acquire(blocking=False)
+        try:
+            with obs.observe() as trace:
+                with pool_call(2) as call:
+                    assert call is None
+            counters = trace.metrics["counters"]
+            assert counters.get("engine.pool.fallback.busy", 0) == 1
+        finally:
+            pool._busy.release()
+
+    def test_unpicklable_context_falls_back_with_counter(self):
+        with obs.observe() as trace:
+            with pool_call(2, context=lambda: None) as call:
+                assert call is None
+        counters = trace.metrics["counters"]
+        assert counters.get("engine.pool.fallback.unpicklable", 0) == 1
+
+    def test_shutdown_pool_is_idempotent_and_restartable(self):
+        plan = compile_graph(build_graph("depth8"))
+        ref = run_batch(plan, 2048)
+        run_streaming(plan, 2048, tile_words=1, jobs=2)
+        shutdown_pool()
+        shutdown_pool()  # double shutdown must not raise
+        assert pool_mod._POOL is None
+        # The next pooled call transparently starts a fresh pool.
+        result = run_streaming(plan, 2048, tile_words=1, jobs=2)
+        for name in plan.node_order:
+            assert np.array_equal(result.words(name), ref.words(name)), name
+        assert pool_mod._POOL is not None
+
+    def test_task_error_surfaces_worker_traceback(self):
+        with pool_call(2) as call:
+            if call is None:
+                pytest.skip("pool unavailable")
+            with pytest.raises(pool_mod.PoolTaskError) as err:
+                call.map("repro.engine.pool:attach_view", [(("bad",),)])
+            assert "attach_view" in str(err.value) or "Traceback" in str(err.value)
+
+    def test_fn_refs_are_restricted_to_repro(self):
+        with pytest.raises(ValueError):
+            pool_mod._resolve_fn("os:system")
+
+
+# ---------------------------------------------------------------------- #
+# 5. SharedArena segment lifecycle
+# ---------------------------------------------------------------------- #
+
+class TestSharedArena:
+    def test_roundtrip_and_freelist_reuse(self):
+        arena = _test_arena()
+        if not arena.available():
+            pytest.skip("shared-memory segments unavailable")
+        try:
+            view, desc = arena.empty((4, 2048), "<u8")
+            assert desc is not None and desc[0] == "__shm__"
+            view[...] = np.arange(4 * 2048, dtype="<u8").reshape(4, 2048)
+            assert np.array_equal(attach_view(desc), view)
+            assert np.array_equal(unwrap(desc), view)
+            misses = arena.misses
+            arena.release_all()
+            view2, desc2 = arena.empty((4, 2048), "<u8")
+            assert arena.hits >= 1 and arena.misses == misses  # recycled
+            assert not view2.any()  # recycled segments come back zeroed
+        finally:
+            arena.shutdown()
+
+    def test_wrap_passes_small_and_non_arrays_through(self):
+        arena = _test_arena()
+        try:
+            small = np.zeros((2, 8), dtype="<u8")
+            assert arena.wrap(small) is small
+            assert arena.wrap("plain") == "plain"
+        finally:
+            arena.shutdown()
+
+    def test_wrap_shares_large_arrays(self):
+        arena = _test_arena()
+        if not arena.available():
+            pytest.skip("shared-memory segments unavailable")
+        try:
+            big = np.arange(1 << 14, dtype="<u8")  # 128 KiB
+            desc = arena.wrap(big)
+            assert isinstance(desc, tuple) and desc[0] == "__shm__"
+            assert np.array_equal(unwrap(desc), big)
+        finally:
+            arena.shutdown()
+
+    def test_unwrap_is_identity_for_plain_objects(self):
+        assert unwrap(42) == 42
+        arr = np.arange(3)
+        assert unwrap(arr) is arr
+        assert unwrap(("no", "descriptor")) == ("no", "descriptor")
+
+    def test_shared_sink_writes_at_word_offsets(self):
+        arena = _test_arena()
+        if not arena.available():
+            pytest.skip("shared-memory segments unavailable")
+        try:
+            view, desc = arena.empty((2, 4096), "<u8")
+            sink = SharedSink(desc)
+            tile = np.full((2, 3), 7, dtype="<u8")
+            sink.write(128, tile)  # bit offset 128 -> word 2
+            assert np.array_equal(view[:, 2:5], tile)
+            assert not view[:, :2].any() and not view[:, 5:].any()
+        finally:
+            arena.shutdown()
+
+    def test_no_leaked_segments_after_shutdown(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        plan = compile_graph(build_graph("fsm_zoo"))
+        run_streaming(plan, 1 << 14, tile_words=1, jobs=2)
+        shutdown_pool()
+        pattern = f"/dev/shm/{pool_mod._SHM_PREFIX}_{os.getpid()}_*"
+        assert glob.glob(pattern) == []

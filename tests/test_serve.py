@@ -548,3 +548,42 @@ class TestServeObservability:
             obs.drain_spool(spool)
         trace = obs.read_spool_trace([spool])
         assert trace.metrics["counters"]["serve.test.counter"] == 7
+
+
+# ---------------------------------------------------------------------- #
+# satellite: shutdown drains both execution runtimes, idempotently
+# ---------------------------------------------------------------------- #
+
+
+class TestShutdownDrainsRuntimes:
+    def test_double_close_is_idempotent(self, tmp_path):
+        # A double-`shutdown` request (or a signal racing a client
+        # shutdown) must find every handle already torn down and return
+        # quietly — and the teardown must drain the engine thread pool
+        # AND the persistent process pool.
+        import asyncio
+
+        from repro.engine import pool as pool_mod
+        from repro.serve.server import SCServer
+
+        config = ServeConfig(window_ms=2.0, store_root=str(tmp_path / "store"))
+
+        async def _scenario():
+            server = SCServer(config)
+            await server.start()
+            await server.close()
+            assert server._server is None and server._pool is None
+            await server.close()  # second close must not raise
+            assert server._server is None and server._pool is None
+
+        asyncio.run(_scenario())
+        assert pool_mod._POOL is None  # persistent process pool drained
+
+    def test_server_thread_stop_twice(self, tmp_path):
+        config = ServeConfig(window_ms=2.0, store_root=str(tmp_path / "store"))
+        with ServerThread(config) as srv:
+            with ServeClient(port=srv.port) as client:
+                assert client.ping() == "pong"
+            srv.stop()
+            srv.stop()  # second stop is a no-op
+        assert not srv._thread.is_alive()
