@@ -54,7 +54,20 @@ legacy fork-per-call (or inline) path when:
   — the serving layer can shed two streams concurrently, and the second
   must not queue behind the first;
 * the context or payload does not pickle
-  (``engine.pool.fallback.unpicklable``).
+  (``engine.pool.fallback.unpicklable``);
+* priming fails worker-side — the context pickled in the parent but did
+  not unpickle or install in the worker
+  (``engine.pool.fallback.prime``).
+
+Error semantics match the fork-per-call lanes: a task that raises
+re-raises the *original* exception from ``imap``/``map`` (chained to a
+:class:`PoolTaskError` carrying the worker traceback), exactly as
+``future.result()`` re-raises it on the legacy lanes, so callers
+catching specific types behave the same on either runtime. Every reply
+carries the request's ``seq`` and is validated against it; when a call
+is abandoned mid-flight, ``end`` waits out (or revives) still-running
+workers before their replies could desync the protocol or their shared
+segments are recycled.
 
 Observability: workers adopt the parent's tracing session *per call*
 (anchor + spool travel in the prime message, so a session started after
@@ -75,6 +88,7 @@ import importlib
 import os
 import pickle
 import threading
+import time
 import traceback
 import weakref
 from collections import OrderedDict
@@ -133,6 +147,13 @@ _WORKER_CACHE = 16
 # before the call fails — one respawn covers a stray OOM kill without
 # looping forever on a task that reliably kills its host.
 _TASK_RETRIES = 1
+
+# How long an aborted call waits for each still-running worker to finish
+# before killing it. An abandoned dispatch (``imap`` raised on one
+# worker's error while others were mid-task) cannot recycle its shared
+# segments while a stale worker might still write into them, so
+# ``PoolCall.end`` waits out — or revives — every in-flight worker.
+_DRAIN_TIMEOUT = 5.0
 
 _SHM_PREFIX = "repro_pool"
 
@@ -439,10 +460,13 @@ def _worker_main(conn, parent_conn, ppid: int) -> None:
             else:
                 conn.send(("err", seq, f"unknown message {kind!r}", ""))
         except BaseException as exc:  # noqa: BLE001 — travels to the parent
+            blob = None
+            with contextlib.suppress(Exception):  # unpicklable exceptions
+                blob = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
             try:
                 conn.send((
                     "err", seq, f"{type(exc).__name__}: {exc}",
-                    traceback.format_exc(),
+                    traceback.format_exc(), blob,
                 ))
             except Exception:  # noqa: BLE001 — parent gone
                 os._exit(1)
@@ -457,12 +481,36 @@ class PoolTaskError(RuntimeError):
     the message) or repeatedly killed its worker."""
 
 
+def _remote_error(rest: Sequence[Any]) -> BaseException:
+    """The exception a worker's ``err`` reply should surface: the
+    original exception when it pickles — so the pooled lane raises the
+    same types the fork-per-call lanes re-raise from
+    ``future.result()`` — chained to a :class:`PoolTaskError` that
+    carries the worker-side traceback; a bare :class:`PoolTaskError`
+    when the original cannot travel."""
+    cause = PoolTaskError(f"{rest[0]}\n{rest[1]}")
+    blob = rest[2] if len(rest) > 2 else None
+    if blob is not None:
+        with contextlib.suppress(Exception):
+            exc = pickle.loads(blob)
+            if isinstance(exc, BaseException):
+                exc.__cause__ = cause
+                return exc
+    return cause
+
+
 class _Worker:
-    __slots__ = ("proc", "conn", "tokens")
+    __slots__ = ("proc", "conn", "tokens", "pending")
 
     def __init__(self, proc, conn) -> None:
         self.proc = proc
         self.conn = conn
+        # seq of the request awaiting a reply; None when idle. Every
+        # recv validates against it: an aborted dispatch leaves a
+        # completed task's reply sitting in the pipe, and consuming that
+        # as the next call's prime ack would shift every later reply off
+        # by one — silently wrong results for the rest of the process.
+        self.pending: Optional[int] = None
         # Mirror of the worker's context LRU, in the worker's order:
         # primes are the only mutations and the parent drives them all,
         # so replaying the same insert/move/evict sequence here tells
@@ -472,6 +520,36 @@ class _Worker:
     @property
     def pid(self) -> Optional[int]:
         return self.proc.pid
+
+    def request(self, msg: tuple) -> None:
+        """Send a seq-carrying message and record its seq as pending."""
+        self.conn.send(msg)
+        self.pending = msg[1]
+
+    def reply(self) -> tuple:
+        """The reply matching the pending request; replies to requests a
+        previous, aborted call stopped waiting on are discarded."""
+        while True:
+            msg = self.conn.recv()
+            if self.pending is not None and msg[1] == self.pending:
+                self.pending = None
+                return msg
+            counter_add("engine.pool.stale.drop")
+
+    def drain(self, timeout: float) -> bool:
+        """Wait out the pending request, discarding its (and any stale)
+        reply; ``True`` when the worker went idle within ``timeout``."""
+        deadline = time.monotonic() + timeout
+        while self.pending is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not self.conn.poll(remaining):
+                return False
+            msg = self.conn.recv()
+            if msg[1] == self.pending:
+                self.pending = None
+            else:
+                counter_add("engine.pool.stale.drop")
+        return True
 
 
 class WorkerPool:
@@ -657,13 +735,12 @@ class PoolCall:
             counter_add(
                 "engine.pool.plan.miss" if send_ctx else "engine.pool.plan.hit"
             )
-        seq = self._pool._next_seq()
-        worker.conn.send((
-            "call", seq, self._obs_state, self._seed, self._installer,
-            self._token, self._ctx_blob if send_ctx else None,
-            self._payload_blob,
+        worker.request((
+            "call", self._pool._next_seq(), self._obs_state, self._seed,
+            self._installer, self._token,
+            self._ctx_blob if send_ctx else None, self._payload_blob,
         ))
-        kind, _, *rest = worker.conn.recv()
+        kind, _, *rest = worker.reply()
         if kind == "err":
             raise PoolTaskError(f"pool prime failed: {rest[0]}\n{rest[1]}")
         if self._token is not None:
@@ -689,7 +766,10 @@ class PoolCall:
     def imap(self, fn_ref: str, arglists: Sequence[tuple]) -> Iterator[Tuple[int, Any]]:
         """Run ``fn_ref(*args)`` for every entry, yielding
         ``(index, result)`` in completion order — one task in flight per
-        worker, next task to whichever worker frees up first."""
+        worker, next task to whichever worker frees up first. A task
+        that raises re-raises its original exception here (chained to a
+        :class:`PoolTaskError` with the worker traceback); a task that
+        repeatedly kills its worker raises :class:`PoolTaskError`."""
         from multiprocessing.connection import wait as _wait
 
         total = len(arglists)
@@ -703,7 +783,7 @@ class PoolCall:
 
         def _submit(worker: _Worker, index: int) -> bool:
             try:
-                worker.conn.send((
+                worker.request((
                     "task", self._pool._next_seq(), fn_ref,
                     tuple(arglists[index]),
                 ))
@@ -734,15 +814,23 @@ class PoolCall:
                 if not _submit(worker, index):
                     idle.append(_replace(worker, index))
             for conn in _wait(list(inflight)):
-                worker, index = inflight.pop(conn)
+                worker, index = inflight[conn]
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError):
+                    del inflight[conn]
                     idle.append(_replace(worker, index))
                     continue
+                if worker.pending is None or msg[1] != worker.pending:
+                    # Stale reply to a request an aborted call stopped
+                    # waiting on — not this task's answer.
+                    counter_add("engine.pool.stale.drop")
+                    continue
+                worker.pending = None
+                del inflight[conn]
                 kind, _, *rest = msg
                 if kind == "err":
-                    raise PoolTaskError(f"{rest[0]}\n{rest[1]}")
+                    raise _remote_error(rest)
                 idle.append(worker)
                 yield index, rest[0]
 
@@ -758,7 +846,25 @@ class PoolCall:
     def end(self) -> None:
         """Clear the installed per-call context on every worker and
         recycle the call's shared segments (results must already be
-        copied out of them)."""
+        copied out of them).
+
+        An abandoned dispatch (``imap`` raised on one worker's error, or
+        its consumer stopped early) leaves other workers mid-task: each
+        may still be writing into this call's segments, and its unread
+        reply would desync the next call's protocol. Wait every
+        in-flight worker out — discarding the now-unwanted reply —
+        before the segments return to the free list, and kill-and-
+        respawn any that stays busy past :data:`_DRAIN_TIMEOUT` (a dead
+        worker cannot write either)."""
+        for index, worker in enumerate(self._workers):
+            if worker.pending is None:
+                continue
+            counter_add("engine.pool.drain")
+            done = False
+            with contextlib.suppress(EOFError, OSError):
+                done = worker.drain(_DRAIN_TIMEOUT)
+            if not done:
+                self._workers[index] = self._pool._revive(worker)
         for worker in self._workers:
             with contextlib.suppress(Exception):
                 worker.conn.send(("end", self._installer))
@@ -862,6 +968,13 @@ def pool_call(jobs: int, *, context=None, installer: Optional[str] = None,
                                    payload)
         except (pickle.PicklingError, AttributeError, TypeError):
             counter_add("engine.pool.fallback.unpicklable")
+            yield None
+            return
+        except PoolTaskError:
+            # The context/payload pickled here but failed to unpickle or
+            # install worker-side; the legacy lane is known-good, so
+            # fall back rather than hard-fail the call.
+            counter_add("engine.pool.fallback.prime")
             yield None
             return
         yield call

@@ -194,9 +194,11 @@ def run_many(
                 # completion order, so each payload still persists the
                 # moment it lands. The pool declining (disabled, nested
                 # fork, busy) falls back to the per-run fork pool below —
-                # shard payloads are bit-identical either way, and shard
-                # workers on both lanes may themselves fork span workers
-                # (pool processes are non-daemonic on purpose).
+                # shard payloads are bit-identical either way, a failing
+                # shard re-raises its original exception type on both
+                # lanes, and shard workers on both lanes may themselves
+                # fork span workers (pool processes are non-daemonic on
+                # purpose).
                 with pool_call(min(jobs, len(items))) as call:
                     if call is not None:
                         counter_add("runner.pooled")

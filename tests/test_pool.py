@@ -70,6 +70,17 @@ def _test_arena() -> SharedArena:
     return arena
 
 
+def _raise_on_unpickle():
+    raise RuntimeError("exploded while unpickling in the worker")
+
+
+class _ExplodesInWorker:
+    """Pickles fine in the parent; ``pickle.loads`` raises worker-side."""
+
+    def __reduce__(self):
+        return (_raise_on_unpickle, ())
+
+
 def _pair_graph(factory):
     """Two sources through one correlation-manipulating pair, combined:
     the minimal stateful graph exercising the FSM hand-off for a family."""
@@ -268,13 +279,64 @@ class TestFallbacksAndLifecycle:
             assert np.array_equal(result.words(name), ref.words(name)), name
         assert pool_mod._POOL is not None
 
-    def test_task_error_surfaces_worker_traceback(self):
+    def test_task_error_reraises_original_exception(self):
+        # A failing task surfaces its *original* exception type — the
+        # same ValueError future.result() would re-raise on the
+        # fork-per-call lanes — with the worker traceback chained as a
+        # PoolTaskError cause.
         with pool_call(2) as call:
             if call is None:
                 pytest.skip("pool unavailable")
-            with pytest.raises(pool_mod.PoolTaskError) as err:
-                call.map("repro.engine.pool:attach_view", [(("bad",),)])
-            assert "attach_view" in str(err.value) or "Traceback" in str(err.value)
+            with pytest.raises(ValueError) as err:
+                call.map("repro.engine.pool:_resolve_fn", [("os:system",)])
+            cause = err.value.__cause__
+            assert isinstance(cause, pool_mod.PoolTaskError)
+            assert "Traceback" in str(cause)
+
+    def test_pool_survives_task_error_midflight(self):
+        # One task raising while other workers are still mid-task used
+        # to leave their replies unread in the pipes; the next call's
+        # prime then consumed a stale task reply as its ack and every
+        # later reply shifted off by one — silently wrong results.
+        # PoolCall.end now drains abandoned in-flight workers and every
+        # recv validates seq, so later calls stay correct.
+        plan = compile_graph(build_graph("depth8"))
+        ref = run_batch(plan, 4096)
+        run_streaming(plan, 4096, tile_words=1, jobs=2)  # warm the pool
+        missing = ("__shm__", "repro_pool_no_such_segment", (4,), "<u8")
+        for _ in range(3):  # several aborted calls, not just one
+            with pool_call(2) as call:
+                if call is None:
+                    pytest.skip("pool unavailable")
+                with pytest.raises(Exception):
+                    call.map(
+                        "repro.engine.pool:unwrap",
+                        [(1,), (missing,), (2,), (3,), (4,)],
+                    )
+        with pool_call(2) as call:
+            assert call is not None
+            assert call.map(
+                "repro.engine.pool:unwrap", [(i,) for i in range(8)]
+            ) == list(range(8))
+        result = run_streaming(plan, 4096, tile_words=1, jobs=2)
+        for name in plan.node_order:
+            assert np.array_equal(result.words(name), ref.words(name)), name
+
+    def test_prime_failure_falls_back_with_counter(self):
+        # Pickles in the parent, explodes in the worker's pickle.loads:
+        # the call must fall back to the legacy lane (counted), not
+        # hard-fail, and the pool must stay usable afterwards.
+        with obs.observe() as trace:
+            with pool_call(2, context=_ExplodesInWorker()) as call:
+                assert call is None
+        counters = trace.metrics["counters"]
+        assert counters.get("engine.pool.fallback.prime", 0) == 1
+        with pool_call(2) as call:
+            if call is None:
+                pytest.skip("pool unavailable")
+            assert call.map(
+                "repro.engine.pool:unwrap", [(i,) for i in range(4)]
+            ) == list(range(4))
 
     def test_fn_refs_are_restricted_to_repro(self):
         with pytest.raises(ValueError):
